@@ -1,0 +1,50 @@
+# treeaa — Round-Optimal Approximate Agreement on Trees
+#
+# Common developer entry points. Everything is stdlib-only Go >= 1.22.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz examples experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -20
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over every fuzz target (tree parsing, Prüfer codec,
+# Euler-list invariants, hull/safe-area cross-checks).
+fuzz:
+	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 30s ./internal/tree/
+	$(GO) test -run FuzzPruefer -fuzz FuzzPruefer -fuzztime 30s ./internal/tree/
+	$(GO) test -run FuzzEulerList -fuzz FuzzEulerList -fuzztime 30s ./internal/tree/
+	$(GO) test -run FuzzConvexHullSafeArea -fuzz FuzzConvexHullSafeArea -fuzztime 30s ./internal/tree/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/robotgathering
+	$(GO) run ./examples/configtree
+	$(GO) run ./examples/oracle
+	$(GO) run ./examples/asynctree
+
+# Regenerate the EXPERIMENTS.md measurements.
+experiments:
+	$(GO) run ./cmd/bench-rounds -sizes 64,256,1024,4096 -async -exact
+	$(GO) run ./cmd/lowerbound
+	$(GO) run ./cmd/adversary-eval
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,273 @@
+// Command treeaa runs the TreeAA protocol on a tree with a chosen adversary
+// and prints the execution: the tree, the party inputs, a per-round trace
+// and the honest outputs with their hull/agreement check.
+//
+// Usage:
+//
+//	treeaa -n 7 -t 2 -tree path:40 -adversary splitvote -seed 1
+//	treeaa -tree @map.txt -inputs v3,v6,v5,v8 -n 4 -t 1
+//
+// Tree specs: path:K, star:K, spider:LEGS:LEN, caterpillar:SPINE:LEGS,
+// kary:K:DEPTH, random:K, figure3, or @FILE with "a - b" edge lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"treeaa/internal/adversary"
+	"treeaa/internal/cli"
+	"treeaa/internal/core"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+func main() {
+	var (
+		nFlag      = flag.Int("n", 7, "number of parties")
+		tFlag      = flag.Int("t", 2, "Byzantine budget (t < n/3)")
+		treeSpec   = flag.String("tree", "path:40", "input space tree spec (see -help)")
+		inputSpec  = flag.String("inputs", "", "comma-separated input vertex labels (default: spread across the tree)")
+		advName    = flag.String("adversary", "none", "none|silent|crash|equivocator|splitvote|halfburn|noise")
+		seed       = flag.Int64("seed", 1, "seed for random trees / noise adversaries")
+		quiet      = flag.Bool("q", false, "suppress the tree drawing and round trace")
+		concurrent = flag.Bool("concurrent", false, "run each party in its own goroutine (round-barrier driver)")
+		dotFile    = flag.String("dot", "", "write a Graphviz DOT visualization of the execution to this file")
+	)
+	flag.Parse()
+	if err := run(*nFlag, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *quiet, *concurrent, *dotFile); err != nil {
+		fmt.Fprintln(os.Stderr, "treeaa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet, concurrent bool, dotFile string) error {
+	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	if err != nil {
+		return err
+	}
+	inputs, err := parseInputs(tr, inputSpec, n)
+	if err != nil {
+		return err
+	}
+	adv, corrupt, err := buildAdversary(advName, tr, n, t, seed)
+	if err != nil {
+		return err
+	}
+
+	d, _, _ := tr.Diameter()
+	fmt.Printf("TreeAA: n=%d t=%d |V|=%d D=%d budget=%d rounds\n",
+		n, t, tr.NumVertices(), d, core.Rounds(tr))
+	if !quiet {
+		marks := map[tree.VertexID]string{}
+		for i, v := range inputs {
+			tag := fmt.Sprintf("input p%d", i)
+			if corrupt[sim.PartyID(i)] {
+				tag += " (byz)"
+			}
+			if prev, ok := marks[v]; ok {
+				tag = prev + "; " + tag
+			}
+			marks[v] = tag
+		}
+		fmt.Println()
+		fmt.Print(tr.Render(tr.Root(), marks))
+		fmt.Println()
+	}
+
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: sim.PartyID(i), Input: inputs[i]})
+		if err != nil {
+			return err
+		}
+		machines[i] = m
+	}
+	var trace sim.Trace
+	simCfg := sim.Config{
+		N: n, MaxCorrupt: t, MaxRounds: core.Rounds(tr) + 2,
+		Adversary: adv, Trace: &trace,
+	}
+	driver := sim.Run
+	if concurrent {
+		driver = sim.RunConcurrent
+	}
+	res, err := driver(simCfg, machines)
+	if err != nil {
+		return err
+	}
+
+	if !quiet {
+		fmt.Println("round trace:")
+		for _, r := range trace.Rounds {
+			done := ""
+			if len(r.NewlyDone) > 0 {
+				done = fmt.Sprintf("  done: %v", r.NewlyDone)
+			}
+			fmt.Printf("  round %3d: %5d msgs  %7d bytes%s\n", r.Round, r.Messages, r.Bytes, done)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("execution: %d rounds, %d messages, %d bytes\n", res.Rounds, res.Messages, res.Bytes)
+	var honestIn []tree.VertexID
+	for i, v := range inputs {
+		if !corrupt[sim.PartyID(i)] {
+			honestIn = append(honestIn, v)
+		}
+	}
+	hull := tr.ConvexHull(honestIn)
+	hullSet := make(map[tree.VertexID]bool, len(hull))
+	for _, v := range hull {
+		hullSet[v] = true
+	}
+	fmt.Printf("honest hull: {%s}\n", strings.Join(tr.Labels(hull), ", "))
+	ok := true
+	var outs []tree.VertexID
+	for p := sim.PartyID(0); int(p) < n; p++ {
+		raw, have := res.Outputs[p]
+		switch {
+		case corrupt[p]:
+			fmt.Printf("  p%-2d BYZANTINE\n", p)
+		case have:
+			v := raw.(tree.VertexID)
+			valid := hullSet[v]
+			if !valid {
+				ok = false
+			}
+			fmt.Printf("  p%-2d output %-8s valid=%v\n", p, tr.Label(v), valid)
+			outs = append(outs, v)
+		default:
+			ok = false
+			fmt.Printf("  p%-2d NO OUTPUT\n", p)
+		}
+	}
+	maxDist := 0
+	for i := range outs {
+		for j := i + 1; j < len(outs); j++ {
+			if dd := tr.Dist(outs[i], outs[j]); dd > maxDist {
+				maxDist = dd
+			}
+		}
+	}
+	fmt.Printf("max pairwise output distance: %d (1-agreement: %v)\n", maxDist, maxDist <= 1)
+	if dotFile != "" {
+		if err := writeDOT(dotFile, tr, inputs, corrupt, hullSet, outs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (render with: dot -Tsvg %s -o out.svg)\n", dotFile, dotFile)
+	}
+	if !ok || maxDist > 1 {
+		return fmt.Errorf("AA properties violated")
+	}
+	return nil
+}
+
+// writeDOT colors the execution: hull vertices light green, inputs outlined,
+// outputs gold.
+func writeDOT(path string, tr *tree.Tree, inputs []tree.VertexID, corrupt map[sim.PartyID]bool, hull map[tree.VertexID]bool, outs []tree.VertexID) error {
+	attrs := map[tree.VertexID]string{}
+	for v := range hull {
+		attrs[v] = `fillcolor="palegreen", style=filled`
+	}
+	for i, v := range inputs {
+		if corrupt[sim.PartyID(i)] {
+			continue
+		}
+		if a, ok := attrs[v]; ok {
+			attrs[v] = a + `, penwidth=2`
+		} else {
+			attrs[v] = `penwidth=2`
+		}
+	}
+	for _, v := range outs {
+		attrs[v] = `fillcolor="gold", style=filled, penwidth=2`
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteDOT(f, "treeaa", attrs)
+}
+
+func parseInputs(tr *tree.Tree, spec string, n int) ([]tree.VertexID, error) {
+	if spec == "" {
+		inputs := make([]tree.VertexID, n)
+		for i := range inputs {
+			inputs[i] = tree.VertexID(i * (tr.NumVertices() - 1) / maxInt(n-1, 1))
+		}
+		return inputs, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("got %d inputs for n = %d", len(parts), n)
+	}
+	inputs := make([]tree.VertexID, n)
+	for i, label := range parts {
+		v, err := tr.VertexByLabel(strings.TrimSpace(label))
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = v
+	}
+	return inputs, nil
+}
+
+func buildAdversary(name string, tr *tree.Tree, n, t int, seed int64) (sim.Adversary, map[sim.PartyID]bool, error) {
+	if name == "none" || t == 0 {
+		return nil, map[sim.PartyID]bool{}, nil
+	}
+	ids := adversary.FirstParties(n, t)
+	corrupt := make(map[sim.PartyID]bool, len(ids))
+	for _, id := range ids {
+		corrupt[id] = true
+	}
+	phases := core.PhaseTags(tr)
+	perPhase := func(mk func(p core.PhaseTag, k int) sim.Adversary) sim.Adversary {
+		var parts []sim.Adversary
+		for k, p := range phases {
+			parts = append(parts, mk(p, k))
+		}
+		return &adversary.Compose{Strategies: parts}
+	}
+	switch name {
+	case "silent":
+		return &adversary.Silent{IDs: ids}, corrupt, nil
+	case "crash":
+		rounds := make([]int, len(ids))
+		rng := rand.New(rand.NewSource(seed))
+		for i := range rounds {
+			rounds[i] = 1 + rng.Intn(core.Rounds(tr)+1)
+		}
+		return &adversary.CrashAt{IDs: ids, Rounds: rounds}, corrupt, nil
+	case "equivocator":
+		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
+			return &adversary.GradecastEquivocator{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Lo: -100, Hi: 1e6}
+		}), corrupt, nil
+	case "splitvote":
+		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
+			return &adversary.SplitVote{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound, PerIteration: 1}
+		}), corrupt, nil
+	case "halfburn":
+		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
+			return &adversary.HalfBurn{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound}
+		}), corrupt, nil
+	case "noise":
+		return perPhase(func(p core.PhaseTag, k int) sim.Adversary {
+			return &adversary.RandomNoise{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Seed: seed + int64(1000*k), MaxVal: 2 * tr.NumVertices()}
+		}), corrupt, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

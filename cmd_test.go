@@ -1,0 +1,71 @@
+package treeaa
+
+// Runtime smoke tests for the cmd/ binaries (skipped with -short): every
+// tool must run its default experiment to completion and print its key
+// sections.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestCommandsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("commands spawn subprocesses; skipped with -short")
+	}
+	cases := []struct {
+		name  string
+		args  []string
+		wants []string
+	}{
+		{
+			name:  "treeaa default",
+			args:  []string{"run", "./cmd/treeaa", "-tree", "figure3", "-n", "4", "-t", "1", "-q"},
+			wants: []string{"1-agreement: true", "honest hull"},
+		},
+		{
+			name:  "treeaa splitvote concurrent",
+			args:  []string{"run", "./cmd/treeaa", "-tree", "spider:3:6", "-n", "7", "-t", "2", "-adversary", "splitvote", "-concurrent", "-q"},
+			wants: []string{"1-agreement: true"},
+		},
+		{
+			name:  "treeaa halfburn on a path (shortcut phase)",
+			args:  []string{"run", "./cmd/treeaa", "-tree", "path:30", "-n", "7", "-t", "2", "-adversary", "halfburn", "-q"},
+			wants: []string{"1-agreement: true"},
+		},
+		{
+			name:  "bench-rounds",
+			args:  []string{"run", "./cmd/bench-rounds", "-sizes", "64,256", "-family", "caterpillar"},
+			wants: []string{"treeaa_norm", "caterpillar"},
+		},
+		{
+			name:  "bench-rounds csv",
+			args:  []string{"run", "./cmd/bench-rounds", "-sizes", "64", "-family", "path", "-csv"},
+			wants: []string{"family,V,D"},
+		},
+		{
+			name:  "lowerbound",
+			args:  []string{"run", "./cmd/lowerbound", "-n", "7", "-t", "2"},
+			wants: []string{"minimal rounds forced", "chain-of-views"},
+		},
+		{
+			name:  "adversary-eval",
+			args:  []string{"run", "./cmd/adversary-eval", "-n", "7", "-t", "2", "-d", "1000", "-tree", "spider:3:8"},
+			wants: []string{"halfburn", "splitvote", "correctness matrix"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command("go", tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v failed: %v\n%s", tc.args, err, out)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+// Asynchronous tree agreement — the model the paper's related work [33]
+// lives in: no clocks, no delivery bound, an adversarial network scheduler.
+// This example runs the NR-style asynchronous protocol (Bracha reliable
+// broadcast + witness technique + safe-area/center updates) on a tree under
+// three schedulers, including one that starves a victim's links as long as
+// the model permits, and reports the causal depth ("async rounds") each
+// execution consumed — the O(log D) complexity the paper's synchronous
+// TreeAA improves on for high-diameter trees.
+//
+//	go run ./examples/asynctree
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"treeaa/internal/async"
+	"treeaa/internal/tree"
+)
+
+func main() {
+	tr := tree.NewCaterpillar(16, 1) // 32 vertices, diameter 17
+	n, t := 4, 1
+	inputs := []tree.VertexID{0, 10, 15, 5}
+	d, _, _ := tr.Diameter()
+	iters := async.TreeIterations(d)
+	fmt.Printf("asynchronous NR-style tree AA: |V|=%d D=%d n=%d t=%d (%d iterations)\n\n",
+		tr.NumVertices(), d, n, t, iters)
+
+	schedulers := []struct {
+		name  string
+		sched async.Scheduler
+	}{
+		{"FIFO (benign network)", async.FIFO{}},
+		{"random delivery", async.Random{Rng: rand.New(rand.NewSource(42))}},
+		{"starve party 0's links", async.Starve{Victims: map[async.PartyID]bool{0: true}}},
+	}
+	for _, s := range schedulers {
+		machines := make([]async.Machine, n)
+		for i := 0; i < n; i++ {
+			machines[i] = async.NewTreeAA(tr, n, t, async.PartyID(i), inputs[i], iters)
+		}
+		res, err := async.Run(async.Config{N: n, MaxDeliveries: 2_000_000, Scheduler: s.sched}, machines)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		fmt.Printf("%-26s", s.name)
+		var outs []tree.VertexID
+		for p := async.PartyID(0); int(p) < n; p++ {
+			v := res.Outputs[p].(tree.VertexID)
+			outs = append(outs, v)
+			fmt.Printf("  p%d→%s", p, tr.Label(v))
+		}
+		maxDist := 0
+		for i := range outs {
+			for j := i + 1; j < len(outs); j++ {
+				if dd := tr.Dist(outs[i], outs[j]); dd > maxDist {
+					maxDist = dd
+				}
+			}
+		}
+		fmt.Printf("   depth=%d deliveries=%d maxDist=%d\n", res.Depth, res.Deliveries, maxDist)
+		if maxDist > 1 {
+			log.Fatal("1-agreement violated")
+		}
+	}
+	fmt.Println("\nno scheduler can stop the protocol — only slow it down; every run lands on")
+	fmt.Println("1-close vertices inside the honest hull. depth ≈ 6·iterations = O(log D).")
+}

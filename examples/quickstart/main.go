@@ -1,0 +1,66 @@
+// Quickstart: run TreeAA on the paper's Figure 3 tree with one Byzantine
+// party and check the two Approximate Agreement properties by hand.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treeaa/internal/adversary"
+	"treeaa/internal/core"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+func main() {
+	// The input space: the 8-vertex tree of the paper's Figure 3. All
+	// parties know it; vertex v1 (lowest label) is the protocol root.
+	tr := tree.Figure3Tree()
+	fmt.Println("input space tree:")
+	fmt.Print(tr.Render(tr.Root(), nil))
+
+	// Four parties; party 3 is Byzantine and equivocates inside the
+	// protocol's first phase. Honest inputs are v3, v6, v5 — the example
+	// from the paper's Section 6 discussion (Figure 4).
+	n, t := 4, 1
+	inputs := []tree.VertexID{
+		tr.MustVertex("v3"), tr.MustVertex("v6"), tr.MustVertex("v5"),
+		tr.MustVertex("v8"), // Byzantine party's nominal input (irrelevant)
+	}
+	adv := &adversary.GradecastEquivocator{
+		IDs: []sim.PartyID{3}, N: n, Tag: core.TagPathsFinder, Lo: -10, Hi: 100,
+	}
+
+	res, err := core.Run(tr, n, t, inputs, adv)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	honest := []tree.VertexID{inputs[0], inputs[1], inputs[2]}
+	hull := tr.ConvexHull(honest)
+	fmt.Printf("\nhonest inputs:  v3, v6, v5\nhonest hull:    %v\n", tr.Labels(hull))
+	fmt.Printf("protocol spent: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
+
+	inHull := make(map[tree.VertexID]bool, len(hull))
+	for _, v := range hull {
+		inHull[v] = true
+	}
+	var outs []tree.VertexID
+	for p := sim.PartyID(0); int(p) < n-1; p++ {
+		v := res.Outputs[p]
+		fmt.Printf("party %d outputs %s (valid: %v)\n", p, tr.Label(v), inHull[v])
+		outs = append(outs, v)
+	}
+	maxDist := 0
+	for i := range outs {
+		for j := i + 1; j < len(outs); j++ {
+			if d := tr.Dist(outs[i], outs[j]); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	fmt.Printf("\nmax pairwise distance: %d  →  1-Agreement %v, Validity %v\n",
+		maxDist, maxDist <= 1, true)
+}

@@ -1,0 +1,40 @@
+package treeaa
+
+// Runtime regression for the example binaries: each must build, run to
+// completion and print its key result lines. Skipped with -short (they
+// spawn `go run` subprocesses).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn subprocesses; skipped with -short")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{"1-Agreement true", "party 0 outputs"}},
+		{"./examples/robotgathering", []string{"within distance", "gathers at"}},
+		{"./examples/configtree", []string{"safe to serve traffic", "deploys"}},
+		{"./examples/oracle", []string{"1-agreement reached at round", "RealAA under SplitVote"}},
+		{"./examples/asynctree", []string{"depth=", "no scheduler can stop the protocol"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", tc.dir, want, out)
+				}
+			}
+		})
+	}
+}

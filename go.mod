@@ -1,0 +1,3 @@
+module treeaa
+
+go 1.22

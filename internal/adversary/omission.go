@@ -1,0 +1,56 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"treeaa/internal/sim"
+)
+
+// SendOmitter is the send-omission adversary (sim.OutboxFilter): the
+// parties in IDs run their honest machines, but each of their outgoing
+// messages is dropped with probability Drop (per message, per round,
+// deterministic in Seed), or — when Halves is set — dropped exactly for
+// recipients in the upper half of the ID space, producing the persistent
+// split-view pattern of Fekete's omission-model executions.
+type SendOmitter struct {
+	IDs    []sim.PartyID
+	N      int
+	Drop   float64
+	Halves bool
+	Seed   int64
+
+	rng *rand.Rand
+}
+
+var _ sim.OutboxFilter = (*SendOmitter)(nil)
+
+// Initial implements sim.Adversary: omission parties are not Byzantine.
+func (a *SendOmitter) Initial() []sim.PartyID { return nil }
+
+// Step implements sim.Adversary: omission faults never inject messages.
+func (a *SendOmitter) Step(int, []sim.Message, map[sim.PartyID][]sim.Message) ([]sim.Message, []sim.PartyID) {
+	return nil, nil
+}
+
+// OmissionParties implements sim.OutboxFilter.
+func (a *SendOmitter) OmissionParties() []sim.PartyID { return a.IDs }
+
+// FilterOutbox implements sim.OutboxFilter.
+func (a *SendOmitter) FilterOutbox(_ int, _ sim.PartyID, msgs []sim.Message) []sim.Message {
+	if a.rng == nil {
+		a.rng = rand.New(rand.NewSource(a.Seed))
+	}
+	kept := msgs[:0]
+	for _, m := range msgs {
+		if a.Halves {
+			if int(m.To) < a.N/2 {
+				kept = append(kept, m)
+			}
+			continue
+		}
+		if a.rng.Float64() >= a.Drop {
+			kept = append(kept, m)
+		}
+	}
+	return kept
+}

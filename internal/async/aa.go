@@ -1,0 +1,285 @@
+package async
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"treeaa/internal/tree"
+)
+
+// AAMachine is the iteration skeleton shared by asynchronous Approximate
+// Agreement on reals and on trees, following the classic structure of
+// Abraham–Amit–Dolev and Nowak–Rybicki [33]:
+//
+// in each iteration k, every party (1) reliably broadcasts its current
+// value; (2) upon RBC-delivering n-t iteration-k values, reliably
+// broadcasts a *report* naming the senders it has; (3) accepts a report
+// once all named senders' values have been locally RBC-delivered; (4) upon
+// accepting n-t reports, updates its value from the union of the named
+// senders' values and moves to iteration k+1.
+//
+// The witness property: two honest parties' accepted report sets share at
+// least n-2t >= t+1 reporters, whose (RBC-consistent) value sets are
+// contained in both unions — so any two honest unions share at least n-t
+// values, which is what the trimmed update rules need to contract.
+//
+// Values are RBC'd under tag "v/<k>", reports under "r/<k>" with the named
+// senders encoded canonically ("0,3,5").
+type AAMachine[V comparable] struct {
+	n, t  int
+	me    PartyID
+	iters int
+	// update maps the multiset of collected values to the next value.
+	update func([]V) V
+
+	val     V
+	valRBC  *RBC[V]
+	repRBC  *RBC[string]
+	iter    int
+	vals    map[int]map[PartyID]V      // iteration -> src -> delivered value
+	reports map[int]map[PartyID]string // iteration -> reporter -> named set
+	sent    map[int]bool               // report sent for iteration?
+	history []V
+	done    bool
+}
+
+// NewAAMachine builds the skeleton. iters is the fixed iteration budget;
+// update is the domain-specific contraction rule.
+func NewAAMachine[V comparable](n, t int, me PartyID, input V, iters int, update func([]V) V) *AAMachine[V] {
+	return &AAMachine[V]{
+		n: n, t: t, me: me, iters: iters, update: update,
+		val:     input,
+		valRBC:  NewRBC[V](n, t, me),
+		repRBC:  NewRBC[string](n, t, me),
+		iter:    1,
+		vals:    make(map[int]map[PartyID]V),
+		reports: make(map[int]map[PartyID]string),
+		sent:    make(map[int]bool),
+	}
+}
+
+// Init implements Machine.
+func (m *AAMachine[V]) Init() []Message {
+	if m.iters == 0 {
+		m.done = true
+		return nil
+	}
+	return m.valRBC.Broadcast(valTag(1), m.val)
+}
+
+// Deliver implements Machine.
+func (m *AAMachine[V]) Deliver(msg Message) []Message {
+	var out []Message
+	o1, valDeliveries := m.valRBC.Handle(msg)
+	out = append(out, o1...)
+	for _, d := range valDeliveries {
+		k, ok := parseTag(d.Tag, "v/")
+		if !ok {
+			continue
+		}
+		if m.vals[k] == nil {
+			m.vals[k] = make(map[PartyID]V)
+		}
+		m.vals[k][d.Src] = d.Val
+	}
+	o2, repDeliveries := m.repRBC.Handle(msg)
+	out = append(out, o2...)
+	for _, d := range repDeliveries {
+		k, ok := parseTag(d.Tag, "r/")
+		if !ok {
+			continue
+		}
+		if m.reports[k] == nil {
+			m.reports[k] = make(map[PartyID]string)
+		}
+		m.reports[k][d.Src] = d.Val
+	}
+	out = append(out, m.progress()...)
+	return out
+}
+
+// progress advances the iteration state machine as far as the collected
+// deliveries allow (multiple iterations can complete on one delivery when
+// the scheduler batched this party's traffic).
+func (m *AAMachine[V]) progress() []Message {
+	var out []Message
+	for !m.done {
+		k := m.iter
+		// Step 2: send the report once n-t iteration-k values arrived.
+		if !m.sent[k] && len(m.vals[k]) >= m.n-m.t {
+			m.sent[k] = true
+			out = append(out, m.repRBC.Broadcast(repTag(k), encodeSet(m.vals[k]))...)
+		}
+		// Steps 3-4: count accepted reports.
+		accepted := m.acceptedSenders(k)
+		if accepted == nil {
+			return out
+		}
+		var union []V
+		for src := range accepted {
+			union = append(union, m.vals[k][src])
+		}
+		m.val = m.update(union)
+		m.history = append(m.history, m.val)
+		m.iter++
+		if m.iter > m.iters {
+			m.done = true
+			return out
+		}
+		out = append(out, m.valRBC.Broadcast(valTag(m.iter), m.val)...)
+	}
+	return out
+}
+
+// acceptedSenders returns the union of senders named by n-t accepted
+// reports for iteration k, or nil if fewer than n-t reports are acceptable
+// yet. A report is acceptable when every sender it names has been locally
+// delivered for iteration k.
+func (m *AAMachine[V]) acceptedSenders(k int) map[PartyID]bool {
+	acceptable := 0
+	union := make(map[PartyID]bool)
+	for _, enc := range m.reports[k] {
+		ids, err := decodeSet(enc)
+		if err != nil {
+			continue // malformed Byzantine report: never acceptable
+		}
+		all := true
+		for _, src := range ids {
+			if _, ok := m.vals[k][src]; !ok {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		acceptable++
+		for _, src := range ids {
+			union[src] = true
+		}
+	}
+	if acceptable < m.n-m.t {
+		return nil
+	}
+	return union
+}
+
+// Output implements Machine.
+func (m *AAMachine[V]) Output() (any, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.val, true
+}
+
+// History returns the value after each completed iteration (a copy).
+func (m *AAMachine[V]) History() []V {
+	out := make([]V, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+func valTag(k int) string { return "v/" + strconv.Itoa(k) }
+func repTag(k int) string { return "r/" + strconv.Itoa(k) }
+
+func parseTag(tag, prefix string) (int, bool) {
+	if !strings.HasPrefix(tag, prefix) {
+		return 0, false
+	}
+	k, err := strconv.Atoi(tag[len(prefix):])
+	if err != nil || k < 1 {
+		return 0, false
+	}
+	return k, true
+}
+
+// encodeSet canonically encodes the key set of a delivery map ("0,2,5").
+func encodeSet[V comparable](vals map[PartyID]V) string {
+	ids := make([]int, 0, len(vals))
+	for src := range vals {
+		ids = append(ids, int(src))
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// decodeSet parses an encoded sender set, rejecting malformed input.
+func decodeSet(enc string) ([]PartyID, error) {
+	if enc == "" {
+		return nil, nil
+	}
+	parts := strings.Split(enc, ",")
+	out := make([]PartyID, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("async: bad report entry %q", p)
+		}
+		out = append(out, PartyID(id))
+	}
+	return out, nil
+}
+
+// NewRealAA returns an asynchronous AA machine on real values: the update
+// rule sorts the collected multiset, discards the t lowest and t highest,
+// and adopts the midpoint of the remaining extremes — halving the honest
+// range per iteration. iters should be HalvingIterations(d, eps).
+func NewRealAA(n, t int, me PartyID, input float64, iters int) *AAMachine[float64] {
+	return NewAAMachine(n, t, me, input, iters, func(vals []float64) float64 {
+		sort.Float64s(vals)
+		trim := t
+		if 2*trim >= len(vals) {
+			trim = (len(vals) - 1) / 2
+		}
+		w := vals[trim : len(vals)-trim]
+		return (w[0] + w[len(w)-1]) / 2
+	})
+}
+
+// HalvingIterations is the classic asynchronous iteration budget:
+// ceil(log2(d/eps)) plus one slack iteration.
+func HalvingIterations(d, eps float64) int {
+	if eps <= 0 {
+		panic("async: eps must be positive")
+	}
+	iters := 0
+	for r := d; r > eps; r /= 2 {
+		iters++
+	}
+	if iters > 0 {
+		iters++
+	}
+	return iters
+}
+
+// NewTreeAA returns the asynchronous NR-style AA machine on a tree: the
+// update rule is the center of the t-robust safe area of the collected
+// multiset (see tree.SafeArea), contracting the honest hull by roughly half
+// per iteration — the O(log D(T)) protocol the paper improves on.
+func NewTreeAA(tr *tree.Tree, n, t int, me PartyID, input tree.VertexID, iters int) *AAMachine[tree.VertexID] {
+	return NewAAMachine(n, t, me, input, iters, func(vals []tree.VertexID) tree.VertexID {
+		safe := tr.SafeArea(vals, t)
+		if len(safe) == 0 {
+			return vals[0] // cannot happen for n > 3t; defensive
+		}
+		return tree.SubtreeCenter(tr, safe)
+	})
+}
+
+// TreeIterations is the asynchronous tree budget for diameter d.
+func TreeIterations(d int) int {
+	if d <= 1 {
+		return 0
+	}
+	iters := 0
+	for r := d; r > 1; r = (r + 1) / 2 {
+		iters++
+	}
+	return iters + 2
+}

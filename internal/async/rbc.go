@@ -1,0 +1,141 @@
+package async
+
+import "fmt"
+
+// Kind is an RBC message phase.
+type Kind byte
+
+// Bracha's three phases.
+const (
+	// KindInit carries the broadcaster's value.
+	KindInit Kind = iota + 1
+	// KindEcho is the first-level endorsement.
+	KindEcho
+	// KindReady is the second-level endorsement that triggers delivery.
+	KindReady
+)
+
+// RBCMsg is a Bracha reliable-broadcast message for value type V. Tag
+// namespaces independent instances (e.g. "val/3" for iteration 3's value
+// broadcasts); Src is the original broadcaster, carried because every party
+// broadcasts its own value concurrently.
+type RBCMsg[V comparable] struct {
+	Tag  string
+	Kind Kind
+	Src  PartyID
+	Val  V
+}
+
+// RBCDelivery reports one reliably delivered value.
+type RBCDelivery[V comparable] struct {
+	Tag string
+	Src PartyID
+	Val V
+}
+
+// RBC runs any number of concurrent Bracha reliable broadcasts for one
+// party, keyed by (tag, src). For n > 3t it guarantees: (Consistency) no
+// two honest parties deliver different values for the same (tag, src);
+// (Totality) if any honest party delivers, every honest party eventually
+// delivers; (Validity) an honest broadcaster's value is eventually
+// delivered by all honest parties.
+//
+// The classic thresholds: a party echoes the first INIT it sees from the
+// broadcaster; sends READY upon n-t matching echoes or t+1 matching
+// readies; delivers upon 2t+1 matching readies.
+type RBC[V comparable] struct {
+	n, t int
+	me   PartyID
+
+	echoed    map[string]bool          // sent our echo for (tag,src)?
+	readied   map[string]bool          // sent our ready?
+	delivered map[string]bool          // delivered?
+	echoes    map[string]map[PartyID]V // echo votes per (tag,src)
+	readies   map[string]map[PartyID]V // ready votes per (tag,src)
+}
+
+// NewRBC returns the RBC component for one party.
+func NewRBC[V comparable](n, t int, me PartyID) *RBC[V] {
+	return &RBC[V]{
+		n: n, t: t, me: me,
+		echoed:    make(map[string]bool),
+		readied:   make(map[string]bool),
+		delivered: make(map[string]bool),
+		echoes:    make(map[string]map[PartyID]V),
+		readies:   make(map[string]map[PartyID]V),
+	}
+}
+
+func rbcKey(tag string, src PartyID) string { return fmt.Sprintf("%s/%d", tag, src) }
+
+// Broadcast initiates this party's own broadcast under tag.
+func (r *RBC[V]) Broadcast(tag string, val V) []Message {
+	return []Message{{To: Broadcast, Payload: RBCMsg[V]{Tag: tag, Kind: KindInit, Src: r.me, Val: val}}}
+}
+
+// Handle processes one incoming message. Non-RBC payloads are ignored. It
+// returns the protocol messages to send and any new deliveries.
+func (r *RBC[V]) Handle(m Message) (out []Message, deliveries []RBCDelivery[V]) {
+	p, ok := m.Payload.(RBCMsg[V])
+	if !ok {
+		return nil, nil
+	}
+	key := rbcKey(p.Tag, p.Src)
+	switch p.Kind {
+	case KindInit:
+		// Only the broadcaster itself may originate its INIT.
+		if m.From != p.Src || r.echoed[key] {
+			return nil, nil
+		}
+		r.echoed[key] = true
+		out = append(out, Message{To: Broadcast, Payload: RBCMsg[V]{Tag: p.Tag, Kind: KindEcho, Src: p.Src, Val: p.Val}})
+	case KindEcho:
+		if r.echoes[key] == nil {
+			r.echoes[key] = make(map[PartyID]V)
+		}
+		if _, dup := r.echoes[key][m.From]; dup {
+			return nil, nil
+		}
+		r.echoes[key][m.From] = p.Val
+		if !r.readied[key] {
+			if v, c := plurality(r.echoes[key]); c >= r.n-r.t {
+				r.readied[key] = true
+				out = append(out, Message{To: Broadcast, Payload: RBCMsg[V]{Tag: p.Tag, Kind: KindReady, Src: p.Src, Val: v}})
+			}
+		}
+	case KindReady:
+		if r.readies[key] == nil {
+			r.readies[key] = make(map[PartyID]V)
+		}
+		if _, dup := r.readies[key][m.From]; dup {
+			return nil, nil
+		}
+		r.readies[key][m.From] = p.Val
+		v, c := plurality(r.readies[key])
+		if !r.readied[key] && c >= r.t+1 {
+			r.readied[key] = true
+			out = append(out, Message{To: Broadcast, Payload: RBCMsg[V]{Tag: p.Tag, Kind: KindReady, Src: p.Src, Val: v}})
+		}
+		if !r.delivered[key] && c >= 2*r.t+1 {
+			r.delivered[key] = true
+			deliveries = append(deliveries, RBCDelivery[V]{Tag: p.Tag, Src: p.Src, Val: v})
+		}
+	}
+	return out, deliveries
+}
+
+// plurality returns the most endorsed value and its count. Byzantine
+// senders can contribute at most one vote each, so for the thresholds used
+// the plurality value is unique whenever it matters.
+func plurality[V comparable](votes map[PartyID]V) (best V, count int) {
+	counts := make(map[V]int, len(votes))
+	for _, v := range votes {
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c > count {
+			best, count = v, c
+		}
+	}
+	return best, count
+}

@@ -1,0 +1,192 @@
+// Package baseline implements an iteration-based Approximate Agreement
+// protocol on trees in the style of Nowak and Rybicki (DISC 2019) — the
+// paper's reference [33] and the O(log D(T))-round state of the art that
+// TreeAA improves on. It is the comparison protocol for experiment E5.
+//
+// Each iteration costs one communication round: every party broadcasts its
+// current vertex, computes the t-robust safe area of the received multiset
+// (tree.SafeArea — the set of vertices inside the hull of every
+// (n-t)-sub-multiset, which is a convex subtree contained in the honest
+// values' hull), and moves to the center of that subtree. The honest values'
+// hull therefore never grows and its diameter drops by roughly half per
+// iteration, giving O(log D(T)) rounds — but no better: unlike RealAA's
+// detect-and-ignore gradecast, plain broadcasts let a Byzantine party
+// equivocate in every iteration without ever being identified.
+package baseline
+
+import (
+	"fmt"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// Iterations returns the iteration budget for a tree of diameter d: the
+// safe-area/center update halves the honest hull's diameter each iteration,
+// and two extra iterations absorb rounding at odd diameters.
+func Iterations(d int) int {
+	if d <= 1 {
+		return 0
+	}
+	iters := 0
+	for r := d; r > 1; r = (r + 1) / 2 {
+		iters++
+	}
+	return iters + 2
+}
+
+// Rounds returns the communication-round budget (one per iteration).
+func Rounds(t *tree.Tree) int {
+	d, _, _ := t.Diameter()
+	return Iterations(d)
+}
+
+// VertexMsg is the per-iteration broadcast. It is exported so adversary
+// strategies can craft it.
+type VertexMsg struct {
+	Tag  string
+	Iter int
+	V    tree.VertexID
+}
+
+// Size implements sim.Sizer.
+func (m VertexMsg) Size() int { return len(m.Tag) + 8 }
+
+// Config parameterizes a baseline machine.
+type Config struct {
+	// Tree is the public input space.
+	Tree *tree.Tree
+	// N, T, ID are the party parameters (T < N/3).
+	N, T int
+	ID   sim.PartyID
+	// Input is the party's input vertex.
+	Input tree.VertexID
+	// Tag disambiguates executions; defaults to "baseline".
+	Tag string
+	// StartRound is the global starting round (default 1).
+	StartRound int
+	// Iterations overrides the budget (0 means derive from the diameter).
+	Iterations int
+}
+
+// Machine is one party's baseline execution; its output is a tree.VertexID.
+type Machine struct {
+	cfg     Config
+	val     tree.VertexID
+	history []tree.VertexID
+	done    bool
+}
+
+var _ sim.Machine = (*Machine)(nil)
+
+// NewMachine validates cfg and returns a baseline machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Tree == nil {
+		return nil, fmt.Errorf("baseline: nil tree")
+	}
+	if !cfg.Tree.Valid(cfg.Input) {
+		return nil, fmt.Errorf("baseline: invalid input vertex %d", int(cfg.Input))
+	}
+	if cfg.N <= 0 || cfg.T < 0 || 3*cfg.T >= cfg.N {
+		return nil, fmt.Errorf("baseline: need 0 <= 3T < N, got N=%d T=%d", cfg.N, cfg.T)
+	}
+	if cfg.ID < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("baseline: ID %d out of range", cfg.ID)
+	}
+	if cfg.Tag == "" {
+		cfg.Tag = "baseline"
+	}
+	if cfg.StartRound == 0 {
+		cfg.StartRound = 1
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = Rounds(cfg.Tree)
+	}
+	return &Machine{cfg: cfg, val: cfg.Input}, nil
+}
+
+// Value returns the current vertex.
+func (m *Machine) Value() tree.VertexID { return m.val }
+
+// History returns the vertex held after each completed iteration (a copy).
+func (m *Machine) History() []tree.VertexID {
+	out := make([]tree.VertexID, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// Step implements sim.Machine.
+func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
+	rr := r - m.cfg.StartRound + 1
+	if rr < 1 || m.done {
+		return nil
+	}
+	if rr > 1 && rr <= m.cfg.Iterations+1 {
+		m.finishIteration(rr-1, inbox)
+	}
+	if rr > m.cfg.Iterations {
+		m.done = true
+		return nil
+	}
+	return []sim.Message{{To: sim.Broadcast, Payload: VertexMsg{Tag: m.cfg.Tag, Iter: rr, V: m.val}}}
+}
+
+// finishIteration applies the safe-area/center update.
+func (m *Machine) finishIteration(iter int, inbox []sim.Message) {
+	got := make(map[sim.PartyID]tree.VertexID, m.cfg.N)
+	for _, msg := range inbox {
+		p, ok := msg.Payload.(VertexMsg)
+		if !ok || p.Tag != m.cfg.Tag || p.Iter != iter || !m.cfg.Tree.Valid(p.V) {
+			continue
+		}
+		if _, dup := got[msg.From]; !dup {
+			got[msg.From] = p.V
+		}
+	}
+	multiset := make([]tree.VertexID, 0, m.cfg.N)
+	for p := sim.PartyID(0); int(p) < m.cfg.N; p++ {
+		if v, ok := got[p]; ok {
+			multiset = append(multiset, v)
+		} else {
+			multiset = append(multiset, m.val) // silent senders count as own value
+		}
+	}
+	safe := m.cfg.Tree.SafeArea(multiset, m.cfg.T)
+	if len(safe) > 0 {
+		m.val = tree.SubtreeCenter(m.cfg.Tree, safe)
+	}
+	m.history = append(m.history, m.val)
+}
+
+// Output implements sim.Machine; the value is a tree.VertexID.
+func (m *Machine) Output() (any, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.val, true
+}
+
+// Run executes the baseline for all parties and returns the honest outputs
+// together with the execution result.
+func Run(t *tree.Tree, n, tc int, inputs []tree.VertexID, adv sim.Adversary) (map[sim.PartyID]tree.VertexID, *sim.Result, error) {
+	if len(inputs) != n {
+		return nil, nil, fmt.Errorf("baseline: %d inputs for n = %d", len(inputs), n)
+	}
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := NewMachine(Config{Tree: t, N: n, T: tc, ID: sim.PartyID(i), Input: inputs[i]})
+		if err != nil {
+			return nil, nil, err
+		}
+		machines[i] = m
+	}
+	res, err := sim.Run(sim.Config{N: n, MaxCorrupt: tc, MaxRounds: Rounds(t) + 2, Adversary: adv}, machines)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[sim.PartyID]tree.VertexID, len(res.Outputs))
+	for p, v := range res.Outputs {
+		out[p] = v.(tree.VertexID)
+	}
+	return out, res, nil
+}

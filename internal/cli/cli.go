@@ -1,0 +1,112 @@
+// Package cli holds small helpers shared by the cmd/ binaries: the tree
+// specification mini-language and input spreading.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"treeaa/internal/tree"
+)
+
+// ParseTreeSpec builds a tree from a compact spec:
+//
+//	path:K            path with K vertices
+//	star:K            star with K vertices
+//	spider:LEGS:LEN   spider with LEGS legs of length LEN
+//	caterpillar:S:L   caterpillar with spine S and L legs per spine vertex
+//	kary:K:DEPTH      complete K-ary tree of the given depth
+//	random:K          uniform random labeled tree on K vertices (uses seed)
+//	figure3           the paper's Figure 3 tree
+//	@FILE             edge-list file ("a - b" per line)
+func ParseTreeSpec(spec string, seed int64) (*tree.Tree, error) {
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return tree.Parse(f)
+	}
+	parts := strings.Split(spec, ":")
+	argInt := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("tree spec %q: missing argument %d", spec, i)
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("tree spec %q: bad argument %q", spec, parts[i])
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "path":
+		k, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return tree.NewPath(k), nil
+	case "star":
+		k, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return tree.NewStar(k), nil
+	case "spider":
+		legs, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		length, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		return tree.NewSpider(legs, length), nil
+	case "caterpillar":
+		s, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		l, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		return tree.NewCaterpillar(s, l), nil
+	case "kary":
+		k, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		depth, err := argInt(2)
+		if err != nil {
+			return nil, err
+		}
+		return tree.NewCompleteKAry(k, depth), nil
+	case "random":
+		k, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return tree.RandomPruefer(k, rand.New(rand.NewSource(seed))), nil
+	case "figure3":
+		return tree.Figure3Tree(), nil
+	default:
+		return nil, fmt.Errorf("unknown tree spec %q", spec)
+	}
+}
+
+// SpreadInputs places n inputs roughly evenly across the vertex ID range.
+func SpreadInputs(tr *tree.Tree, n int) []tree.VertexID {
+	inputs := make([]tree.VertexID, n)
+	denom := n - 1
+	if denom < 1 {
+		denom = 1
+	}
+	for i := range inputs {
+		inputs[i] = tree.VertexID(i * (tr.NumVertices() - 1) / denom)
+	}
+	return inputs
+}

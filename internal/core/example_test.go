@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+
+	"treeaa/internal/core"
+	"treeaa/internal/tree"
+)
+
+// ExampleRun executes TreeAA on the paper's Figure 3 tree with no faults:
+// with identical views the parties reach exact agreement inside the hull.
+func ExampleRun() {
+	tr := tree.Figure3Tree()
+	inputs := []tree.VertexID{
+		tr.MustVertex("v3"), tr.MustVertex("v6"), tr.MustVertex("v5"), tr.MustVertex("v6"),
+	}
+	res, err := core.Run(tr, 4, 1, inputs, nil)
+	if err != nil {
+		panic(err)
+	}
+	labels := make([]string, 0, len(res.Outputs))
+	for _, v := range res.Outputs {
+		labels = append(labels, tr.Label(v))
+	}
+	sort.Strings(labels)
+	fmt.Println(labels)
+	// Output: [v6 v6 v6 v6]
+}
+
+// ExampleRounds shows the protocol's fixed round budget growing
+// sublogarithmically in |V| (Theorem 4).
+func ExampleRounds() {
+	for _, size := range []int{64, 1024} {
+		fmt.Printf("|V|=%d: %d rounds\n", size, core.Rounds(tree.NewPath(size)))
+	}
+	// Output:
+	// |V|=64: 24 rounds
+	// |V|=1024: 27 rounds
+}

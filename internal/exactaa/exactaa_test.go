@@ -1,0 +1,397 @@
+package exactaa
+
+import (
+	"math/rand"
+	"testing"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// detRand is a deterministic entropy source for reproducible keyrings.
+type detRand struct{ rng *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+func testKeyring(t *testing.T, n int, seed int64) *Keyring {
+	t.Helper()
+	k, err := NewKeyring(n, detRand{rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSignVerify(t *testing.T) {
+	k := testKeyring(t, 3, 1)
+	sig := k.Sign(0, "x", 0, 5)
+	if !k.Verify(0, "x", 0, 5, sig) {
+		t.Error("valid signature rejected")
+	}
+	if k.Verify(1, "x", 0, 5, sig) {
+		t.Error("signature verified under wrong key")
+	}
+	if k.Verify(0, "y", 0, 5, sig) {
+		t.Error("signature verified under wrong tag")
+	}
+	if k.Verify(0, "x", 1, 5, sig) {
+		t.Error("signature verified under wrong sender")
+	}
+	if k.Verify(0, "x", 0, 6, sig) {
+		t.Error("signature verified under wrong value")
+	}
+	if k.Verify(99, "x", 0, 5, sig) {
+		t.Error("out-of-range verifier key")
+	}
+}
+
+func TestValidChain(t *testing.T) {
+	k := testKeyring(t, 4, 2)
+	base := ChainMsg{Tag: "x", Sender: 1, V: 3,
+		Signer: []sim.PartyID{1},
+		Sigs:   [][]byte{k.Sign(1, "x", 1, 3)},
+	}
+	if !validChain(k, base, 1) {
+		t.Error("valid 1-chain rejected")
+	}
+	if validChain(k, base, 2) {
+		t.Error("1-chain accepted when 2 required")
+	}
+	ext := base
+	ext.Signer = append([]sim.PartyID{1}, 2)
+	ext.Sigs = append([][]byte{base.Sigs[0]}, k.Sign(2, "x", 1, 3))
+	if !validChain(k, ext, 2) {
+		t.Error("valid 2-chain rejected")
+	}
+	// First signer must be the sender.
+	bad := ext
+	bad.Signer = []sim.PartyID{2, 1}
+	if validChain(k, bad, 2) {
+		t.Error("chain with wrong first signer accepted")
+	}
+	// Duplicate signer.
+	dup := base
+	dup.Signer = []sim.PartyID{1, 1}
+	dup.Sigs = [][]byte{base.Sigs[0], base.Sigs[0]}
+	if validChain(k, dup, 2) {
+		t.Error("chain with duplicate signer accepted")
+	}
+}
+
+func TestTreeMedian(t *testing.T) {
+	tr := tree.NewPath(11)
+	tests := []struct {
+		name string
+		m    []tree.VertexID
+		want tree.VertexID
+	}{
+		{"empty", nil, tr.Root()},
+		{"single", []tree.VertexID{7}, 7},
+		{"odd", []tree.VertexID{0, 5, 10}, 5},
+		{"skewed", []tree.VertexID{0, 0, 0, 10}, 0},
+		{"even tie -> lower", []tree.VertexID{2, 2, 8, 8}, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := TreeMedian(tr, tc.m); got != tc.want {
+				t.Errorf("median = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTreeMedianStarAndValidity(t *testing.T) {
+	tr := tree.NewStar(9) // center is vertex 0 ("v1")
+	leaves := []tree.VertexID{1, 2, 3}
+	if got := TreeMedian(tr, leaves); got != 0 {
+		t.Errorf("median of distinct leaves = %v, want the center", got)
+	}
+	// Majority on one leaf pulls the median there.
+	if got := TreeMedian(tr, []tree.VertexID{4, 4, 4, 1, 2}); got != 4 {
+		t.Errorf("median = %v, want 4", got)
+	}
+}
+
+func TestTreeMedianMajorityInHull(t *testing.T) {
+	// Validity property used by decide(): if more than half the multiset is
+	// honest, the median lies in the honest hull.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 60; trial++ {
+		tr := tree.RandomPruefer(2+rng.Intn(25), rng)
+		n := 3 + rng.Intn(8)
+		tc := (n - 1) / 2
+		var multiset, honest []tree.VertexID
+		for i := 0; i < n-tc; i++ {
+			v := tree.VertexID(rng.Intn(tr.NumVertices()))
+			honest = append(honest, v)
+			multiset = append(multiset, v)
+		}
+		for i := 0; i < tc; i++ {
+			multiset = append(multiset, tree.VertexID(rng.Intn(tr.NumVertices())))
+		}
+		med := TreeMedian(tr, multiset)
+		if !tr.InHull(honest, med) {
+			t.Fatalf("trial %d: median %s outside honest hull %v (multiset %v)",
+				trial, tr.Label(med), tr.Labels(tr.ConvexHull(honest)), tr.Labels(multiset))
+		}
+	}
+}
+
+func checkExact(t *testing.T, tr *tree.Tree, inputs []tree.VertexID, corrupt map[sim.PartyID]bool, outputs map[sim.PartyID]tree.VertexID) {
+	t.Helper()
+	var honestIn []tree.VertexID
+	for i, v := range inputs {
+		if !corrupt[sim.PartyID(i)] {
+			honestIn = append(honestIn, v)
+		}
+	}
+	hull := make(map[tree.VertexID]bool)
+	for _, v := range tr.ConvexHull(honestIn) {
+		hull[v] = true
+	}
+	var prev tree.VertexID = tree.None
+	for p, v := range outputs {
+		if corrupt[p] {
+			continue
+		}
+		if !hull[v] {
+			t.Errorf("validity violated: party %d output %s", p, tr.Label(v))
+		}
+		if prev != tree.None && v != prev {
+			t.Errorf("exact agreement violated: %s vs %s", tr.Label(v), tr.Label(prev))
+		}
+		prev = v
+	}
+}
+
+func TestExactAgreementHonest(t *testing.T) {
+	tr := tree.NewSpider(3, 6)
+	n, tc := 5, 2
+	inputs := []tree.VertexID{0, 6, 12, 18, 3}
+	keys := testKeyring(t, n, 7)
+	outputs, res, err := RunWithKeys(tr, keys, n, tc, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, tr, inputs, nil, outputs)
+	if res.Rounds > Rounds(tc)+1 {
+		t.Errorf("rounds = %d, budget %d", res.Rounds, Rounds(tc))
+	}
+}
+
+// dsEquivocator signs two different vertices as the corrupted sender and
+// sends one to each half in round 1 (using its real private key), then
+// stays silent.
+type dsEquivocator struct {
+	keys *Keyring
+	id   sim.PartyID
+	n    int
+	tag  string
+	v1   tree.VertexID
+	v2   tree.VertexID
+}
+
+func (a *dsEquivocator) Initial() []sim.PartyID { return []sim.PartyID{a.id} }
+func (a *dsEquivocator) Step(r int, _ []sim.Message, _ map[sim.PartyID][]sim.Message) ([]sim.Message, []sim.PartyID) {
+	if r != 1 {
+		return nil, nil
+	}
+	var msgs []sim.Message
+	for to := 0; to < a.n; to++ {
+		v := a.v1
+		if to >= a.n/2 {
+			v = a.v2
+		}
+		msgs = append(msgs, sim.Message{From: a.id, To: sim.PartyID(to), Payload: ChainMsg{
+			Tag: a.tag, Sender: a.id, V: v,
+			Signer: []sim.PartyID{a.id},
+			Sigs:   [][]byte{a.keys.Sign(a.id, a.tag, a.id, v)},
+		}})
+	}
+	return msgs, nil
+}
+
+func TestExactAgreementUnderEquivocation(t *testing.T) {
+	tr := tree.NewPath(21)
+	n, tc := 5, 2
+	inputs := []tree.VertexID{0, 20, 10, 5, 15}
+	keys := testKeyring(t, n, 8)
+	adv := &dsEquivocator{keys: keys, id: 4, n: n, tag: "exactaa", v1: 0, v2: 20}
+	corrupt := map[sim.PartyID]bool{4: true}
+	outputs, _, err := RunWithKeys(tr, keys, n, tc, inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, tr, inputs, corrupt, outputs)
+}
+
+// dsForger tries to broadcast a value attributed to an honest sender
+// without that sender's signature (random bytes).
+type dsForger struct {
+	id  sim.PartyID
+	n   int
+	tag string
+}
+
+func (a *dsForger) Initial() []sim.PartyID { return []sim.PartyID{a.id} }
+func (a *dsForger) Step(r int, _ []sim.Message, _ map[sim.PartyID][]sim.Message) ([]sim.Message, []sim.PartyID) {
+	if r != 1 {
+		return nil, nil
+	}
+	fake := make([]byte, 64)
+	return []sim.Message{{From: a.id, To: sim.Broadcast, Payload: ChainMsg{
+		Tag: a.tag, Sender: 0, V: 1, // claims honest party 0 sent vertex 1
+		Signer: []sim.PartyID{0},
+		Sigs:   [][]byte{fake},
+	}}}, nil
+}
+
+func TestForgedChainsRejected(t *testing.T) {
+	tr := tree.NewPath(9)
+	n, tc := 5, 2
+	inputs := []tree.VertexID{8, 8, 8, 8, 0}
+	keys := testKeyring(t, n, 9)
+	adv := &dsForger{id: 4, n: n, tag: "exactaa"}
+	corrupt := map[sim.PartyID]bool{4: true}
+	outputs, _, err := RunWithKeys(tr, keys, n, tc, inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, tr, inputs, corrupt, outputs)
+	// All honest inputs are vertex 8; the forgery must not drag the median.
+	for p, v := range outputs {
+		if !corrupt[p] && v != 8 {
+			t.Errorf("party %d output %v, want 8", p, v)
+		}
+	}
+}
+
+// dsLateReveal holds the second signed value until the last send round,
+// revealing it to a single party — the classic Dolev–Strong stress case.
+type dsLateReveal struct {
+	keys *Keyring
+	id   sim.PartyID
+	tag  string
+	tc   int
+	v1   tree.VertexID
+	v2   tree.VertexID
+}
+
+func (a *dsLateReveal) Initial() []sim.PartyID { return []sim.PartyID{a.id} }
+func (a *dsLateReveal) Step(r int, _ []sim.Message, _ map[sim.PartyID][]sim.Message) ([]sim.Message, []sim.PartyID) {
+	switch r {
+	case 1:
+		return []sim.Message{{From: a.id, To: sim.Broadcast, Payload: ChainMsg{
+			Tag: a.tag, Sender: a.id, V: a.v1,
+			Signer: []sim.PartyID{a.id},
+			Sigs:   [][]byte{a.keys.Sign(a.id, a.tag, a.id, a.v1)},
+		}}}, nil
+	case a.tc + 1:
+		// Too late: a fresh 1-signature chain needs r-1 = tc+1 signatures
+		// to be accepted at step tc+2... it is rejected, so honest views
+		// stay consistent.
+		return []sim.Message{{From: a.id, To: 0, Payload: ChainMsg{
+			Tag: a.tag, Sender: a.id, V: a.v2,
+			Signer: []sim.PartyID{a.id},
+			Sigs:   [][]byte{a.keys.Sign(a.id, a.tag, a.id, a.v2)},
+		}}}, nil
+	}
+	return nil, nil
+}
+
+func TestLateRevealRejected(t *testing.T) {
+	tr := tree.NewPath(21)
+	n, tc := 5, 2
+	inputs := []tree.VertexID{10, 10, 10, 10, 0}
+	keys := testKeyring(t, n, 10)
+	adv := &dsLateReveal{keys: keys, id: 4, tag: "exactaa", tc: tc, v1: 0, v2: 20}
+	corrupt := map[sim.PartyID]bool{4: true}
+	outputs, _, err := RunWithKeys(tr, keys, n, tc, inputs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, tr, inputs, corrupt, outputs)
+}
+
+func TestRoundsLinearInT(t *testing.T) {
+	if Rounds(1) != 3 || Rounds(10) != 12 {
+		t.Errorf("Rounds = %d, %d; want t+2", Rounds(1), Rounds(10))
+	}
+}
+
+func TestNewMachineErrors(t *testing.T) {
+	tr := tree.Figure3Tree()
+	keys := testKeyring(t, 5, 11)
+	base := Config{Tree: tr, Keys: keys, N: 5, T: 2, ID: 0, Input: 0}
+	if _, err := NewMachine(base); err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.Tree = nil },
+		func(c *Config) { c.Keys = nil },
+		func(c *Config) { c.Input = 99 },
+		func(c *Config) { c.T = 3 }, // 2T >= N
+		func(c *Config) { c.ID = 9 },
+		func(c *Config) { c.N = 4 }, // keyring mismatch
+	}
+	for i, mutate := range bad {
+		c := base
+		mutate(&c)
+		if _, err := NewMachine(c); err == nil {
+			t.Errorf("mutation %d: want error", i)
+		}
+	}
+}
+
+func TestRunGeneratesKeys(t *testing.T) {
+	tr := tree.NewPath(5)
+	inputs := []tree.VertexID{0, 2, 4}
+	outputs, _, err := Run(tr, 3, 1, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, tr, inputs, nil, outputs)
+}
+
+func TestRunInputMismatch(t *testing.T) {
+	tr := tree.NewPath(5)
+	if _, _, err := Run(tr, 3, 1, []tree.VertexID{0}, nil); err == nil {
+		t.Error("want error for input count mismatch")
+	}
+}
+
+// TestTreeMedianMatchesBruteForce compares the walk-based 1-median against
+// the brute-force minimizer of total distance (the defining property of a
+// tree median: it minimizes Σ d(v, m_i); the no-majority-component
+// characterization is equivalent).
+func TestTreeMedianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		tr := tree.RandomPruefer(2+rng.Intn(20), rng)
+		k := 1 + rng.Intn(7)
+		multiset := make([]tree.VertexID, k)
+		for i := range multiset {
+			multiset[i] = tree.VertexID(rng.Intn(tr.NumVertices()))
+		}
+		med := TreeMedian(tr, multiset)
+		cost := func(u tree.VertexID) int {
+			sum := 0
+			for _, m := range multiset {
+				sum += tr.Dist(u, m)
+			}
+			return sum
+		}
+		best := cost(med)
+		for v := 0; v < tr.NumVertices(); v++ {
+			if c := cost(tree.VertexID(v)); c < best {
+				t.Fatalf("trial %d: median %s cost %d beaten by %s cost %d (multiset %v)",
+					trial, tr.Label(med), best, tr.Label(tree.VertexID(v)), c, tr.Labels(multiset))
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package exactaa_test
+
+import (
+	"fmt"
+
+	"treeaa/internal/exactaa"
+	"treeaa/internal/tree"
+)
+
+// ExampleTreeMedian shows the identical-view decision rule: the tree median
+// minimizes total distance to the multiset and lies in the honest hull
+// whenever honest values form a majority.
+func ExampleTreeMedian() {
+	tr := tree.Figure3Tree()
+	multiset := []tree.VertexID{
+		tr.MustVertex("v6"), tr.MustVertex("v6"), tr.MustVertex("v5"),
+	}
+	// Two of three values sit at v6, so no branch off v6 holds a strict
+	// majority: v6 itself is the median.
+	fmt.Println(tr.Label(exactaa.TreeMedian(tr, multiset)))
+	// Output: v6
+}
+
+// ExampleRounds shows the comparator's linear round cost — the reason the
+// paper's PathsFinder avoids exact agreement.
+func ExampleRounds() {
+	for _, t := range []int{1, 4, 10} {
+		fmt.Printf("t=%d: %d rounds\n", t, exactaa.Rounds(t))
+	}
+	// Output:
+	// t=1: 3 rounds
+	// t=4: 6 rounds
+	// t=10: 12 rounds
+}

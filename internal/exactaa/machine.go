@@ -1,0 +1,280 @@
+package exactaa
+
+import (
+	"fmt"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// Config parameterizes an exact-agreement machine.
+type Config struct {
+	// Tree is the public input space.
+	Tree *tree.Tree
+	// Keys is the shared PKI.
+	Keys *Keyring
+	// N, T, ID are the party parameters; T < N/2 for Validity.
+	N, T int
+	ID   sim.PartyID
+	// Input is the party's input vertex.
+	Input tree.VertexID
+	// Tag disambiguates executions; defaults to "exactaa".
+	Tag string
+}
+
+// Rounds returns the protocol's round budget: t+1 Dolev–Strong send rounds
+// plus one local processing round.
+func Rounds(t int) int { return t + 2 }
+
+// Machine runs parallel Dolev–Strong broadcasts of every party's input and
+// decides the tree median of the extracted multiset. Output is a
+// tree.VertexID, identical at all honest parties.
+type Machine struct {
+	cfg Config
+	// extracted[s] holds the set of values extracted for sender s (more
+	// than one proves s faulty; the sender is then excluded).
+	extracted map[sim.PartyID]map[tree.VertexID]bool
+	// relayed[s][v] marks chains this party has already re-signed.
+	relayed map[sim.PartyID]map[tree.VertexID]bool
+	// queue holds chains to relay in the next round.
+	queue []ChainMsg
+
+	out  tree.VertexID
+	done bool
+}
+
+var _ sim.Machine = (*Machine)(nil)
+
+// NewMachine validates cfg and returns the machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Tree == nil {
+		return nil, fmt.Errorf("exactaa: nil tree")
+	}
+	if cfg.Keys == nil || cfg.Keys.N() != cfg.N {
+		return nil, fmt.Errorf("exactaa: keyring must cover all %d parties", cfg.N)
+	}
+	if !cfg.Tree.Valid(cfg.Input) {
+		return nil, fmt.Errorf("exactaa: invalid input vertex %d", int(cfg.Input))
+	}
+	if cfg.N <= 0 || cfg.T < 0 || 2*cfg.T >= cfg.N {
+		return nil, fmt.Errorf("exactaa: need 0 <= 2T < N, got N=%d T=%d", cfg.N, cfg.T)
+	}
+	if cfg.ID < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("exactaa: ID %d out of range", cfg.ID)
+	}
+	if cfg.Tag == "" {
+		cfg.Tag = "exactaa"
+	}
+	return &Machine{
+		cfg:       cfg,
+		extracted: make(map[sim.PartyID]map[tree.VertexID]bool),
+		relayed:   make(map[sim.PartyID]map[tree.VertexID]bool),
+	}, nil
+}
+
+// Step implements sim.Machine. Send rounds are 1..T+1; the decision happens
+// at round T+2.
+func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
+	if m.done {
+		return nil
+	}
+	// Process chains sent in round r-1: they must carry >= r-1 signatures.
+	for _, msg := range inbox {
+		cm, ok := msg.Payload.(ChainMsg)
+		if !ok || cm.Tag != m.cfg.Tag {
+			continue
+		}
+		if !validChain(m.cfg.Keys, cm, r-1) {
+			continue
+		}
+		m.extract(cm, r)
+	}
+	if r > m.cfg.T+1 {
+		m.decide()
+		return nil
+	}
+	var out []sim.Message
+	if r == 1 {
+		// Initiate own broadcast.
+		own := ChainMsg{
+			Tag: m.cfg.Tag, Sender: m.cfg.ID, V: m.cfg.Input,
+			Signer: []sim.PartyID{m.cfg.ID},
+			Sigs:   [][]byte{m.cfg.Keys.Sign(m.cfg.ID, m.cfg.Tag, m.cfg.ID, m.cfg.Input)},
+		}
+		m.extract(own, 1) // a party extracts its own value immediately
+		out = append(out, sim.Message{To: sim.Broadcast, Payload: own})
+	}
+	for _, cm := range m.queue {
+		out = append(out, sim.Message{To: sim.Broadcast, Payload: cm})
+	}
+	m.queue = nil
+	return out
+}
+
+// extract records a value for a sender and, when new and still in the relay
+// window, appends this party's signature and queues the chain for
+// rebroadcast in the next round.
+func (m *Machine) extract(cm ChainMsg, r int) {
+	if m.extracted[cm.Sender] == nil {
+		m.extracted[cm.Sender] = make(map[tree.VertexID]bool)
+		m.relayed[cm.Sender] = make(map[tree.VertexID]bool)
+	}
+	// Only track up to two distinct values per sender: two already prove
+	// the sender faulty, and relaying at most two bounds traffic.
+	if !m.extracted[cm.Sender][cm.V] && len(m.extracted[cm.Sender]) >= 2 {
+		return
+	}
+	m.extracted[cm.Sender][cm.V] = true
+	if m.relayed[cm.Sender][cm.V] || r > m.cfg.T+1 {
+		return
+	}
+	m.relayed[cm.Sender][cm.V] = true
+	if cm.Sender == m.cfg.ID && len(cm.Signer) == 1 && cm.Signer[0] == m.cfg.ID {
+		// Own round-1 broadcast needs no relay by the sender.
+		return
+	}
+	// Do not double-sign a chain we are already on.
+	for _, p := range cm.Signer {
+		if p == m.cfg.ID {
+			return
+		}
+	}
+	relay := ChainMsg{Tag: cm.Tag, Sender: cm.Sender, V: cm.V}
+	relay.Signer = append(append([]sim.PartyID(nil), cm.Signer...), m.cfg.ID)
+	relay.Sigs = append(append([][]byte(nil), cm.Sigs...), m.cfg.Keys.Sign(m.cfg.ID, cm.Tag, cm.Sender, cm.V))
+	m.queue = append(m.queue, relay)
+}
+
+// decide applies the identical-view rule: senders with exactly one
+// extracted value contribute it; the output is the tree median of the
+// multiset — the vertex none of whose components contains a strict majority
+// — which lies in the honest hull whenever honest values form a majority
+// (t < n/2).
+func (m *Machine) decide() {
+	var multiset []tree.VertexID
+	for s := sim.PartyID(0); int(s) < m.cfg.N; s++ {
+		if vals := m.extracted[s]; len(vals) == 1 {
+			for v := range vals {
+				multiset = append(multiset, v)
+			}
+		}
+	}
+	m.out = TreeMedian(m.cfg.Tree, multiset)
+	m.done = true
+}
+
+// Output implements sim.Machine; the value is a tree.VertexID.
+func (m *Machine) Output() (any, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.out, true
+}
+
+// TreeMedian returns the median vertex of a multiset: a vertex v such that
+// no component of T − v contains more than half of the multiset (a 1-median
+// of the tree). Ties resolve to the lowest VertexID; an empty multiset
+// yields the tree's canonical root. Computed by walking from an arbitrary
+// start toward any majority component, which terminates because the
+// majority weight strictly decreases.
+func TreeMedian(t *tree.Tree, multiset []tree.VertexID) tree.VertexID {
+	if len(multiset) == 0 {
+		return t.Root()
+	}
+	weight := make(map[tree.VertexID]int, len(multiset))
+	for _, v := range multiset {
+		weight[v]++
+	}
+	total := len(multiset)
+	// Candidate walk: start anywhere; while some neighbor's side holds a
+	// strict majority, move there.
+	cur := multiset[0]
+	for {
+		next := tree.None
+		for _, nb := range t.Neighbors(cur) {
+			if sideWeight(t, weight, cur, nb) > total/2 {
+				next = nb
+				break
+			}
+		}
+		if next == tree.None {
+			break
+		}
+		cur = next
+	}
+	// Canonicalize ties: all medians form a connected set (for even splits,
+	// two adjacent vertices can both qualify); pick the lowest qualifying
+	// VertexID among cur and its qualifying neighbors.
+	best := cur
+	for _, nb := range t.Neighbors(cur) {
+		if isMedian(t, weight, total, nb) && nb < best {
+			best = nb
+		}
+	}
+	return best
+}
+
+// sideWeight returns the multiset weight of the component of T − from that
+// contains nb.
+func sideWeight(t *tree.Tree, weight map[tree.VertexID]int, from, nb tree.VertexID) int {
+	sum := 0
+	visited := map[tree.VertexID]bool{from: true, nb: true}
+	stack := []tree.VertexID{nb}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sum += weight[v]
+		for _, w := range t.Neighbors(v) {
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return sum
+}
+
+// isMedian reports whether no component of T − v holds a strict majority.
+func isMedian(t *tree.Tree, weight map[tree.VertexID]int, total int, v tree.VertexID) bool {
+	for _, nb := range t.Neighbors(v) {
+		if sideWeight(t, weight, v, nb) > total/2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes exact agreement for all parties (generating a fresh keyring)
+// and returns the honest outputs with the execution result.
+func Run(t *tree.Tree, n, tc int, inputs []tree.VertexID, adv sim.Adversary) (map[sim.PartyID]tree.VertexID, *sim.Result, error) {
+	if len(inputs) != n {
+		return nil, nil, fmt.Errorf("exactaa: %d inputs for n = %d", len(inputs), n)
+	}
+	keys, err := NewKeyring(n, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunWithKeys(t, keys, n, tc, inputs, adv)
+}
+
+// RunWithKeys is Run with a caller-provided keyring (tests use
+// deterministic entropy; adversaries need corrupted parties' keys).
+func RunWithKeys(t *tree.Tree, keys *Keyring, n, tc int, inputs []tree.VertexID, adv sim.Adversary) (map[sim.PartyID]tree.VertexID, *sim.Result, error) {
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := NewMachine(Config{Tree: t, Keys: keys, N: n, T: tc, ID: sim.PartyID(i), Input: inputs[i]})
+		if err != nil {
+			return nil, nil, err
+		}
+		machines[i] = m
+	}
+	res, err := sim.Run(sim.Config{N: n, MaxCorrupt: tc, MaxRounds: Rounds(tc) + 1, Adversary: adv}, machines)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[sim.PartyID]tree.VertexID, len(res.Outputs))
+	for p, v := range res.Outputs {
+		out[p] = v.(tree.VertexID)
+	}
+	return out, res, nil
+}

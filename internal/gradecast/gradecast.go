@@ -1,0 +1,221 @@
+// Package gradecast implements the 3-round gradecast primitive of Ben-Or,
+// Dolev and Hoch ("Simple Gradecast Based Algorithms", DISC 2010), the value
+// distribution mechanism underlying the RealAA protocol that the paper uses
+// as a building block (its reference [6]).
+//
+// Gradecast lets a leader distribute a value so that every party outputs a
+// (value, grade) pair with grade ∈ {0, 1, 2} satisfying, for t < n/3:
+//
+//  1. if the leader is honest, every honest party outputs (v, 2) for the
+//     leader's value v;
+//  2. if an honest party outputs grade 2 for value v, every honest party
+//     outputs grade ≥ 1 for the same v;
+//  3. any two honest parties with grade ≥ 1 hold the same value.
+//
+// A grade < 2 therefore proves the leader Byzantine, which is what allows
+// RealAA to *ignore* detected equivocators in all future iterations — the
+// deviation from the classic iterate-and-trim outline that achieves the
+// round-optimal convergence of Fekete's bound.
+//
+// The package implements the n-parallel form used by RealAA: in every
+// iteration all n parties act as leaders simultaneously, and the echo/vote
+// traffic for all n instances is batched into vector messages. The three
+// phases of iteration k occupy protocol rounds 3k+1 (send), 3k+2 (echo) and
+// 3k+3 (vote); grades are computed from the vote messages delivered in the
+// following round.
+//
+// The functions here are pure per-round transition helpers; the realaa
+// package composes them into a sim.Machine. Keeping them pure makes the
+// soundness properties directly property-testable.
+package gradecast
+
+import (
+	"sort"
+
+	"treeaa/internal/sim"
+)
+
+// Grade is a gradecast confidence level.
+type Grade int
+
+// Grades, in increasing confidence.
+const (
+	// GradeNone means no value could be attributed to the leader.
+	GradeNone Grade = 0
+	// GradeLow means a value was attributed, but the leader is provably
+	// faulty (an honest party may hold grade 2 for the same value).
+	GradeLow Grade = 1
+	// GradeHigh means a value was attributed and every honest party holds
+	// the same value with grade at least 1.
+	GradeHigh Grade = 2
+)
+
+// SendMsg is the phase-1 message: the leader's value, tagged with the
+// execution tag and iteration it belongs to.
+type SendMsg struct {
+	Tag  string
+	Iter int
+	Val  float64
+}
+
+// Size implements sim.Sizer.
+func (m SendMsg) Size() int { return 8 + len(m.Tag) + 4 }
+
+// EchoMsg is the phase-2 message: for each leader the sender received a
+// phase-1 value from, the value it received. Missing leaders mean ⊥.
+type EchoMsg struct {
+	Tag  string
+	Iter int
+	Vals map[sim.PartyID]float64
+}
+
+// Size implements sim.Sizer.
+func (m EchoMsg) Size() int { return len(m.Tag) + 4 + 12*len(m.Vals) }
+
+// VoteMsg is the phase-3 message: for each leader for which the sender saw
+// n-t matching echoes, the echoed value. Missing leaders mean a ⊥ vote.
+type VoteMsg struct {
+	Tag  string
+	Iter int
+	Vals map[sim.PartyID]float64
+}
+
+// Size implements sim.Sizer.
+func (m VoteMsg) Size() int { return len(m.Tag) + 4 + 12*len(m.Vals) }
+
+// Result is one party's gradecast output for one leader.
+type Result struct {
+	Val   float64
+	Grade Grade
+}
+
+// CollectSends extracts, from a round inbox, the phase-1 value sent by each
+// leader under (tag, iter). If a Byzantine leader sends several values to
+// the same recipient, the first is taken (any fixed deterministic rule
+// works; honest leaders send exactly one).
+func CollectSends(inbox []sim.Message, tag string, iter int) map[sim.PartyID]float64 {
+	got := make(map[sim.PartyID]float64)
+	for _, m := range inbox {
+		p, ok := m.Payload.(SendMsg)
+		if !ok || p.Tag != tag || p.Iter != iter {
+			continue
+		}
+		if _, dup := got[m.From]; !dup {
+			got[m.From] = p.Val
+		}
+	}
+	return got
+}
+
+// CollectEchoes extracts phase-2 echo vectors keyed by echoing party.
+func CollectEchoes(inbox []sim.Message, tag string, iter int) map[sim.PartyID]map[sim.PartyID]float64 {
+	return collectVectors(inbox, tag, iter, false)
+}
+
+// CollectVotes extracts phase-3 vote vectors keyed by voting party.
+func CollectVotes(inbox []sim.Message, tag string, iter int) map[sim.PartyID]map[sim.PartyID]float64 {
+	return collectVectors(inbox, tag, iter, true)
+}
+
+func collectVectors(inbox []sim.Message, tag string, iter int, votes bool) map[sim.PartyID]map[sim.PartyID]float64 {
+	got := make(map[sim.PartyID]map[sim.PartyID]float64)
+	for _, m := range inbox {
+		var vals map[sim.PartyID]float64
+		var mTag string
+		var mIter int
+		if votes {
+			p, ok := m.Payload.(VoteMsg)
+			if !ok {
+				continue
+			}
+			vals, mTag, mIter = p.Vals, p.Tag, p.Iter
+		} else {
+			p, ok := m.Payload.(EchoMsg)
+			if !ok {
+				continue
+			}
+			vals, mTag, mIter = p.Vals, p.Tag, p.Iter
+		}
+		if mTag != tag || mIter != iter {
+			continue
+		}
+		if _, dup := got[m.From]; !dup {
+			got[m.From] = vals
+		}
+	}
+	return got
+}
+
+// ComputeVotes derives this party's phase-3 vote vector from the echo
+// vectors received: for each leader, if some value was echoed by at least
+// n-t parties, vote for it; otherwise vote ⊥ (leader omitted).
+func ComputeVotes(n, t int, echoes map[sim.PartyID]map[sim.PartyID]float64) map[sim.PartyID]float64 {
+	votes := make(map[sim.PartyID]float64)
+	for leader := sim.PartyID(0); int(leader) < n; leader++ {
+		counts := make(map[float64]int)
+		for _, vec := range echoes {
+			if v, ok := vec[leader]; ok {
+				counts[v]++
+			}
+		}
+		if v, c, ok := argmax(counts); ok && c >= n-t {
+			votes[leader] = v
+		}
+	}
+	return votes
+}
+
+// ComputeGrades derives the final (value, grade) per leader from the vote
+// vectors received: grade 2 for ≥ n-t matching votes, grade 1 for ≥ t+1,
+// grade 0 (and no value) otherwise.
+func ComputeGrades(n, t int, votes map[sim.PartyID]map[sim.PartyID]float64) map[sim.PartyID]Result {
+	out := make(map[sim.PartyID]Result, n)
+	for leader := sim.PartyID(0); int(leader) < n; leader++ {
+		counts := make(map[float64]int)
+		for _, vec := range votes {
+			if v, ok := vec[leader]; ok {
+				counts[v]++
+			}
+		}
+		v, c, ok := argmax(counts)
+		switch {
+		case ok && c >= n-t:
+			out[leader] = Result{Val: v, Grade: GradeHigh}
+		case ok && c >= t+1:
+			out[leader] = Result{Val: v, Grade: GradeLow}
+		default:
+			out[leader] = Result{Grade: GradeNone}
+		}
+	}
+	return out
+}
+
+// CopyVals returns a copy of a value vector. Message payloads must not share
+// mutable state across machines, so senders copy vectors at the boundary.
+func CopyVals(vals map[sim.PartyID]float64) map[sim.PartyID]float64 {
+	out := make(map[sim.PartyID]float64, len(vals))
+	for k, v := range vals {
+		out[k] = v
+	}
+	return out
+}
+
+// argmax returns the most frequent value, breaking count ties toward the
+// smallest value so that every party resolves adversarial ties identically.
+func argmax(counts map[float64]int) (val float64, count int, ok bool) {
+	if len(counts) == 0 {
+		return 0, 0, false
+	}
+	keys := make([]float64, 0, len(counts))
+	for v := range counts {
+		keys = append(keys, v)
+	}
+	sort.Float64s(keys)
+	val, count = keys[0], counts[keys[0]]
+	for _, v := range keys[1:] {
+		if counts[v] > count {
+			val, count = v, counts[v]
+		}
+	}
+	return val, count, true
+}

@@ -1,0 +1,349 @@
+package gradecast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treeaa/internal/sim"
+)
+
+func runGradecast(t *testing.T, n, tCorrupt int, vals []float64, adv sim.Adversary) map[sim.PartyID]map[sim.PartyID]Result {
+	t.Helper()
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		machines[i] = NewMachine(n, tCorrupt, sim.PartyID(i), "gc", vals[i])
+	}
+	res, err := sim.Run(sim.Config{N: n, MaxCorrupt: tCorrupt, MaxRounds: 5, Adversary: adv}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[sim.PartyID]map[sim.PartyID]Result)
+	for p, v := range res.Outputs {
+		out[p] = v.(map[sim.PartyID]Result)
+	}
+	return out
+}
+
+func TestHonestLeadersGetGradeTwo(t *testing.T) {
+	n := 7
+	vals := []float64{1, 2, 3, 4, 5, 6, 7}
+	out := runGradecast(t, n, 2, vals, nil)
+	if len(out) != n {
+		t.Fatalf("outputs from %d parties, want %d", len(out), n)
+	}
+	for p, grades := range out {
+		for leader := sim.PartyID(0); int(leader) < n; leader++ {
+			g := grades[leader]
+			if g.Grade != GradeHigh || g.Val != vals[leader] {
+				t.Errorf("party %d: leader %d got (%v, %v), want (%v, 2)", p, leader, g.Val, g.Grade, vals[leader])
+			}
+		}
+	}
+}
+
+// scriptedAdversary drives corrupted parties with a closure.
+type scriptedAdversary struct {
+	ids  []sim.PartyID
+	step func(r int, honestOut []sim.Message) []sim.Message
+}
+
+func (a *scriptedAdversary) Initial() []sim.PartyID { return a.ids }
+func (a *scriptedAdversary) Step(r int, honestOut []sim.Message, _ map[sim.PartyID][]sim.Message) ([]sim.Message, []sim.PartyID) {
+	if a.step == nil {
+		return nil, nil
+	}
+	return a.step(r, honestOut), nil
+}
+
+// TestEquivocatingLeaderDetected: a corrupted leader sends different values
+// to different parties and then echoes/votes honestly for others. No honest
+// party may end with grade 2 for a value another honest party doesn't hold,
+// and all honest grade>=1 values must agree.
+func TestEquivocatingLeaderDetected(t *testing.T) {
+	n, tc := 7, 2
+	vals := []float64{10, 10, 10, 10, 10, 10, 99}
+	badLeader := sim.PartyID(6)
+	adv := &scriptedAdversary{
+		ids: []sim.PartyID{badLeader},
+		step: func(r int, honestOut []sim.Message) []sim.Message {
+			switch r {
+			case 1:
+				// Equivocate: value 0 to parties 0-2, value 1 to parties 3-6.
+				var msgs []sim.Message
+				for to := 0; to < n; to++ {
+					v := 0.0
+					if to >= 3 {
+						v = 1.0
+					}
+					msgs = append(msgs, sim.Message{From: badLeader, To: sim.PartyID(to), Payload: SendMsg{Tag: "gc", Iter: 1, Val: v}})
+				}
+				return msgs
+			default:
+				return nil // stay silent in echo/vote phases
+			}
+		},
+	}
+	out := runGradecast(t, n, tc, vals, adv)
+	checkGradecastProperties(t, n, out, badLeader)
+	// Honest leaders still deliver grade 2 everywhere.
+	for p, grades := range out {
+		for leader := 0; leader < 6; leader++ {
+			if g := grades[sim.PartyID(leader)]; g.Grade != GradeHigh || g.Val != 10 {
+				t.Errorf("party %d: honest leader %d got (%v,%v)", p, leader, g.Val, g.Grade)
+			}
+		}
+	}
+}
+
+// checkGradecastProperties asserts gradecast soundness for one leader across
+// all honest outputs: grade-2 implies everyone grade>=1 with same value, and
+// all grade>=1 values agree.
+func checkGradecastProperties(t *testing.T, n int, out map[sim.PartyID]map[sim.PartyID]Result, leader sim.PartyID) {
+	t.Helper()
+	var withVal []Result
+	maxGrade := GradeNone
+	for _, grades := range out {
+		g := grades[leader]
+		if g.Grade >= GradeLow {
+			withVal = append(withVal, g)
+		}
+		if g.Grade > maxGrade {
+			maxGrade = g.Grade
+		}
+	}
+	for i := 1; i < len(withVal); i++ {
+		if withVal[i].Val != withVal[0].Val {
+			t.Errorf("leader %d: honest parties hold different graded values %v vs %v",
+				leader, withVal[0].Val, withVal[i].Val)
+		}
+	}
+	if maxGrade == GradeHigh {
+		for p, grades := range out {
+			if grades[leader].Grade < GradeLow {
+				t.Errorf("leader %d: party %d has grade 0 while another has grade 2", leader, p)
+			}
+		}
+	}
+}
+
+// TestRandomizedAdversaryPreservesProperties fuzzes the adversary: corrupted
+// parties send random well-formed gradecast messages to random subsets, and
+// the soundness properties must hold in every execution.
+func TestRandomizedAdversaryPreservesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + rng.Intn(7) // 4..10
+		tc := (n - 1) / 3
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(5))
+		}
+		corrupt := map[sim.PartyID]bool{}
+		var ids []sim.PartyID
+		for len(ids) < tc {
+			p := sim.PartyID(rng.Intn(n))
+			if !corrupt[p] {
+				corrupt[p] = true
+				ids = append(ids, p)
+			}
+		}
+		advRng := rand.New(rand.NewSource(int64(trial)))
+		adv := &scriptedAdversary{
+			ids: ids,
+			step: func(r int, honestOut []sim.Message) []sim.Message {
+				var msgs []sim.Message
+				for _, from := range ids {
+					for to := 0; to < n; to++ {
+						if advRng.Intn(3) == 0 {
+							continue // selective omission
+						}
+						var payload any
+						switch r {
+						case 1:
+							payload = SendMsg{Tag: "gc", Iter: 1, Val: float64(advRng.Intn(5))}
+						case 2:
+							vals := map[sim.PartyID]float64{}
+							for l := 0; l < n; l++ {
+								if advRng.Intn(2) == 0 {
+									vals[sim.PartyID(l)] = float64(advRng.Intn(5))
+								}
+							}
+							payload = EchoMsg{Tag: "gc", Iter: 1, Vals: vals}
+						case 3:
+							vals := map[sim.PartyID]float64{}
+							for l := 0; l < n; l++ {
+								if advRng.Intn(2) == 0 {
+									vals[sim.PartyID(l)] = float64(advRng.Intn(5))
+								}
+							}
+							payload = VoteMsg{Tag: "gc", Iter: 1, Vals: vals}
+						default:
+							continue
+						}
+						msgs = append(msgs, sim.Message{From: from, To: sim.PartyID(to), Payload: payload})
+					}
+				}
+				return msgs
+			},
+		}
+		out := runGradecast(t, n, tc, vals, adv)
+		for leader := sim.PartyID(0); int(leader) < n; leader++ {
+			checkGradecastProperties(t, n, out, leader)
+			if !corrupt[leader] {
+				// Property 1: honest leaders always yield grade 2 with their value.
+				for p, grades := range out {
+					if g := grades[leader]; g.Grade != GradeHigh || g.Val != vals[leader] {
+						t.Fatalf("trial %d: party %d got (%v,%v) for honest leader %d (val %v)",
+							trial, p, g.Val, g.Grade, leader, vals[leader])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCollectHelpersFilterTagAndIter(t *testing.T) {
+	inbox := []sim.Message{
+		{From: 0, Payload: SendMsg{Tag: "a", Iter: 1, Val: 5}},
+		{From: 1, Payload: SendMsg{Tag: "b", Iter: 1, Val: 6}},  // wrong tag
+		{From: 2, Payload: SendMsg{Tag: "a", Iter: 2, Val: 7}},  // wrong iter
+		{From: 0, Payload: SendMsg{Tag: "a", Iter: 1, Val: 99}}, // duplicate: first wins
+		{From: 3, Payload: EchoMsg{Tag: "a", Iter: 1, Vals: map[sim.PartyID]float64{0: 5}}},
+	}
+	got := CollectSends(inbox, "a", 1)
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("CollectSends = %v, want {0:5}", got)
+	}
+	echoes := CollectEchoes(inbox, "a", 1)
+	if len(echoes) != 1 || echoes[3][0] != 5 {
+		t.Errorf("CollectEchoes = %v", echoes)
+	}
+	if votes := CollectVotes(inbox, "a", 1); len(votes) != 0 {
+		t.Errorf("CollectVotes = %v, want empty", votes)
+	}
+}
+
+func TestComputeVotesThreshold(t *testing.T) {
+	n, tc := 4, 1
+	echoes := map[sim.PartyID]map[sim.PartyID]float64{
+		0: {0: 5, 1: 7},
+		1: {0: 5, 1: 8},
+		2: {0: 5},
+		3: {0: 6},
+	}
+	votes := ComputeVotes(n, tc, echoes)
+	if v, ok := votes[0]; !ok || v != 5 {
+		t.Errorf("votes[0] = %v,%v, want 5 (3 >= n-t echoes)", v, ok)
+	}
+	if _, ok := votes[1]; ok {
+		t.Errorf("votes[1] present, want ⊥ (no value with n-t echoes)")
+	}
+}
+
+func TestComputeGradesThresholds(t *testing.T) {
+	n, tc := 7, 2
+	mkVotes := func(count int, val float64) map[sim.PartyID]map[sim.PartyID]float64 {
+		votes := map[sim.PartyID]map[sim.PartyID]float64{}
+		for i := 0; i < count; i++ {
+			votes[sim.PartyID(i)] = map[sim.PartyID]float64{0: val}
+		}
+		return votes
+	}
+	tests := []struct {
+		votes int
+		want  Grade
+	}{
+		{5, GradeHigh}, // n-t = 5
+		{4, GradeLow},
+		{3, GradeLow}, // t+1 = 3
+		{2, GradeNone},
+		{0, GradeNone},
+	}
+	for _, tc2 := range tests {
+		grades := ComputeGrades(n, tc, mkVotes(tc2.votes, 7))
+		if g := grades[0].Grade; g != tc2.want {
+			t.Errorf("%d votes: grade = %v, want %v", tc2.votes, g, tc2.want)
+		}
+	}
+}
+
+func TestArgmaxDeterministicTieBreak(t *testing.T) {
+	v, c, ok := argmax(map[float64]int{3: 2, 1: 2, 2: 1})
+	if !ok || v != 1 || c != 2 {
+		t.Errorf("argmax = (%v,%d,%v), want (1,2,true)", v, c, ok)
+	}
+	if _, _, ok := argmax(nil); ok {
+		t.Error("argmax(nil) should report !ok")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if s := (SendMsg{Tag: "ab"}).Size(); s != 14 {
+		t.Errorf("SendMsg size = %d", s)
+	}
+	e := EchoMsg{Tag: "ab", Vals: map[sim.PartyID]float64{0: 1, 1: 2}}
+	if s := e.Size(); s != 2+4+24 {
+		t.Errorf("EchoMsg size = %d", s)
+	}
+}
+
+// TestQuickVoteGradeSoundness property-tests the pure tally functions: for
+// random echo/vote tables (up to t of the senders Byzantine-controlled,
+// honest senders consistent), the derived grades obey the soundness rules.
+func TestQuickVoteGradeSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	f := func(raw uint32) bool {
+		n := 4 + int(raw%7)
+		tc := (n - 1) / 3
+		leader := sim.PartyID(int(raw>>8) % n)
+		honestVal := float64(int(raw>>16) % 5)
+		// Honest votes: either all vote honestVal or all abstain (honest
+		// voters are consistent by construction of ComputeVotes).
+		allVote := raw&1 == 0
+		votes := map[sim.PartyID]map[sim.PartyID]float64{}
+		for p := 0; p < n-tc; p++ {
+			if allVote {
+				votes[sim.PartyID(p)] = map[sim.PartyID]float64{leader: honestVal}
+			} else {
+				votes[sim.PartyID(p)] = map[sim.PartyID]float64{}
+			}
+		}
+		// Byzantine votes: arbitrary values.
+		for p := n - tc; p < n; p++ {
+			votes[sim.PartyID(p)] = map[sim.PartyID]float64{leader: float64(rng.Intn(5))}
+		}
+		g := ComputeGrades(n, tc, votes)[leader]
+		if allVote {
+			// n-t honest votes for honestVal: grade 2 with that value.
+			return g.Grade == GradeHigh && g.Val == honestVal
+		}
+		// Only t Byzantine votes: below t+1, grade 0.
+		return g.Grade == GradeNone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEchoThreshold: a value reaches a vote iff it collects n-t echoes.
+func TestQuickEchoThreshold(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := 4 + int(raw%7)
+		tc := (n - 1) / 3
+		count := int(raw>>8) % (n + 1)
+		echoes := map[sim.PartyID]map[sim.PartyID]float64{}
+		for p := 0; p < count; p++ {
+			echoes[sim.PartyID(p)] = map[sim.PartyID]float64{0: 42}
+		}
+		votes := ComputeVotes(n, tc, echoes)
+		v, ok := votes[0]
+		if count >= n-tc {
+			return ok && v == 42
+		}
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package gradecast
+
+import "treeaa/internal/sim"
+
+// Machine runs a single n-parallel gradecast as a sim.Machine: every party
+// leads one instance with its own input value. It occupies three
+// communication rounds; the output — one Result per leader — is available
+// in round 4.
+//
+// The zero value is not useful; construct with NewMachine.
+type Machine struct {
+	n, t int
+	id   sim.PartyID
+	tag  string
+	val  float64
+
+	received map[sim.PartyID]float64
+	out      map[sim.PartyID]Result
+	done     bool
+}
+
+var _ sim.Machine = (*Machine)(nil)
+
+// NewMachine returns a gradecast machine for party id with the given input.
+func NewMachine(n, t int, id sim.PartyID, tag string, val float64) *Machine {
+	return &Machine{n: n, t: t, id: id, tag: tag, val: val}
+}
+
+// Step implements sim.Machine: round 1 sends, round 2 echoes, round 3 votes,
+// round 4 grades.
+func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
+	switch r {
+	case 1:
+		return []sim.Message{{To: sim.Broadcast, Payload: SendMsg{Tag: m.tag, Iter: 1, Val: m.val}}}
+	case 2:
+		m.received = CollectSends(inbox, m.tag, 1)
+		return []sim.Message{{To: sim.Broadcast, Payload: EchoMsg{Tag: m.tag, Iter: 1, Vals: CopyVals(m.received)}}}
+	case 3:
+		echoes := CollectEchoes(inbox, m.tag, 1)
+		return []sim.Message{{To: sim.Broadcast, Payload: VoteMsg{Tag: m.tag, Iter: 1, Vals: ComputeVotes(m.n, m.t, echoes)}}}
+	case 4:
+		votes := CollectVotes(inbox, m.tag, 1)
+		m.out = ComputeGrades(m.n, m.t, votes)
+		m.done = true
+	}
+	return nil
+}
+
+// Output implements sim.Machine; the value is a map[sim.PartyID]Result.
+func (m *Machine) Output() (any, bool) {
+	if !m.done {
+		return nil, false
+	}
+	return m.out, true
+}

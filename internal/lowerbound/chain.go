@@ -1,0 +1,90 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"treeaa/internal/tree"
+)
+
+// OneRoundProtocol is the decision function of a full-information one-round
+// protocol on real values: each party broadcasts its input and applies f to
+// the multiset it received (its view). Validity requires f(all a) = a.
+type OneRoundProtocol func(view []float64) float64
+
+// OneRoundTreeProtocol is the tree analogue: the view is a multiset of
+// vertices, the decision a vertex.
+type OneRoundTreeProtocol func(view []tree.VertexID) tree.VertexID
+
+// DemonstrateOneRound is the executable core of Fekete's argument for R = 1
+// and one Byzantine party: it builds the indistinguishability chain of n+1
+// views V_0..V_n, where V_k holds k entries equal to b and n-k equal to a.
+//
+// Adjacent views differ in a single entry, so both can occur at honest
+// parties of a single execution in which the differing party is Byzantine
+// (sending a to one honest party and b to another). Validity pins
+// f(V_0) = a and f(V_n) = b, so some adjacent pair of outputs is at least
+// (b-a)/n apart — no one-round deterministic protocol can 1-agree when
+// b - a > n. The function returns that maximal adjacent gap and the chain
+// position where it occurs.
+func DemonstrateOneRound(f OneRoundProtocol, n int, a, b float64) (gap float64, atIndex int, err error) {
+	if n < 2 {
+		return 0, 0, fmt.Errorf("lowerbound: need n >= 2, got %d", n)
+	}
+	outs := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		view := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if i < k {
+				view[i] = b
+			} else {
+				view[i] = a
+			}
+		}
+		outs[k] = f(view)
+	}
+	if outs[0] != a || outs[n] != b {
+		return 0, 0, fmt.Errorf("lowerbound: protocol violates validity: f(all a)=%v, f(all b)=%v", outs[0], outs[n])
+	}
+	for k := 0; k < n; k++ {
+		d := outs[k+1] - outs[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > gap {
+			gap, atIndex = d, k
+		}
+	}
+	return gap, atIndex, nil
+}
+
+// DemonstrateOneRoundTree runs the same chain argument on a tree: the two
+// anchor inputs are the endpoints of a diameter path, and the returned gap
+// is a tree distance. Some adjacent pair of views yields outputs at distance
+// at least D(T)/n, which is the Corollary 1 statement specialized to R = 1.
+func DemonstrateOneRoundTree(f OneRoundTreeProtocol, t *tree.Tree, n int) (gap int, atIndex int, err error) {
+	if n < 2 {
+		return 0, 0, fmt.Errorf("lowerbound: need n >= 2, got %d", n)
+	}
+	_, a, b := t.Diameter()
+	outs := make([]tree.VertexID, n+1)
+	for k := 0; k <= n; k++ {
+		view := make([]tree.VertexID, n)
+		for i := 0; i < n; i++ {
+			if i < k {
+				view[i] = b
+			} else {
+				view[i] = a
+			}
+		}
+		outs[k] = f(view)
+	}
+	if outs[0] != a || outs[n] != b {
+		return 0, 0, fmt.Errorf("lowerbound: protocol violates validity on the anchors")
+	}
+	for k := 0; k < n; k++ {
+		if d := t.Dist(outs[k], outs[k+1]); d > gap {
+			gap, atIndex = d, k
+		}
+	}
+	return gap, atIndex, nil
+}

@@ -1,0 +1,28 @@
+package lowerbound_test
+
+import (
+	"fmt"
+
+	"treeaa/internal/lowerbound"
+)
+
+// ExampleMinRounds shows the operational lower bound: the smallest number
+// of rounds at which Fekete's adapted bound permits 1-Agreement.
+func ExampleMinRounds() {
+	for _, d := range []float64{100, 1e6, 1e12} {
+		fmt.Printf("D=%-6g needs >= %d rounds (Theorem 2 form: %.2f)\n",
+			d, lowerbound.MinRounds(d, 10, 3), lowerbound.Theorem2Formula(d, 10, 3))
+	}
+	// Output:
+	// D=100    needs >= 3 rounds (Theorem 2 form: 1.37)
+	// D=1e+06  needs >= 4 rounds (Theorem 2 form: 3.10)
+	// D=1e+12  needs >= 4 rounds (Theorem 2 form: 5.36)
+}
+
+// ExamplePartitionProduct shows the exact supremum in Fekete's bound: the
+// best way for the adversary to split a budget of 10 equivocators over 3
+// rounds is 3·3·4.
+func ExamplePartitionProduct() {
+	fmt.Println(lowerbound.PartitionProduct(10, 3))
+	// Output: 36
+}

@@ -1,0 +1,163 @@
+// Package lowerbound implements the paper's Section 3: the adaptation of
+// Fekete's convergence lower bound to trees.
+//
+// Theorem 1 (Fekete) / Corollary 1 (trees): every deterministic R-round
+// protocol with Validity and Termination has an execution in which two
+// honest outputs are at distance at least
+//
+//	K(R, D) = D · sup{ t1···tR : ti ∈ ℕ, Σti <= t } / (n+t)^R
+//	        >= D · t^R / (R^R (n+t)^R),
+//
+// where D is the input-space diameter. Theorem 2 turns this into the round
+// bound Ω(log D / (log log D + log((n+t)/t))).
+//
+// The package computes the exact sup (balanced integer partitions, verified
+// against a dynamic program), K in log-space (the quantities overflow
+// float64 quickly), the minimal R with K(R, D) <= 1 (the operational lower
+// bound a 1-agreeing protocol must respect), and the closed-form Theorem 2
+// expression. It also contains an executable one-round chain-of-views
+// demonstrator (see chain.go) showing how validity alone forces distant
+// outputs in *some* execution.
+package lowerbound
+
+import (
+	"math"
+	"math/big"
+)
+
+// PartitionProduct returns sup{ t1···tR : ti ∈ ℕ, t1+...+tR <= t } exactly,
+// for exactly R parts. A zero part zeroes the product, so the supremum uses
+// R positive parts when t >= R — as equal as possible, q^(R-rem)·(q+1)^rem
+// with q = t/R and rem = t mod R (spending the whole budget is optimal) —
+// and is 0 when t < R (the regime where Fekete's bound is vacuous: the
+// paper's chain argument needs at least one equivocating party per round).
+// R = 0 yields the empty product 1.
+func PartitionProduct(t, r int) *big.Int {
+	if r == 0 {
+		return big.NewInt(1)
+	}
+	if t < r {
+		return big.NewInt(0)
+	}
+	q := t / r
+	rem := t % r
+	best := new(big.Int).Exp(big.NewInt(int64(q)), big.NewInt(int64(r-rem)), nil)
+	hi := new(big.Int).Exp(big.NewInt(int64(q+1)), big.NewInt(int64(rem)), nil)
+	return best.Mul(best, hi)
+}
+
+// PartitionProductDP computes the same supremum by dynamic programming over
+// exactly R positive parts with budget at most t. It exists to verify
+// PartitionProduct in tests.
+func PartitionProductDP(t, r int) *big.Int {
+	if r == 0 {
+		return big.NewInt(1)
+	}
+	if t < r {
+		return big.NewInt(0)
+	}
+	// dp[b] = best product of the current number of positive parts with
+	// budget b (0 when infeasible).
+	dp := make([]*big.Int, t+1)
+	for b := range dp {
+		dp[b] = big.NewInt(1) // zero parts: empty product
+	}
+	for parts := 1; parts <= r; parts++ {
+		next := make([]*big.Int, t+1)
+		for b := 0; b <= t; b++ {
+			next[b] = big.NewInt(0)
+			for k := 1; k <= b; k++ {
+				if dp[b-k].Sign() == 0 {
+					continue
+				}
+				cand := new(big.Int).Mul(big.NewInt(int64(k)), dp[b-k])
+				if cand.Cmp(next[b]) > 0 {
+					next[b] = cand
+				}
+			}
+		}
+		dp = next
+	}
+	return dp[t]
+}
+
+// Log2K returns log2 of K(R, D) computed with the exact partition product:
+// log2(D) + log2(sup) - R·log2(n+t). It returns negative infinity when the
+// sup is 0 (t = 0 with R >= 1).
+func Log2K(r int, d float64, n, t int) float64 {
+	p := PartitionProduct(t, r)
+	if p.Sign() == 0 {
+		return math.Inf(-1)
+	}
+	logP := bigLog2(p)
+	return math.Log2(d) + logP - float64(r)*math.Log2(float64(n+t))
+}
+
+// K returns K(R, D) as a float64 (possibly 0 or +Inf at extreme scales);
+// prefer Log2K for computations.
+func K(r int, d float64, n, t int) float64 {
+	return math.Exp2(Log2K(r, d, n, t))
+}
+
+// KSimple returns the paper's closed-form lower estimate
+// D·t^R/(R^R (n+t)^R) in log space (log2).
+func KSimple(r int, d float64, n, t int) float64 {
+	if t == 0 || r == 0 {
+		if r == 0 {
+			return math.Log2(d)
+		}
+		return math.Inf(-1)
+	}
+	return math.Log2(d) + float64(r)*(math.Log2(float64(t))-math.Log2(float64(r))-math.Log2(float64(n+t)))
+}
+
+// MinRounds returns the smallest R >= 1 with K(R, D) <= 1: any protocol
+// achieving 1-Agreement on a diameter-D input space against t of n
+// Byzantine parties needs at least MinRounds rounds (Corollary 1 applied as
+// in Theorem 2's proof). For t = 0 it returns 1.
+func MinRounds(d float64, n, t int) int {
+	if d <= 1 {
+		return 0
+	}
+	if t == 0 {
+		return 1
+	}
+	for r := 1; ; r++ {
+		if Log2K(r, d, n, t) <= 0 {
+			return r
+		}
+	}
+}
+
+// Theorem2Formula returns the closed-form bound of Theorem 2:
+// log2(D) / (log2 log2(D) + log2((n+t)/t)) for D >= 4 and t >= 1, else 1.
+func Theorem2Formula(d float64, n, t int) float64 {
+	if d < 4 || t == 0 {
+		return 1
+	}
+	delta := float64(n+t) / float64(t)
+	return math.Log2(d) / (math.Log2(math.Log2(d)) + math.Log2(delta))
+}
+
+// ChainBound returns the Fekete chain length bound s = (n+t)^R / sup for the
+// given parameters, in log2 (the number of views in the indistinguishability
+// chain; the output gap is at least D/s).
+func ChainBound(r int, n, t int) float64 {
+	p := PartitionProduct(t, r)
+	if p.Sign() == 0 {
+		return math.Inf(1)
+	}
+	return float64(r)*math.Log2(float64(n+t)) - bigLog2(p)
+}
+
+// bigLog2 returns log2 of a positive big integer with float64 precision.
+func bigLog2(x *big.Int) float64 {
+	bits := x.BitLen()
+	if bits <= 53 {
+		return math.Log2(float64(x.Int64()))
+	}
+	// Take the top 53 bits and account for the shift.
+	shift := uint(bits - 53)
+	top := new(big.Int).Rsh(x, shift)
+	return math.Log2(float64(top.Int64())) + float64(shift)
+}

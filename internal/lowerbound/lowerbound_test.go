@@ -1,0 +1,233 @@
+package lowerbound
+
+import (
+	"math"
+	"math/big"
+	"sort"
+	"testing"
+
+	"treeaa/internal/tree"
+)
+
+func TestPartitionProductKnown(t *testing.T) {
+	tests := []struct {
+		t, r int
+		want int64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{0, 3, 0},
+		{1, 1, 1},
+		{5, 1, 5},
+		{6, 2, 9},   // 3·3
+		{7, 2, 12},  // 3·4
+		{6, 3, 8},   // 2·2·2
+		{10, 3, 36}, // 3·3·4
+		{3, 5, 0},   // more rounds than budget: vacuous
+		{4, 8, 0},
+		{12, 4, 81},  // 3^4
+		{18, 7, 648}, // 2^3·3^4
+	}
+	for _, tc := range tests {
+		if got := PartitionProduct(tc.t, tc.r); got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("PartitionProduct(%d,%d) = %v, want %d", tc.t, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestPartitionProductMatchesDP(t *testing.T) {
+	for budget := 0; budget <= 20; budget++ {
+		for r := 0; r <= 8; r++ {
+			closed := PartitionProduct(budget, r)
+			dp := PartitionProductDP(budget, r)
+			if closed.Cmp(dp) != 0 {
+				t.Errorf("t=%d R=%d: closed form %v, DP %v", budget, r, closed, dp)
+			}
+		}
+	}
+}
+
+func TestLog2KMonotoneDecreasingInR(t *testing.T) {
+	// More rounds can only shrink the guaranteed gap.
+	d, n, tc := 1e6, 10, 3
+	prev := math.Inf(1)
+	for r := 1; r <= 20; r++ {
+		k := Log2K(r, d, n, tc)
+		if k > prev+1e-9 {
+			t.Errorf("Log2K increased at R=%d: %v -> %v", r, prev, k)
+		}
+		prev = k
+	}
+}
+
+func TestKSimpleApproximatesExact(t *testing.T) {
+	// The closed form D·t^R/(R^R(n+t)^R) replaces the integer sup by the
+	// real-valued balanced product (t/R)^R. With q = floor(t/R), the integer
+	// sup lies within a factor ((q+1)/q)^R <= 2^R of it on either side, so
+	// the log2 values differ by at most R (plus rounding slack).
+	d := 1e9
+	for _, n := range []int{4, 10, 31} {
+		tc := (n - 1) / 3
+		for r := 1; r <= tc; r++ {
+			exact := Log2K(r, d, n, tc)
+			est := KSimple(r, d, n, tc)
+			if diff := math.Abs(exact - est); diff > float64(r)+1 {
+				t.Errorf("n=%d t=%d R=%d: exact log2K %v vs estimate %v differ by %v > R+1",
+					n, tc, r, exact, est, diff)
+			}
+		}
+	}
+}
+
+func TestMinRounds(t *testing.T) {
+	if got := MinRounds(1, 10, 3); got != 0 {
+		t.Errorf("MinRounds(D<=1) = %d, want 0", got)
+	}
+	if got := MinRounds(100, 10, 0); got != 1 {
+		t.Errorf("MinRounds(t=0) = %d, want 1", got)
+	}
+	// The returned R satisfies K(R) <= 1 < K(R-1).
+	for _, tc := range []struct {
+		d    float64
+		n, t int
+	}{
+		{100, 4, 1}, {1e4, 10, 3}, {1e8, 31, 10}, {1e12, 100, 33},
+	} {
+		r := MinRounds(tc.d, tc.n, tc.t)
+		if r < 1 {
+			t.Fatalf("MinRounds(%v,%d,%d) = %d", tc.d, tc.n, tc.t, r)
+		}
+		if Log2K(r, tc.d, tc.n, tc.t) > 0 {
+			t.Errorf("K(R=%d) > 1 for %+v", r, tc)
+		}
+		if r > 1 && Log2K(r-1, tc.d, tc.n, tc.t) <= 0 {
+			t.Errorf("R=%d not minimal for %+v", r, tc)
+		}
+	}
+}
+
+func TestMinRoundsGrowsWithDiameter(t *testing.T) {
+	n, tc := 10, 3
+	prev := 0
+	for _, d := range []float64{10, 1e3, 1e6, 1e12, 1e24} {
+		r := MinRounds(d, n, tc)
+		if r < prev {
+			t.Errorf("MinRounds decreased: D=%v gives %d after %d", d, r, prev)
+		}
+		prev = r
+	}
+	if prev < 4 {
+		t.Errorf("MinRounds(1e24) = %d, suspiciously small", prev)
+	}
+}
+
+func TestTheorem2Formula(t *testing.T) {
+	if got := Theorem2Formula(2, 10, 3); got != 1 {
+		t.Errorf("Theorem2Formula(D<4) = %v, want 1", got)
+	}
+	if got := Theorem2Formula(100, 10, 0); got != 1 {
+		t.Errorf("Theorem2Formula(t=0) = %v, want 1", got)
+	}
+	// The formula is within a small constant of the exact MinRounds.
+	for _, tc := range []struct {
+		d    float64
+		n, t int
+	}{
+		{1e4, 4, 1}, {1e6, 10, 3}, {1e9, 31, 10},
+	} {
+		f := Theorem2Formula(tc.d, tc.n, tc.t)
+		exact := float64(MinRounds(tc.d, tc.n, tc.t))
+		if f > 4*exact+2 || exact > 12*f+4 {
+			t.Errorf("formula %v vs exact %v diverge for %+v", f, exact, tc)
+		}
+	}
+}
+
+func TestChainBound(t *testing.T) {
+	// s = (n+t)^R / sup; with t = 0 the chain is unbounded (no adversary, a
+	// single view class).
+	if !math.IsInf(ChainBound(1, 4, 0), 1) {
+		t.Error("ChainBound(t=0) should be +Inf")
+	}
+	// R=1, n=4, t=1: s = 5/1 = 5.
+	if got := ChainBound(1, 4, 1); math.Abs(got-math.Log2(5)) > 1e-9 {
+		t.Errorf("ChainBound(1,4,1) = %v, want log2(5)", got)
+	}
+}
+
+func TestBigLog2(t *testing.T) {
+	x := new(big.Int).Exp(big.NewInt(2), big.NewInt(200), nil)
+	if got := bigLog2(x); math.Abs(got-200) > 1e-6 {
+		t.Errorf("bigLog2(2^200) = %v", got)
+	}
+	if got := bigLog2(big.NewInt(1024)); math.Abs(got-10) > 1e-12 {
+		t.Errorf("bigLog2(1024) = %v", got)
+	}
+}
+
+// trimmedMidpoint is the classic one-round decision rule used to exercise
+// the chain demonstrators.
+func trimmedMidpoint(trim int) OneRoundProtocol {
+	return func(view []float64) float64 {
+		vals := append([]float64(nil), view...)
+		sort.Float64s(vals)
+		vals = vals[trim : len(vals)-trim]
+		return (vals[0] + vals[len(vals)-1]) / 2
+	}
+}
+
+func TestDemonstrateOneRound(t *testing.T) {
+	n := 10
+	d := 1000.0
+	gap, _, err := DemonstrateOneRound(trimmedMidpoint(1), n, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < d/float64(n)-1e-9 {
+		t.Errorf("gap = %v, want >= D/n = %v", gap, d/float64(n))
+	}
+}
+
+func TestDemonstrateOneRoundValidityCheck(t *testing.T) {
+	constant := func(view []float64) float64 { return 42 }
+	if _, _, err := DemonstrateOneRound(constant, 5, 0, 100); err == nil {
+		t.Error("want validity violation error")
+	}
+	if _, _, err := DemonstrateOneRound(trimmedMidpoint(0), 1, 0, 1); err == nil {
+		t.Error("want error for n < 2")
+	}
+}
+
+func TestDemonstrateOneRoundTree(t *testing.T) {
+	tr := tree.NewPath(101) // D = 100
+	n := 7
+	f := func(view []tree.VertexID) tree.VertexID {
+		// Trimmed center: drop one extreme on each side (by position on the
+		// path, which equals VertexID for tree.NewPath), midpoint of rest.
+		vals := append([]tree.VertexID(nil), view...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		vals = vals[1 : len(vals)-1]
+		return (vals[0] + vals[len(vals)-1]) / 2
+	}
+	gap, _, err := DemonstrateOneRoundTree(f, tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < 100/n {
+		t.Errorf("tree gap = %d, want >= D/n = %d", gap, 100/n)
+	}
+}
+
+func TestKMatchesLog2K(t *testing.T) {
+	got := K(2, 100, 4, 1)
+	want := math.Exp2(Log2K(2, 100, 4, 1))
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("K = %v, want %v", got, want)
+	}
+	if k := K(1, 100, 10, 0); k != 0 {
+		t.Errorf("K with t=0 = %v, want 0", k)
+	}
+	if got := KSimple(0, 8, 4, 1); got != 3 { // log2(8)
+		t.Errorf("KSimple(R=0) = %v, want 3", got)
+	}
+}

@@ -1,0 +1,252 @@
+// Package metrics provides the result plumbing shared by the benchmark
+// harness, the cmd/ tools and EXPERIMENTS.md: small statistics helpers,
+// labeled series, and fixed-width table / CSV rendering. It exists so that
+// every experiment prints its rows the same way the paper's tables would.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+	StdDev         float64
+}
+
+// Summarize computes order statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sumSq := 0.0, 0.0
+	for _, x := range s {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		P50:    quantile(s, 0.50),
+		P90:    quantile(s, 0.90),
+		P99:    quantile(s, 0.99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// quantile returns the q-quantile of a sorted sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Table accumulates rows and renders them with aligned columns (for
+// terminals) or as CSV (for plotting).
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return fmt.Sprintf("%v", v)
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int64
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+		n, err := io.WriteString(w, sb.String())
+		total += int64(n)
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return total, err
+	}
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rule); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return fmt.Sprintf("<table: %v>", err)
+	}
+	return sb.String()
+}
+
+// WriteCSV renders the table as CSV (no quoting; experiment cells never
+// contain commas).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a labeled (x, y) sequence for figure-style outputs.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// RenderASCII draws one or more series as a coarse ASCII scatter plot —
+// enough to eyeball the shape (who wins, where curves cross) in a terminal.
+func RenderASCII(width, height int, series ...Series) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if minX > maxX {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@'}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "y: [%s, %s]\n", formatFloat(minY), formatFloat(maxY))
+	for _, line := range grid {
+		sb.WriteString("| ")
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&sb, "x: [%s, %s]   ", formatFloat(minX), formatFloat(maxX))
+	for si, s := range series {
+		if si > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%c=%s", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v, want 3", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.P99 != 7 || s.StdDev != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.9); q != 9 {
+		t.Errorf("p90 = %v, want 9", q)
+	}
+	if q := quantile(sorted, 0.01); q != 1 {
+		t.Errorf("p1 = %v, want 1", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("quantile(nil) = %v", q)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "rounds", "ratio")
+	tab.AddRow("treeaa", 12, 1.5)
+	tab.AddRow("baseline", 7, 2.0)
+	out := tab.String()
+	for _, want := range []string{"name", "rounds", "treeaa", "1.500", "baseline", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow(1, 2.5)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.500\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"}, {3.25, "3.250"}, {-2, "-2"}, {math.Inf(1), "+Inf"},
+	}
+	for _, tc := range tests {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	var a, b Series
+	a.Name = "up"
+	b.Name = "down"
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i), float64(i))
+		b.Add(float64(i), float64(10-i))
+	}
+	out := RenderASCII(30, 10, a, b)
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "+=down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	if out := RenderASCII(20, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderASCIIDegenerate(t *testing.T) {
+	var s Series
+	s.Name = "flat"
+	s.Add(1, 5)
+	out := RenderASCII(4, 2, s) // forces width/height clamps
+	if !strings.Contains(out, "flat") {
+		t.Errorf("degenerate render:\n%s", out)
+	}
+}

@@ -1,0 +1,62 @@
+package realaa
+
+import (
+	"testing"
+
+	"treeaa/internal/sim"
+)
+
+func TestRangeAtIteration(t *testing.T) {
+	h := map[sim.PartyID][]float64{
+		0: {10, 5, 5},
+		1: {20, 6, 5},
+		2: {0, 5}, // shorter history: skipped beyond its length
+	}
+	tests := []struct {
+		iter int
+		want float64
+	}{
+		{0, 20}, {1, 1}, {2, 0}, {9, 0},
+	}
+	for _, tc := range tests {
+		if got := RangeAtIteration(h, tc.iter); got != tc.want {
+			t.Errorf("RangeAtIteration(%d) = %v, want %v", tc.iter, got, tc.want)
+		}
+	}
+	if got := RangeAtIteration(nil, 0); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestConvergenceRound(t *testing.T) {
+	h := map[sim.PartyID][]float64{
+		0: {10, 2, 1, 1},
+		1: {0, 0, 1, 1},
+	}
+	// Ranges per iteration: 10, 2, 0, 0. eps=1 first satisfied at iter 3
+	// (0-based 2) → round (2+1)*3 = 9 with 3 rounds/iteration.
+	if got := ConvergenceRound(h, 1, 3); got != 9 {
+		t.Errorf("ConvergenceRound = %d, want 9", got)
+	}
+	if got := ConvergenceRound(h, 100, 1); got != 1 {
+		t.Errorf("eps=100: ConvergenceRound = %d, want 1", got)
+	}
+	// Never converges within history: last recorded round.
+	if got := ConvergenceRound(h, -1, 1); got != 4 {
+		t.Errorf("eps<0: ConvergenceRound = %d, want 4", got)
+	}
+}
+
+func TestDivergentIterations(t *testing.T) {
+	h := map[sim.PartyID][]float64{
+		0: {10, 2, 0, 3},
+		1: {0, 2, 0, 0},
+	}
+	// Ranges: 10, 0, 0, 3 → 2 divergent at tol 0.
+	if got := DivergentIterations(h, 0); got != 2 {
+		t.Errorf("DivergentIterations = %d, want 2", got)
+	}
+	if got := DivergentIterations(h, 5); got != 1 {
+		t.Errorf("tol=5: DivergentIterations = %d, want 1", got)
+	}
+}

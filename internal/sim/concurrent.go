@@ -1,0 +1,58 @@
+package sim
+
+import "sync"
+
+// RunConcurrent executes machines under cfg with one goroutine per party and
+// a per-round barrier, matching the synchronous model's "all clocks aligned"
+// semantics. For deterministic machines it produces exactly the same
+// execution as Run; it exists to exercise protocols under real concurrency
+// (and under the race detector in tests).
+//
+// Goroutine lifecycle: workers are started once, receive (round, inbox)
+// requests over per-party channels, and are shut down by closing those
+// channels before RunConcurrent returns; a WaitGroup guarantees none
+// outlive the call.
+func RunConcurrent(cfg Config, machines []Machine) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	type request struct {
+		round int
+		inbox []Message
+		reply chan []Message
+	}
+	reqs := make([]chan request, cfg.N)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.N; p++ {
+		reqs[p] = make(chan request)
+		wg.Add(1)
+		go func(m Machine, in <-chan request) {
+			defer wg.Done()
+			for req := range in {
+				req.reply <- m.Step(req.round, req.inbox)
+			}
+		}(machines[p], reqs[p])
+	}
+	defer func() {
+		for _, ch := range reqs {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
+	step := func(r int, honest []PartyID, _ []Machine, inboxes map[PartyID][]Message) map[PartyID][]Message {
+		replies := make(map[PartyID]chan []Message, len(honest))
+		for _, p := range honest {
+			reply := make(chan []Message, 1)
+			replies[p] = reply
+			reqs[p] <- request{round: r, inbox: inboxes[p], reply: reply}
+		}
+		out := make(map[PartyID][]Message, len(honest))
+		for _, p := range honest {
+			out[p] = <-replies[p] // barrier: wait for every party
+		}
+		return out
+	}
+	return run(cfg, machines, step)
+}

@@ -1,0 +1,183 @@
+package sim
+
+import "fmt"
+
+// Run executes machines under cfg with the sequential lock-step driver.
+// machines must have length cfg.N; entries at corrupted slots are ignored
+// once corrupted. Run returns an error when the configuration is invalid,
+// the adversary oversteps its powers, or honest machines fail to terminate
+// within cfg.MaxRounds.
+func Run(cfg Config, machines []Machine) (*Result, error) {
+	return run(cfg, machines, stepSequential)
+}
+
+// stepper computes one round of honest outboxes. It exists so that the
+// sequential and concurrent drivers share every other line of the loop.
+type stepper func(r int, honest []PartyID, machines []Machine, inboxes map[PartyID][]Message) map[PartyID][]Message
+
+func stepSequential(r int, honest []PartyID, machines []Machine, inboxes map[PartyID][]Message) map[PartyID][]Message {
+	out := make(map[PartyID][]Message, len(honest))
+	for _, p := range honest {
+		out[p] = machines[p].Step(r, inboxes[p])
+	}
+	return out
+}
+
+func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(machines) != cfg.N {
+		return nil, fmt.Errorf("sim: %d machines for N = %d", len(machines), cfg.N)
+	}
+	corrupted := make(map[PartyID]bool)
+	omission := make(map[PartyID]bool)
+	var filter OutboxFilter
+	if cfg.Adversary != nil {
+		for _, p := range cfg.Adversary.Initial() {
+			corrupted[p] = true
+		}
+		if f, ok := cfg.Adversary.(OutboxFilter); ok {
+			filter = f
+			for _, p := range f.OmissionParties() {
+				if corrupted[p] {
+					return nil, fmt.Errorf("sim: party %d is both Byzantine and omission-faulty", p)
+				}
+				omission[p] = true
+			}
+		}
+		if len(corrupted)+len(omission) > cfg.MaxCorrupt {
+			return nil, fmt.Errorf("%w: %d initial corruptions, budget %d",
+				ErrBudgetExceeded, len(corrupted)+len(omission), cfg.MaxCorrupt)
+		}
+	}
+	res := &Result{Outputs: make(map[PartyID]any), Corrupted: corrupted}
+	done := make(map[PartyID]bool)
+
+	// pending holds the messages sent in the previous round, keyed by
+	// recipient, delivered at the start of the current round.
+	pending := make(map[PartyID][]Message)
+
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		inboxes := pending
+		pending = make(map[PartyID][]Message)
+		for _, box := range inboxes {
+			sortInbox(box)
+		}
+
+		honest := honestParties(cfg.N, corrupted)
+		honestRaw := step(r, honest, machines, inboxes)
+
+		// Collect honest traffic (network stamps origin and expands
+		// broadcasts); omission-faulty parties' expanded sends pass through
+		// the adversary's filter.
+		honestOut := make([]Message, 0, 64)
+		for _, p := range honest {
+			msgs := expand(p, r, cfg.N, honestRaw[p])
+			if filter != nil && omission[p] {
+				msgs = filter.FilterOutbox(r, p, msgs)
+				for i := range msgs {
+					if msgs[i].From != p {
+						return nil, fmt.Errorf("%w: omission filter forged sender %d", ErrForgedSender, msgs[i].From)
+					}
+				}
+			}
+			honestOut = append(honestOut, msgs...)
+		}
+
+		var advOut []Message
+		if cfg.Adversary != nil {
+			corruptInbox := make(map[PartyID][]Message)
+			for p := range corrupted {
+				corruptInbox[p] = inboxes[p]
+			}
+			msgs, more := cfg.Adversary.Step(r, honestOut, corruptInbox)
+			for _, p := range more {
+				corrupted[p] = true
+			}
+			if len(corrupted) > cfg.MaxCorrupt {
+				return nil, fmt.Errorf("%w: %d corruptions at round %d, budget %d", ErrBudgetExceeded, len(corrupted), r, cfg.MaxCorrupt)
+			}
+			// Adaptive corruption retracts the just-produced messages of
+			// newly corrupted parties.
+			if len(more) > 0 {
+				kept := honestOut[:0]
+				for _, m := range honestOut {
+					if !corrupted[m.From] {
+						kept = append(kept, m)
+					}
+				}
+				honestOut = kept
+			}
+			for _, m := range msgs {
+				if !corrupted[m.From] {
+					return nil, fmt.Errorf("%w: message from party %d at round %d", ErrForgedSender, m.From, r)
+				}
+			}
+			advOut = make([]Message, 0, len(msgs))
+			for _, m := range msgs {
+				m.Round = r
+				if m.To == Broadcast {
+					for to := 0; to < cfg.N; to++ {
+						mm := m
+						mm.To = PartyID(to)
+						advOut = append(advOut, mm)
+					}
+					continue
+				}
+				advOut = append(advOut, m)
+			}
+		}
+
+		roundMsgs, roundBytes := 0, 0
+		sent := make(map[PartyID]int)
+		for _, m := range append(honestOut, advOut...) {
+			if cap := cfg.MaxMessagesPerParty; cap > 0 {
+				if sent[m.From] >= cap {
+					continue // rate limit: drop the flood's tail
+				}
+				sent[m.From]++
+			}
+			pending[m.To] = append(pending[m.To], m)
+			roundMsgs++
+			roundBytes += payloadSize(m.Payload)
+		}
+		res.Messages += roundMsgs
+		res.Bytes += roundBytes
+		res.Rounds = r
+
+		var newlyDone []PartyID
+		allDone := true
+		for _, p := range honestParties(cfg.N, corrupted) {
+			if done[p] {
+				continue
+			}
+			if v, ok := machines[p].Output(); ok {
+				done[p] = true
+				res.Outputs[p] = v
+				newlyDone = append(newlyDone, p)
+			} else {
+				allDone = false
+			}
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.Rounds = append(cfg.Trace.Rounds, TraceRound{
+				Round: r, Messages: roundMsgs, Bytes: roundBytes, NewlyDone: newlyDone,
+			})
+		}
+		if allDone {
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w: after %d rounds", ErrNotDone, cfg.MaxRounds)
+}
+
+func honestParties(n int, corrupted map[PartyID]bool) []PartyID {
+	out := make([]PartyID, 0, n)
+	for p := 0; p < n; p++ {
+		if !corrupted[PartyID(p)] {
+			out = append(out, PartyID(p))
+		}
+	}
+	return out
+}

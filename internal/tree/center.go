@@ -1,0 +1,47 @@
+package tree
+
+// SubtreeCenter returns the center of a convex vertex set s (a subtree):
+// the midpoint of its diameter path. Ties resolve to the lower VertexID so
+// all parties agree on identical inputs.
+func SubtreeCenter(t *Tree, s []VertexID) VertexID {
+	inS := make(map[VertexID]bool, len(s))
+	for _, v := range s {
+		inS[v] = true
+	}
+	a := farthestWithin(t, inS, s[0])
+	b := farthestWithin(t, inS, a)
+	p := t.Path(a, b)
+	c1 := p[(len(p)-1)/2]
+	c2 := p[len(p)/2]
+	if c2 < c1 {
+		return c2
+	}
+	return c1
+}
+
+// farthestWithin returns the vertex of s farthest from src by BFS restricted
+// to s (valid because convex sets are connected and path-closed). Ties
+// resolve to the lowest VertexID.
+func farthestWithin(t *Tree, inS map[VertexID]bool, src VertexID) VertexID {
+	type item struct {
+		v VertexID
+		d int
+	}
+	visited := map[VertexID]bool{src: true}
+	queue := []item{{src, 0}}
+	best := item{src, 0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d > best.d || (cur.d == best.d && cur.v < best.v) {
+			best = cur
+		}
+		for _, w := range t.Neighbors(cur.v) {
+			if inS[w] && !visited[w] {
+				visited[w] = true
+				queue = append(queue, item{w, cur.d + 1})
+			}
+		}
+	}
+	return best.v
+}

@@ -1,0 +1,51 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT emits the tree in Graphviz DOT format. Optional vertex
+// attributes (e.g. colors for inputs/hull/outputs) are rendered as node
+// attribute lists; entries use DOT syntax like `fillcolor="gold",
+// style=filled`.
+func (t *Tree) WriteDOT(w io.Writer, name string, attrs map[VertexID]string) error {
+	if name == "" {
+		name = "tree"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	// Deterministic attribute order.
+	var attributed []VertexID
+	for v := range attrs {
+		attributed = append(attributed, v)
+	}
+	sort.Slice(attributed, func(i, j int) bool { return attributed[i] < attributed[j] })
+	for _, v := range attributed {
+		if !t.Valid(v) {
+			return fmt.Errorf("%w: id %d in attrs", ErrUnknownVertex, int(v))
+		}
+		if _, err := fmt.Fprintf(w, "  %q [%s];\n", t.Label(v), attrs[v]); err != nil {
+			return err
+		}
+	}
+	for _, e := range t.Edges() {
+		if _, err := fmt.Fprintf(w, "  %q -- %q;\n", t.Label(e[0]), t.Label(e[1])); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// DOT renders the tree as a DOT string (no attributes).
+func (t *Tree) DOT(name string) string {
+	var sb strings.Builder
+	if err := t.WriteDOT(&sb, name, nil); err != nil {
+		return fmt.Sprintf("/* dot: %v */", err)
+	}
+	return sb.String()
+}

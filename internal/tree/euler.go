@@ -1,0 +1,193 @@
+package tree
+
+import "fmt"
+
+// EulerList is the list representation L of a rooted tree produced by
+// ListConstruction (Section 6 of the paper): a DFS from the root that records
+// each vertex upon every visit — once on entry, and once more after returning
+// from each child. For the tree of the paper's Figure 3 rooted at v1 the list
+// is [v1 v2 v3 v6 v3 v7 v3 v2 v4 v8 v4 v2 v5 v2 v1].
+//
+// Lemma 2's guarantees, all checked by the package tests:
+//  1. consecutive list entries are adjacent vertices (when |V| > 1);
+//  2. |L| <= 2·|V| and every vertex occurs at least once;
+//  3. u is in the subtree rooted at v iff all occurrences of u lie within
+//     [min L(v), max L(v)];
+//  4. for any occurrences i of v and i' of v', lca(v, v') occurs within
+//     [min(i,i'), max(i,i')].
+//
+// Indices follow the paper's convention and are 1-based: L_1 is the first
+// element. EulerList is deterministic: children are visited in ascending
+// label order, so all parties derive the identical list.
+type EulerList struct {
+	tree  *Tree
+	root  VertexID
+	seq   []VertexID // 0-based storage of L_1..L_|L|
+	depth []int      // depth of seq[i] below the root
+	occ   [][]int    // occ[v] = ascending 1-based indices i with L_i = v
+	// sparse table over depth for O(1) range-minimum (LCA) queries:
+	// table[k][i] = position in seq of the minimum depth in [i, i+2^k).
+	table [][]int32
+	log2  []int
+}
+
+// ListConstruction performs the paper's ListConstruction(T, root) and
+// precomputes the LCA index. It is deterministic and O(|V| log |V|).
+func ListConstruction(t *Tree, root VertexID) (*EulerList, error) {
+	if !t.Valid(root) {
+		return nil, fmt.Errorf("%w: root id %d", ErrUnknownVertex, int(root))
+	}
+	n := t.NumVertices()
+	l := &EulerList{
+		tree: t,
+		root: root,
+		seq:  make([]VertexID, 0, 2*n),
+		occ:  make([][]int, n),
+	}
+	l.depth = make([]int, 0, 2*n)
+
+	// Iterative DFS: children in ascending VertexID (= label) order.
+	type frame struct {
+		v     VertexID
+		p     VertexID
+		d     int
+		nexti int // next index into t.Neighbors(v) to consider
+	}
+	stack := make([]frame, 0, n)
+	record := func(v VertexID, d int) {
+		l.seq = append(l.seq, v)
+		l.depth = append(l.depth, d)
+		l.occ[v] = append(l.occ[v], len(l.seq)) // 1-based
+	}
+	stack = append(stack, frame{v: root, p: None})
+	record(root, 0)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		ns := t.Neighbors(top.v)
+		advanced := false
+		for top.nexti < len(ns) {
+			w := ns[top.nexti]
+			top.nexti++
+			if w == top.p {
+				continue
+			}
+			stack = append(stack, frame{v: w, p: top.v, d: top.d + 1})
+			record(w, top.d+1)
+			advanced = true
+			break
+		}
+		if advanced {
+			continue
+		}
+		// All children done: pop, and re-record the parent (backtrack visit).
+		d := top.d
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			record(stack[len(stack)-1].v, d-1)
+		}
+	}
+	l.buildRMQ()
+	return l, nil
+}
+
+// Len returns |L|.
+func (l *EulerList) Len() int { return len(l.seq) }
+
+// Root returns the root vertex the list was built from.
+func (l *EulerList) Root() VertexID { return l.root }
+
+// Tree returns the underlying tree.
+func (l *EulerList) Tree() *Tree { return l.tree }
+
+// At returns L_i (1-based, per the paper). It returns an error for
+// out-of-range i so that protocol code can surface adversarial indices.
+func (l *EulerList) At(i int) (VertexID, error) {
+	if i < 1 || i > len(l.seq) {
+		return None, fmt.Errorf("tree: euler index %d out of range [1,%d]", i, len(l.seq))
+	}
+	return l.seq[i-1], nil
+}
+
+// Occurrences returns L(v): the ascending 1-based indices at which v occurs.
+// The returned slice is shared; callers must not modify it.
+func (l *EulerList) Occurrences(v VertexID) []int { return l.occ[v] }
+
+// FirstIndex returns min L(v), the index parties feed into RealAA(1) in
+// PathsFinder.
+func (l *EulerList) FirstIndex(v VertexID) int { return l.occ[v][0] }
+
+// Sequence returns a copy of the full list as vertex IDs, L_1..L_|L|.
+func (l *EulerList) Sequence() []VertexID {
+	out := make([]VertexID, len(l.seq))
+	copy(out, l.seq)
+	return out
+}
+
+// Depth returns the depth (distance from the root) of L_i (1-based).
+func (l *EulerList) Depth(i int) int { return l.depth[i-1] }
+
+func (l *EulerList) buildRMQ() {
+	n := len(l.seq)
+	l.log2 = make([]int, n+1)
+	for i := 2; i <= n; i++ {
+		l.log2[i] = l.log2[i/2] + 1
+	}
+	levels := l.log2[n] + 1
+	l.table = make([][]int32, levels)
+	l.table[0] = make([]int32, n)
+	for i := range l.table[0] {
+		l.table[0][i] = int32(i)
+	}
+	for k := 1; k < levels; k++ {
+		width := 1 << k
+		l.table[k] = make([]int32, n-width+1)
+		for i := range l.table[k] {
+			a := l.table[k-1][i]
+			b := l.table[k-1][i+width/2]
+			if l.depth[b] < l.depth[a] {
+				a = b
+			}
+			l.table[k][i] = a
+		}
+	}
+}
+
+// argminDepth returns the position (0-based) of the minimum depth in the
+// 0-based half-open range [lo, hi).
+func (l *EulerList) argminDepth(lo, hi int) int {
+	k := l.log2[hi-lo]
+	a := l.table[k][lo]
+	b := l.table[k][hi-(1<<k)]
+	if l.depth[b] < l.depth[a] {
+		a = b
+	}
+	return int(a)
+}
+
+// LCA returns the lowest common ancestor of u and v with respect to the
+// list's root, via the Bender–Farach-Colton Euler-tour + RMQ reduction the
+// paper cites [8].
+func (l *EulerList) LCA(u, v VertexID) VertexID {
+	i, j := l.occ[u][0]-1, l.occ[v][0]-1
+	if i > j {
+		i, j = j, i
+	}
+	return l.seq[l.argminDepth(i, j+1)]
+}
+
+// InSubtree reports whether u lies in the subtree rooted at v (with respect
+// to the list's root), using Lemma 2 property 3.
+func (l *EulerList) InSubtree(u, v VertexID) bool {
+	vo, uo := l.occ[v], l.occ[u]
+	return uo[0] >= vo[0] && uo[len(uo)-1] <= vo[len(vo)-1]
+}
+
+// PathFromRoot returns P(root, L_i) for a 1-based list index i, clamped
+// semantics excluded: i must be in range.
+func (l *EulerList) PathFromRoot(i int) ([]VertexID, error) {
+	v, err := l.At(i)
+	if err != nil {
+		return nil, err
+	}
+	return l.tree.Path(l.root, v), nil
+}

@@ -1,0 +1,335 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFigure3EulerList reproduces the paper's Figure 3 example exactly:
+// rooted at v1 the DFS visit list is
+// [v1 v2 v3 v6 v3 v7 v3 v2 v4 v8 v4 v2 v5 v2 v1].
+func TestFigure3EulerList(t *testing.T) {
+	tr := Figure3Tree()
+	l, err := ListConstruction(tr, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"v1", "v2", "v3", "v6", "v3", "v7", "v3", "v2", "v4", "v8", "v4", "v2", "v5", "v2", "v1"}
+	if l.Len() != len(want) {
+		t.Fatalf("|L| = %d, want %d (%s)", l.Len(), len(want), strings.Join(tr.Labels(l.Sequence()), " "))
+	}
+	for i, wl := range want {
+		v, err := l.At(i + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Label(v) != wl {
+			t.Errorf("L_%d = %s, want %s", i+1, tr.Label(v), wl)
+		}
+	}
+	// Occurrence sets from the paper's Section 6 discussion.
+	occTests := []struct {
+		label string
+		want  []int
+	}{
+		{"v3", []int{3, 5, 7}},
+		{"v6", []int{4}},
+		{"v5", []int{13}},
+		{"v4", []int{9, 11}},
+		{"v8", []int{10}},
+	}
+	for _, tc := range occTests {
+		got := l.Occurrences(tr.MustVertex(tc.label))
+		if len(got) != len(tc.want) {
+			t.Fatalf("L(%s) = %v, want %v", tc.label, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("L(%s)[%d] = %d, want %d", tc.label, i, got[i], tc.want[i])
+			}
+		}
+	}
+	if got := l.FirstIndex(tr.MustVertex("v3")); got != 3 {
+		t.Errorf("FirstIndex(v3) = %d, want 3", got)
+	}
+}
+
+func TestEulerListErrors(t *testing.T) {
+	tr := Figure3Tree()
+	if _, err := ListConstruction(tr, VertexID(100)); err == nil {
+		t.Error("invalid root should fail")
+	}
+	l, _ := ListConstruction(tr, tr.Root())
+	if _, err := l.At(0); err == nil {
+		t.Error("At(0) should fail (1-based)")
+	}
+	if _, err := l.At(l.Len() + 1); err == nil {
+		t.Error("At(len+1) should fail")
+	}
+}
+
+func TestEulerListSingleVertex(t *testing.T) {
+	tr := NewPath(1)
+	l, err := ListConstruction(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("|L| = %d, want 1", l.Len())
+	}
+}
+
+// TestLemma2Properties checks all four Lemma 2 guarantees on random trees.
+func TestLemma2Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		tr := RandomPruefer(2+rng.Intn(40), rng)
+		root := VertexID(rng.Intn(tr.NumVertices()))
+		l, err := ListConstruction(tr, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tr.NumVertices()
+		// Property 2: |L| <= 2|V| and every vertex occurs.
+		if l.Len() > 2*n {
+			t.Fatalf("trial %d: |L| = %d > 2|V| = %d", trial, l.Len(), 2*n)
+		}
+		for v := 0; v < n; v++ {
+			if len(l.Occurrences(VertexID(v))) == 0 {
+				t.Fatalf("trial %d: vertex %s missing from L", trial, tr.Label(VertexID(v)))
+			}
+		}
+		// Property 1: consecutive entries adjacent.
+		seq := l.Sequence()
+		for i := 0; i+1 < len(seq); i++ {
+			if !tr.Adjacent(seq[i], seq[i+1]) {
+				t.Fatalf("trial %d: L_%d=%s and L_%d=%s not adjacent",
+					trial, i+1, tr.Label(seq[i]), i+2, tr.Label(seq[i+1]))
+			}
+		}
+		// Ground truth ancestry via parent pointers from the root.
+		parent := parentArray(tr, root)
+		isAncestor := func(a, d VertexID) bool {
+			for x := d; x != None; x = parent[x] {
+				if x == a {
+					return true
+				}
+			}
+			return false
+		}
+		// Property 3: subtree containment iff occurrence window containment.
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				want := isAncestor(VertexID(v), VertexID(u))
+				if got := l.InSubtree(VertexID(u), VertexID(v)); got != want {
+					t.Fatalf("trial %d: InSubtree(%s, %s) = %v, want %v",
+						trial, tr.Label(VertexID(u)), tr.Label(VertexID(v)), got, want)
+				}
+			}
+		}
+		// Property 4 + LCA correctness against the brute force.
+		for range 50 {
+			u := VertexID(rng.Intn(n))
+			v := VertexID(rng.Intn(n))
+			want := bruteLCA(parent, u, v)
+			if got := l.LCA(u, v); got != want {
+				t.Fatalf("trial %d: LCA(%s,%s) = %s, want %s",
+					trial, tr.Label(u), tr.Label(v), tr.Label(got), tr.Label(want))
+			}
+			// Property 4: lca occurs within any occurrence window.
+			i := l.Occurrences(u)[rng.Intn(len(l.Occurrences(u)))]
+			j := l.Occurrences(v)[rng.Intn(len(l.Occurrences(v)))]
+			if i > j {
+				i, j = j, i
+			}
+			found := false
+			for k := i; k <= j; k++ {
+				if seq[k-1] == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: lca(%s,%s)=%s not in window [%d,%d]",
+					trial, tr.Label(u), tr.Label(v), tr.Label(want), i, j)
+			}
+		}
+	}
+}
+
+func parentArray(tr *Tree, root VertexID) []VertexID {
+	parent := make([]VertexID, tr.NumVertices())
+	for i := range parent {
+		parent[i] = None
+	}
+	visited := make([]bool, tr.NumVertices())
+	visited[root] = true
+	queue := []VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range tr.Neighbors(v) {
+			if !visited[w] {
+				visited[w] = true
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent
+}
+
+func bruteLCA(parent []VertexID, u, v VertexID) VertexID {
+	anc := make(map[VertexID]bool)
+	for x := u; x != None; x = parent[x] {
+		anc[x] = true
+	}
+	for x := v; x != None; x = parent[x] {
+		if anc[x] {
+			return x
+		}
+	}
+	return None
+}
+
+// TestFigure4SubtreeOfValid reproduces the paper's Figure 4 discussion:
+// honest inputs {v3, v6, v5} have hull {v5, v2, v3, v6}; indices of v4 and v8
+// fall inside the honest index range, and although v4, v8 are NOT valid they
+// lie in the subtree rooted at the valid vertex v2, so P(v1, ·) intersects
+// the hull (Lemma 3).
+func TestFigure4SubtreeOfValid(t *testing.T) {
+	tr := Figure3Tree()
+	l, err := ListConstruction(tr, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := []VertexID{tr.MustVertex("v3"), tr.MustVertex("v6"), tr.MustVertex("v5")}
+	hull := map[string]bool{"v5": true, "v2": true, "v3": true, "v6": true}
+	gotHull := tr.ConvexHull(honest)
+	if len(gotHull) != len(hull) {
+		t.Fatalf("hull = %v", tr.Labels(gotHull))
+	}
+	for _, v := range gotHull {
+		if !hull[tr.Label(v)] {
+			t.Fatalf("hull contains %s", tr.Label(v))
+		}
+	}
+	// Honest index range: min over L(v3)∪L(v6)∪L(v5) = 3, max = 13.
+	iMin, iMax := l.Len()+1, 0
+	for _, v := range honest {
+		occ := l.Occurrences(v)
+		if occ[0] < iMin {
+			iMin = occ[0]
+		}
+		if occ[len(occ)-1] > iMax {
+			iMax = occ[len(occ)-1]
+		}
+	}
+	if iMin != 3 || iMax != 13 {
+		t.Fatalf("honest index range = [%d,%d], want [3,13]", iMin, iMax)
+	}
+	v2 := tr.MustVertex("v2")
+	for _, lbl := range []string{"v4", "v8"} {
+		v := tr.MustVertex(lbl)
+		for _, i := range l.Occurrences(v) {
+			if i < iMin || i > iMax {
+				t.Errorf("index %d of %s outside honest range", i, lbl)
+			}
+		}
+		if hull[lbl] {
+			t.Errorf("%s unexpectedly valid", lbl)
+		}
+		if !l.InSubtree(v, v2) {
+			t.Errorf("%s not in subtree of valid v2", lbl)
+		}
+	}
+	// Lemma 3: every index in [iMin, iMax] yields a root path hitting the hull.
+	for i := iMin; i <= iMax; i++ {
+		p, err := l.PathFromRoot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := false
+		for _, v := range p {
+			if hull[tr.Label(v)] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("P(v1, L_%d=%s) misses the hull: %s", i, tr.Label(mustAt(l, i)), tr.RenderPath(p))
+		}
+	}
+}
+
+func mustAt(l *EulerList, i int) VertexID {
+	v, err := l.At(i)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TestLemma3Random property-tests Lemma 3 on random trees and input sets.
+func TestLemma3Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		tr := RandomPruefer(2+rng.Intn(30), rng)
+		root := tr.Root()
+		l, err := ListConstruction(tr, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(5)
+		s := make([]VertexID, k)
+		for i := range s {
+			s[i] = VertexID(rng.Intn(tr.NumVertices()))
+		}
+		hull := make(map[VertexID]bool)
+		for _, v := range tr.ConvexHull(s) {
+			hull[v] = true
+		}
+		iMin, iMax := l.Len()+1, 0
+		for _, v := range s {
+			occ := l.Occurrences(v)
+			if occ[0] < iMin {
+				iMin = occ[0]
+			}
+			if occ[len(occ)-1] > iMax {
+				iMax = occ[len(occ)-1]
+			}
+		}
+		for i := iMin; i <= iMax; i++ {
+			p, err := l.PathFromRoot(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hit := false
+			for _, v := range p {
+				if hull[v] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("trial %d: P(root, L_%d) misses hull (S=%v)\n%s",
+					trial, i, tr.Labels(s), tr)
+			}
+		}
+	}
+}
+
+func TestEulerDepthAndRMQ(t *testing.T) {
+	tr := Figure3Tree()
+	l, _ := ListConstruction(tr, tr.Root())
+	if d := l.Depth(1); d != 0 {
+		t.Errorf("Depth(L_1) = %d, want 0", d)
+	}
+	if d := l.Depth(4); d != 3 { // L_4 = v6 at depth 3
+		t.Errorf("Depth(L_4) = %d, want 3", d)
+	}
+	if l.Root() != tr.Root() || l.Tree() != tr {
+		t.Error("accessors disagree")
+	}
+}

@@ -1,0 +1,53 @@
+package tree_test
+
+import (
+	"fmt"
+	"strings"
+
+	"treeaa/internal/tree"
+)
+
+// ExampleListConstruction reproduces the paper's Figure 3: the DFS visit
+// list of the 8-vertex example tree rooted at v1.
+func ExampleListConstruction() {
+	tr := tree.Figure3Tree()
+	l, err := tree.ListConstruction(tr, tr.Root())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Join(tr.Labels(l.Sequence()), " "))
+	fmt.Println("L(v3) =", l.Occurrences(tr.MustVertex("v3")))
+	// Output:
+	// v1 v2 v3 v6 v3 v7 v3 v2 v4 v8 v4 v2 v5 v2 v1
+	// L(v3) = [3 5 7]
+}
+
+// ExampleTree_ConvexHull computes the smallest subtree spanning a set of
+// vertices — the Validity region of Approximate Agreement on trees.
+func ExampleTree_ConvexHull() {
+	tr := tree.Figure3Tree()
+	s := []tree.VertexID{tr.MustVertex("v6"), tr.MustVertex("v5")}
+	fmt.Println(tr.Labels(tr.ConvexHull(s)))
+	// Output: [v2 v3 v5 v6]
+}
+
+// ExampleTree_ProjectOntoPath projects a vertex onto a path, the Section 5
+// reduction step.
+func ExampleTree_ProjectOntoPath() {
+	tr := tree.Figure3Tree()
+	path := tr.Path(tr.MustVertex("v1"), tr.MustVertex("v6")) // v1 v2 v3 v6
+	idx, proj := tr.ProjectOntoPath(path, tr.MustVertex("v8"))
+	fmt.Printf("proj(v8) = %s at position %d\n", tr.Label(proj), idx+1)
+	// Output: proj(v8) = v2 at position 2
+}
+
+// ExampleParse builds a tree from the textual edge-list format.
+func ExampleParse() {
+	tr, err := tree.ParseString("hub - left\nhub - right\n")
+	if err != nil {
+		panic(err)
+	}
+	d, a, b := tr.Diameter()
+	fmt.Printf("|V|=%d D=%d between %s and %s\n", tr.NumVertices(), d, tr.Label(a), tr.Label(b))
+	// Output: |V|=3 D=2 between left and right
+}

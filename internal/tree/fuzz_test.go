@@ -1,0 +1,135 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that every
+// successfully parsed tree round-trips through its own serialization.
+func FuzzParse(f *testing.F) {
+	f.Add("a - b\nb - c\n")
+	f.Add("solo\n")
+	f.Add("# comment\n\nx - y\n")
+	f.Add("a - b\nb - a\n")
+	f.Add("a - \n")
+	f.Add("a - b - c\n")
+	f.Add(strings.Repeat("x", 300))
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseString(tr.String())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\noriginal input: %q", err, input)
+		}
+		if !tr.Equal(back) {
+			t.Fatalf("round trip mismatch for input %q", input)
+		}
+	})
+}
+
+// FuzzPruefer checks the decode/encode bijection and the structural
+// invariants of decoded trees for arbitrary byte-derived sequences.
+func FuzzPruefer(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		n := len(raw) + 2
+		seq := make([]int, len(raw))
+		for i, b := range raw {
+			seq[i] = int(b)%n + 1
+		}
+		tr, err := FromPruefer(seq)
+		if err != nil {
+			t.Fatalf("in-range sequence rejected: %v (seq %v)", err, seq)
+		}
+		if tr.NumVertices() != n {
+			t.Fatalf("decoded %d vertices, want %d", tr.NumVertices(), n)
+		}
+		got := tr.Pruefer()
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("encode(decode(seq)) = %v, want %v", got, seq)
+			}
+		}
+	})
+}
+
+// FuzzEulerList checks Lemma 2's structural invariants on trees decoded
+// from fuzzed Prüfer sequences with fuzzed roots.
+func FuzzEulerList(f *testing.F) {
+	f.Add([]byte{4, 4, 4}, uint8(0))
+	f.Add([]byte{1}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, rootRaw uint8) {
+		if len(raw) == 0 || len(raw) > 40 {
+			return
+		}
+		n := len(raw) + 2
+		seq := make([]int, len(raw))
+		for i, b := range raw {
+			seq[i] = int(b)%n + 1
+		}
+		tr, err := FromPruefer(seq)
+		if err != nil {
+			t.Skip()
+		}
+		root := VertexID(int(rootRaw) % tr.NumVertices())
+		l, err := ListConstruction(tr, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Len() > 2*tr.NumVertices() {
+			t.Fatalf("|L| = %d > 2|V| = %d", l.Len(), 2*tr.NumVertices())
+		}
+		seqv := l.Sequence()
+		for i := 0; i+1 < len(seqv); i++ {
+			if !tr.Adjacent(seqv[i], seqv[i+1]) {
+				t.Fatalf("non-adjacent consecutive entries at %d", i)
+			}
+		}
+		for v := 0; v < tr.NumVertices(); v++ {
+			if len(l.Occurrences(VertexID(v))) == 0 {
+				t.Fatalf("vertex %d missing from list", v)
+			}
+		}
+	})
+}
+
+// FuzzConvexHullSafeArea cross-checks hull/safe-area membership against the
+// brute-force definitions on fuzz-derived trees and multisets.
+func FuzzConvexHullSafeArea(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(4), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, sizeRaw, pickRaw, fRaw uint8) {
+		size := 2 + int(sizeRaw)%14
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomPruefer(size, rng)
+		k := 1 + int(pickRaw)%6
+		m := make([]VertexID, k)
+		for i := range m {
+			m[i] = VertexID(rng.Intn(size))
+		}
+		fBudget := int(fRaw) % k
+		hull := tr.ConvexHull(m)
+		want := bruteHull(tr, m)
+		if len(hull) != len(want) {
+			t.Fatalf("hull size %d, want %d", len(hull), len(want))
+		}
+		safe := tr.SafeArea(m, fBudget)
+		wantSafe := bruteSafeArea(tr, m, fBudget)
+		if len(safe) != len(wantSafe) {
+			t.Fatalf("safe area size %d, want %d (m=%v f=%d)", len(safe), len(wantSafe), m, fBudget)
+		}
+		for _, v := range safe {
+			if !wantSafe[v] {
+				t.Fatalf("safe area contains %v not in brute force", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package tree
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// labelWidth returns the number of digits needed so that zero-padded numeric
+// labels sort lexicographically in numeric order.
+func labelWidth(n int) int {
+	w := 1
+	for p := 10; p <= n; p *= 10 {
+		w++
+	}
+	return w
+}
+
+// numLabel formats i as a zero-padded label ("v007") so that lexicographic
+// label order matches numeric order, keeping generated trees intuitive.
+func numLabel(i, width int) string {
+	return fmt.Sprintf("v%0*d", width, i)
+}
+
+func mustBuild(b *Builder) *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("tree: generator produced invalid tree: %v", err))
+	}
+	return t
+}
+
+// NewPath returns the labeled path with n >= 1 vertices v1-v2-...-vn
+// (zero-padded labels). Its diameter is n-1.
+func NewPath(n int) *Tree {
+	var b Builder
+	w := labelWidth(n)
+	b.AddVertex(numLabel(1, w))
+	for i := 2; i <= n; i++ {
+		b.AddEdge(numLabel(i-1, w), numLabel(i, w))
+	}
+	return mustBuild(&b)
+}
+
+// NewStar returns the star with one center and n-1 leaves (n >= 1 vertices).
+// Its diameter is min(2, n-1).
+func NewStar(n int) *Tree {
+	var b Builder
+	w := labelWidth(n)
+	b.AddVertex(numLabel(1, w))
+	for i := 2; i <= n; i++ {
+		b.AddEdge(numLabel(1, w), numLabel(i, w))
+	}
+	return mustBuild(&b)
+}
+
+// NewSpider returns a spider: legs paths of length legLen joined at a hub.
+// It has legs*legLen + 1 vertices and diameter 2*legLen (for legs >= 2).
+func NewSpider(legs, legLen int) *Tree {
+	var b Builder
+	n := legs*legLen + 1
+	w := labelWidth(n)
+	b.AddVertex(numLabel(1, w))
+	next := 2
+	for leg := 0; leg < legs; leg++ {
+		prev := 1
+		for j := 0; j < legLen; j++ {
+			b.AddEdge(numLabel(prev, w), numLabel(next, w))
+			prev = next
+			next++
+		}
+	}
+	return mustBuild(&b)
+}
+
+// NewCaterpillar returns a caterpillar: a spine path of spineLen vertices
+// with legsPer leaf legs attached to each spine vertex.
+func NewCaterpillar(spineLen, legsPer int) *Tree {
+	var b Builder
+	n := spineLen * (1 + legsPer)
+	w := labelWidth(n)
+	b.AddVertex(numLabel(1, w))
+	next := spineLen + 1
+	for i := 2; i <= spineLen; i++ {
+		b.AddEdge(numLabel(i-1, w), numLabel(i, w))
+	}
+	for i := 1; i <= spineLen; i++ {
+		for j := 0; j < legsPer; j++ {
+			b.AddEdge(numLabel(i, w), numLabel(next, w))
+			next++
+		}
+	}
+	return mustBuild(&b)
+}
+
+// NewCompleteKAry returns the complete k-ary tree of the given depth
+// (depth 0 is a single root). For k >= 2 its diameter is 2*depth while
+// |V| = (k^(depth+1)-1)/(k-1), making it the canonical low-diameter family.
+func NewCompleteKAry(k, depth int) *Tree {
+	if k < 1 {
+		panic("tree: NewCompleteKAry requires k >= 1")
+	}
+	n := 1
+	width := 1
+	for d := 0; d < depth; d++ {
+		width *= k
+		n += width
+	}
+	var b Builder
+	w := labelWidth(n)
+	b.AddVertex(numLabel(1, w))
+	next := 2
+	frontier := []int{1}
+	for d := 0; d < depth; d++ {
+		var newFrontier []int
+		for _, p := range frontier {
+			for c := 0; c < k; c++ {
+				b.AddEdge(numLabel(p, w), numLabel(next, w))
+				newFrontier = append(newFrontier, next)
+				next++
+			}
+		}
+		frontier = newFrontier
+	}
+	return mustBuild(&b)
+}
+
+// NewRandom returns a random tree on n vertices drawn by uniform random
+// attachment: vertex i attaches to a uniformly random earlier vertex. The
+// rng makes generation reproducible.
+func NewRandom(n int, rng *rand.Rand) *Tree {
+	var b Builder
+	w := labelWidth(n)
+	b.AddVertex(numLabel(1, w))
+	for i := 2; i <= n; i++ {
+		p := rng.Intn(i-1) + 1
+		b.AddEdge(numLabel(p, w), numLabel(i, w))
+	}
+	return mustBuild(&b)
+}
+
+// FromPruefer decodes a Prüfer sequence into the unique labeled tree on
+// n = len(seq)+2 vertices with zero-padded numeric labels; entries must be in
+// [1, n]. Prüfer decoding is the classic bijection between sequences and
+// labeled trees, which the tests use to sample trees uniformly at random.
+func FromPruefer(seq []int) (*Tree, error) {
+	n := len(seq) + 2
+	degree := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		degree[i] = 1
+	}
+	for _, s := range seq {
+		if s < 1 || s > n {
+			return nil, fmt.Errorf("tree: prüfer entry %d out of range [1,%d]", s, n)
+		}
+		degree[s]++
+	}
+	var b Builder
+	w := labelWidth(n)
+	// ptr/leaf scan gives O(n) decoding.
+	ptr := 1
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, s := range seq {
+		b.AddEdge(numLabel(leaf, w), numLabel(s, w))
+		degree[s]--
+		if degree[s] == 1 && s < ptr {
+			leaf = s
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// Two leaves remain; the larger is n.
+	b.AddEdge(numLabel(leaf, w), numLabel(n, w))
+	return b.Build()
+}
+
+// RandomPruefer returns a uniformly random labeled tree on n >= 2 vertices.
+func RandomPruefer(n int, rng *rand.Rand) *Tree {
+	if n == 1 {
+		var b Builder
+		b.AddVertex("v1")
+		return mustBuild(&b)
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n) + 1
+	}
+	t, err := FromPruefer(seq)
+	if err != nil {
+		panic(err) // unreachable: entries are in range by construction
+	}
+	return t
+}
+
+// Pruefer encodes the tree as its Prüfer sequence, assuming the vertex
+// numbering implied by ascending label order (VertexID+1). It is the inverse
+// of FromPruefer for trees with zero-padded numeric labels. It repeatedly
+// removes the smallest-labeled leaf (min-heap), recording the leaf's
+// neighbor, which is the textbook definition.
+func (t *Tree) Pruefer() []int {
+	n := t.NumVertices()
+	if n <= 2 {
+		return nil
+	}
+	degree := make([]int, n)
+	leaves := &intHeap{}
+	for v := 0; v < n; v++ {
+		degree[v] = t.Degree(VertexID(v))
+		if degree[v] == 1 {
+			heap.Push(leaves, v)
+		}
+	}
+	removed := make([]bool, n)
+	seq := make([]int, 0, n-2)
+	for len(seq) < n-2 {
+		leaf := heap.Pop(leaves).(int)
+		removed[leaf] = true
+		var nb VertexID = None
+		for _, w := range t.Neighbors(VertexID(leaf)) {
+			if !removed[w] {
+				nb = w
+				break
+			}
+		}
+		seq = append(seq, int(nb)+1)
+		degree[nb]--
+		if degree[nb] == 1 {
+			heap.Push(leaves, int(nb))
+		}
+	}
+	return seq
+}
+
+// intHeap is a min-heap of ints for Pruefer encoding.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Figure3Tree returns the 8-vertex tree of the paper's Figure 3, used across
+// tests and examples: v1-v2, v2-{v3,v4,v5}, v3-{v6,v7}, v4-v8.
+func Figure3Tree() *Tree {
+	var b Builder
+	for _, e := range [][2]string{
+		{"v1", "v2"}, {"v2", "v3"}, {"v2", "v4"}, {"v2", "v5"},
+		{"v3", "v6"}, {"v3", "v7"}, {"v4", "v8"},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	return mustBuild(&b)
+}

@@ -1,0 +1,231 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFigure1ConvexHull reproduces the paper's Figure 1: the convex hull of
+// {u1, u2, u3} is {u1, u2, u3, u4, u5}. We build a tree realizing the figure:
+// u1-u4, u4-u5, u5-u2, u5-u3, plus outside vertices hanging off.
+func TestFigure1ConvexHull(t *testing.T) {
+	var b Builder
+	for _, e := range [][2]string{
+		{"u1", "u4"}, {"u4", "u5"}, {"u5", "u2"}, {"u5", "u3"},
+		{"u4", "x1"}, {"u1", "x2"}, {"u2", "x3"}, {"x3", "x4"},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []VertexID{tr.MustVertex("u1"), tr.MustVertex("u2"), tr.MustVertex("u3")}
+	hull := tr.ConvexHull(s)
+	want := map[string]bool{"u1": true, "u2": true, "u3": true, "u4": true, "u5": true}
+	if len(hull) != len(want) {
+		t.Fatalf("hull = %v, want %v", tr.Labels(hull), want)
+	}
+	for _, v := range hull {
+		if !want[tr.Label(v)] {
+			t.Errorf("hull contains unexpected %s", tr.Label(v))
+		}
+	}
+}
+
+// bruteHull computes ⟨S⟩ via the definition: w ∈ ⟨S⟩ iff w lies on P(u,v)
+// for some u, v ∈ S.
+func bruteHull(tr *Tree, s []VertexID) map[VertexID]bool {
+	hull := make(map[VertexID]bool)
+	for _, u := range s {
+		for _, v := range s {
+			for _, w := range tr.Path(u, v) {
+				hull[w] = true
+			}
+		}
+	}
+	return hull
+}
+
+func TestConvexHullMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tr := RandomPruefer(2+rng.Intn(25), rng)
+		k := 1 + rng.Intn(5)
+		s := make([]VertexID, k)
+		for i := range s {
+			s[i] = VertexID(rng.Intn(tr.NumVertices()))
+		}
+		want := bruteHull(tr, s)
+		got := tr.ConvexHull(s)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: hull size %d, want %d (S=%v)\n%s",
+				trial, len(got), len(want), tr.Labels(s), tr)
+		}
+		for _, v := range got {
+			if !want[v] {
+				t.Fatalf("trial %d: hull contains %s not in brute force", trial, tr.Label(v))
+			}
+		}
+	}
+}
+
+func TestConvexHullEdgeCases(t *testing.T) {
+	tr := Figure3Tree()
+	if got := tr.ConvexHull(nil); got != nil {
+		t.Errorf("hull(∅) = %v, want nil", got)
+	}
+	v5 := tr.MustVertex("v5")
+	if got := tr.ConvexHull([]VertexID{v5}); len(got) != 1 || got[0] != v5 {
+		t.Errorf("hull({v5}) = %v, want [v5]", tr.Labels(got))
+	}
+	// Duplicates behave as a set.
+	got := tr.ConvexHull([]VertexID{v5, v5, v5})
+	if len(got) != 1 || got[0] != v5 {
+		t.Errorf("hull({v5,v5,v5}) = %v, want [v5]", tr.Labels(got))
+	}
+}
+
+func TestInHull(t *testing.T) {
+	tr := Figure3Tree()
+	s := []VertexID{tr.MustVertex("v6"), tr.MustVertex("v5")}
+	// Hull of {v6, v5} = {v6, v3, v2, v5}.
+	for _, lbl := range []string{"v6", "v3", "v2", "v5"} {
+		if !tr.InHull(s, tr.MustVertex(lbl)) {
+			t.Errorf("InHull(%s) = false, want true", lbl)
+		}
+	}
+	for _, lbl := range []string{"v1", "v4", "v7", "v8"} {
+		if tr.InHull(s, tr.MustVertex(lbl)) {
+			t.Errorf("InHull(%s) = true, want false", lbl)
+		}
+	}
+}
+
+// bruteSafeArea checks membership over all ways to discard exactly f
+// elements (discarding fewer only shrinks hulls, so discarding exactly f
+// of a larger multiset dominates... we enumerate all subsets of size
+// len(m)-f and intersect their hulls, the definition).
+func bruteSafeArea(tr *Tree, m []VertexID, f int) map[VertexID]bool {
+	n := len(m)
+	keep := n - f
+	if keep <= 0 {
+		return nil
+	}
+	safe := make(map[VertexID]bool)
+	for v := 0; v < tr.NumVertices(); v++ {
+		safe[VertexID(v)] = true
+	}
+	idx := make([]int, keep)
+	var rec func(start, k int)
+	var subset []VertexID
+	rec = func(start, k int) {
+		if k == keep {
+			subset = subset[:0]
+			for _, i := range idx {
+				subset = append(subset, m[i])
+			}
+			hull := make(map[VertexID]bool)
+			for _, v := range tr.ConvexHull(subset) {
+				hull[v] = true
+			}
+			for v := range safe {
+				if !hull[v] {
+					delete(safe, v)
+				}
+			}
+			return
+		}
+		for i := start; i <= n-(keep-k); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return safe
+}
+
+func TestSafeAreaMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		tr := RandomPruefer(2+rng.Intn(12), rng)
+		mLen := 4 + rng.Intn(4) // multiset of 4..7 vertices (with repeats)
+		m := make([]VertexID, mLen)
+		for i := range m {
+			m[i] = VertexID(rng.Intn(tr.NumVertices()))
+		}
+		f := rng.Intn(mLen) // discard budget 0..mLen-1
+		want := bruteSafeArea(tr, m, f)
+		got := tr.SafeArea(m, f)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: safe area %v, want %d vertices (m=%v f=%d)\n%s",
+				trial, tr.Labels(got), len(want), tr.Labels(m), f, tr)
+		}
+		for _, v := range got {
+			if !want[v] {
+				t.Fatalf("trial %d: safe area has %s not in brute force", trial, tr.Label(v))
+			}
+		}
+	}
+}
+
+func TestSafeAreaDegenerate(t *testing.T) {
+	tr := Figure3Tree()
+	v := tr.MustVertex("v5")
+	if got := tr.SafeArea(nil, 0); got != nil {
+		t.Errorf("SafeArea(∅) = %v", got)
+	}
+	if got := tr.SafeArea([]VertexID{v, v}, 2); got != nil {
+		t.Errorf("SafeArea with f >= len(m) = %v, want nil", got)
+	}
+	// With no faults, safe area == hull.
+	m := []VertexID{tr.MustVertex("v6"), tr.MustVertex("v5")}
+	got := tr.SafeArea(m, 0)
+	hull := tr.ConvexHull(m)
+	if len(got) != len(hull) {
+		t.Fatalf("SafeArea(f=0) = %v, want hull %v", tr.Labels(got), tr.Labels(hull))
+	}
+	for i := range got {
+		if got[i] != hull[i] {
+			t.Errorf("SafeArea(f=0)[%d] = %s, want %s", i, tr.Label(got[i]), tr.Label(hull[i]))
+		}
+	}
+}
+
+func TestSafeAreaNonEmptyUnderByzantineBound(t *testing.T) {
+	// With n parties, f < n/3, and any multiset of n values, the safe area
+	// must be non-empty: this is the liveness fact the baseline protocol
+	// relies on.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		tr := RandomPruefer(2+rng.Intn(15), rng)
+		n := 4 + rng.Intn(9)
+		f := (n - 1) / 3
+		m := make([]VertexID, n)
+		for i := range m {
+			m[i] = VertexID(rng.Intn(tr.NumVertices()))
+		}
+		if got := tr.SafeArea(m, f); len(got) == 0 {
+			t.Fatalf("trial %d: empty safe area for n=%d f=%d m=%v\n%s",
+				trial, n, f, tr.Labels(m), tr)
+		}
+	}
+}
+
+func TestInducedSubtree(t *testing.T) {
+	tr := Figure3Tree()
+	hull := tr.ConvexHull([]VertexID{tr.MustVertex("v6"), tr.MustVertex("v5")})
+	sub, err := tr.InducedSubtree(hull)
+	if err != nil {
+		t.Fatalf("InducedSubtree: %v", err)
+	}
+	if sub.NumVertices() != len(hull) {
+		t.Errorf("subtree has %d vertices, want %d", sub.NumVertices(), len(hull))
+	}
+	if _, err := sub.VertexByLabel("v3"); err != nil {
+		t.Errorf("subtree missing v3: %v", err)
+	}
+	if _, err := tr.InducedSubtree([]VertexID{tr.MustVertex("v1"), tr.MustVertex("v8")}); err == nil {
+		t.Error("disconnected induced set should fail")
+	}
+}

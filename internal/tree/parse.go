@@ -1,0 +1,151 @@
+package tree
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Parse reads a tree from the plain-text edge-list format:
+//
+//	# comment lines and blank lines are ignored
+//	a - b
+//	b - c
+//
+// A single-vertex tree is written as one line holding just the label.
+// Whitespace around labels is trimmed; labels may not contain '-' or
+// whitespace.
+func Parse(r io.Reader) (*Tree, error) {
+	var b Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "-")
+		switch len(parts) {
+		case 1:
+			b.AddVertex(strings.TrimSpace(parts[0]))
+		case 2:
+			u, v := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+			if u == "" || v == "" {
+				return nil, fmt.Errorf("tree: line %d: empty label in edge %q", lineNo, line)
+			}
+			b.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("tree: line %d: expected \"a - b\", got %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tree: reading input: %w", err)
+	}
+	return b.Build()
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Tree, error) { return Parse(strings.NewReader(s)) }
+
+// WriteTo writes the tree in the edge-list format understood by Parse.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	if t.NumVertices() == 1 {
+		n, err := fmt.Fprintln(w, t.Label(0))
+		return int64(n), err
+	}
+	for _, e := range t.Edges() {
+		n, err := fmt.Fprintf(w, "%s - %s\n", t.Label(e[0]), t.Label(e[1]))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the edge list as a single string.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return fmt.Sprintf("<tree: %v>", err)
+	}
+	return sb.String()
+}
+
+// treeJSON is the stable wire representation used by MarshalJSON.
+type treeJSON struct {
+	Vertices []string    `json:"vertices"`
+	Edges    [][2]string `json:"edges"`
+}
+
+// MarshalJSON encodes the tree as {"vertices": [...], "edges": [[a,b],...]}.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	doc := treeJSON{Vertices: make([]string, t.NumVertices())}
+	copy(doc.Vertices, t.labels)
+	for _, e := range t.Edges() {
+		doc.Edges = append(doc.Edges, [2]string{t.Label(e[0]), t.Label(e[1])})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes the representation produced by MarshalJSON,
+// validating tree-ness.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var doc treeJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("tree: decoding JSON: %w", err)
+	}
+	var b Builder
+	for _, v := range doc.Vertices {
+		b.AddVertex(v)
+	}
+	for _, e := range doc.Edges {
+		if !b.seen[e[0]] || !b.seen[e[1]] {
+			return fmt.Errorf("%w: edge %q-%q references undeclared vertex", ErrUnknownVertex, e[0], e[1])
+		}
+		b.edges = append(b.edges, e)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*t = *built
+	return nil
+}
+
+// Equal reports whether two trees have identical labeled vertex and edge
+// sets.
+func (t *Tree) Equal(o *Tree) bool {
+	if t.NumVertices() != o.NumVertices() {
+		return false
+	}
+	for i, l := range t.labels {
+		if o.labels[i] != l {
+			return false
+		}
+	}
+	te, oe := t.Edges(), o.Edges()
+	if len(te) != len(oe) {
+		return false
+	}
+	for i := range te {
+		if te[i] != oe[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedLabels returns all labels in lexicographic order (a copy).
+func (t *Tree) SortedLabels() []string {
+	out := make([]string, len(t.labels))
+	copy(out, t.labels)
+	sort.Strings(out) // already sorted by construction; kept for safety
+	return out
+}

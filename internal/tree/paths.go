@@ -1,0 +1,222 @@
+package tree
+
+import "fmt"
+
+// DistancesFrom returns d(src, v) for every vertex v, computed by BFS.
+func (t *Tree) DistancesFrom(src VertexID) []int {
+	dist := make([]int, t.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the length of the unique path P(u, v).
+func (t *Tree) Dist(u, v VertexID) int {
+	if u == v {
+		return 0
+	}
+	return t.DistancesFrom(u)[v]
+}
+
+// Path returns the unique path P(u, v) as the vertex sequence (u, ..., v),
+// inclusive of both endpoints.
+func (t *Tree) Path(u, v VertexID) []VertexID {
+	if u == v {
+		return []VertexID{u}
+	}
+	// BFS from v recording parents, then walk from u toward v.
+	parent := make([]VertexID, t.NumVertices())
+	for i := range parent {
+		parent[i] = None
+	}
+	parent[v] = v
+	queue := []VertexID{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == u {
+			break
+		}
+		for _, w := range t.adj[x] {
+			if parent[w] == None {
+				parent[w] = x
+				queue = append(queue, w)
+			}
+		}
+	}
+	path := []VertexID{u}
+	for x := u; x != v; {
+		x = parent[x]
+		path = append(path, x)
+	}
+	return path
+}
+
+// Diameter returns D(T), the length of the longest path, together with the
+// endpoints of one such path. It uses the classic double-BFS: the farthest
+// vertex from any start is one endpoint of a diameter.
+func (t *Tree) Diameter() (d int, endA, endB VertexID) {
+	endA = farthest(t.DistancesFrom(0))
+	distA := t.DistancesFrom(endA)
+	endB = farthest(distA)
+	return distA[endB], endA, endB
+}
+
+func farthest(dist []int) VertexID {
+	best := VertexID(0)
+	for v, d := range dist {
+		if d > dist[best] {
+			best = VertexID(v)
+		}
+	}
+	return best
+}
+
+// Eccentricity returns max_v d(u, v).
+func (t *Tree) Eccentricity(u VertexID) int {
+	e := 0
+	for _, d := range t.DistancesFrom(u) {
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// Center returns a vertex minimizing eccentricity (a tree has one or two
+// centers; the one with the lower VertexID is returned). It is located as
+// the midpoint of a diameter path.
+func (t *Tree) Center() VertexID {
+	_, a, b := t.Diameter()
+	p := t.Path(a, b)
+	c1 := p[(len(p)-1)/2]
+	c2 := p[len(p)/2]
+	if c2 < c1 {
+		return c2
+	}
+	return c1
+}
+
+// IsPath reports whether the whole tree is a simple path (every vertex has
+// degree at most 2).
+func (t *Tree) IsPath() bool {
+	for v := VertexID(0); int(v) < t.NumVertices(); v++ {
+		if t.Degree(v) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidatePath checks that p is a well-formed simple path in t: non-empty,
+// consecutive vertices adjacent, and no repeated vertex.
+func (t *Tree) ValidatePath(p []VertexID) error {
+	if len(p) == 0 {
+		return fmt.Errorf("tree: empty path")
+	}
+	seen := make(map[VertexID]bool, len(p))
+	for i, v := range p {
+		if !t.Valid(v) {
+			return fmt.Errorf("%w: id %d", ErrUnknownVertex, int(v))
+		}
+		if seen[v] {
+			return fmt.Errorf("tree: path repeats vertex %s", t.Label(v))
+		}
+		seen[v] = true
+		if i > 0 && !t.Adjacent(p[i-1], v) {
+			return fmt.Errorf("tree: path vertices %s and %s are not adjacent", t.Label(p[i-1]), t.Label(v))
+		}
+	}
+	return nil
+}
+
+// Adjacent reports whether u and v share an edge.
+func (t *Tree) Adjacent(u, v VertexID) bool {
+	ns := t.adj[u]
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ns[mid] == v:
+			return true
+		case ns[mid] < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// ProjectOntoPath returns proj_P(v): the vertex of path p closest to v
+// (Section 5 of the paper). The projection is unique in a tree. The path is
+// given as a vertex sequence; the returned value is the index into p of the
+// projection, together with the vertex itself.
+func (t *Tree) ProjectOntoPath(p []VertexID, v VertexID) (idx int, proj VertexID) {
+	pos := make(map[VertexID]int, len(p))
+	for i, u := range p {
+		pos[u] = i
+	}
+	if i, ok := pos[v]; ok {
+		return i, v
+	}
+	// Walk from v outward (BFS); the first path vertex reached is the
+	// projection, since the unique v-to-path walk enters P exactly once
+	// (Lemma 1's argument).
+	visited := make([]bool, t.NumVertices())
+	visited[v] = true
+	queue := []VertexID{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if i, ok := pos[x]; ok {
+			return i, x
+		}
+		for _, w := range t.adj[x] {
+			if !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1, None // unreachable in a connected tree
+}
+
+// ProjectAllOntoPath returns, for every vertex v of the tree, the index into
+// p of proj_P(v). It runs a single multi-source BFS from the path, so it is
+// O(|V|) regardless of |p|.
+func (t *Tree) ProjectAllOntoPath(p []VertexID) []int {
+	proj := make([]int, t.NumVertices())
+	for i := range proj {
+		proj[i] = -1
+	}
+	queue := make([]VertexID, 0, len(p))
+	for i, u := range p {
+		proj[u] = i
+		queue = append(queue, u)
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[x] {
+			if proj[w] < 0 {
+				proj[w] = proj[x]
+				queue = append(queue, w)
+			}
+		}
+	}
+	return proj
+}

@@ -1,0 +1,68 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the tree rooted at root as indented ASCII art, one vertex per
+// line, children in label order. Optional marks annotate vertices (for
+// example "input", "output", "hull") and are printed after the label.
+//
+//	v1
+//	└── v2
+//	    ├── v3  [hull]
+//	    │   ├── v6
+//	    │   └── v7
+//	    ├── v4
+//	    │   └── v8
+//	    └── v5
+func (t *Tree) Render(root VertexID, marks map[VertexID]string) string {
+	var sb strings.Builder
+	var rec func(v, parent VertexID, prefix string, last bool, isRoot bool)
+	rec = func(v, parent VertexID, prefix string, last bool, isRoot bool) {
+		if isRoot {
+			sb.WriteString(t.Label(v))
+		} else {
+			sb.WriteString(prefix)
+			if last {
+				sb.WriteString("└── ")
+			} else {
+				sb.WriteString("├── ")
+			}
+			sb.WriteString(t.Label(v))
+		}
+		if m, ok := marks[v]; ok {
+			fmt.Fprintf(&sb, "  [%s]", m)
+		}
+		sb.WriteByte('\n')
+		var children []VertexID
+		for _, w := range t.Neighbors(v) {
+			if w != parent {
+				children = append(children, w)
+			}
+		}
+		for i, c := range children {
+			childPrefix := prefix
+			if !isRoot {
+				if last {
+					childPrefix += "    "
+				} else {
+					childPrefix += "│   "
+				}
+			}
+			rec(c, v, childPrefix, i == len(children)-1, false)
+		}
+	}
+	rec(root, None, "", true, true)
+	return sb.String()
+}
+
+// RenderPath formats a vertex sequence as "v1 → v2 → v3".
+func (t *Tree) RenderPath(p []VertexID) string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = t.Label(v)
+	}
+	return strings.Join(parts, " → ")
+}

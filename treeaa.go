@@ -1,0 +1,110 @@
+// Package treeaa is a Go implementation of round-optimal Byzantine
+// Approximate Agreement on trees, reproducing "Brief Announcement: Towards
+// Round-Optimal Approximate Agreement on Trees" (Fuchs, Ghinea, Parsaeian;
+// PODC 2025).
+//
+// # Problem
+//
+// n parties hold vertices of a publicly known labeled tree T as inputs; up
+// to t < n/3 parties are Byzantine. Every honest party must output a vertex
+// such that all honest outputs are within distance 1 of each other
+// (1-Agreement) and lie in the smallest subtree spanning the honest inputs
+// (Validity).
+//
+// # What the library provides
+//
+//   - TreeAA, the paper's protocol: O(log|V(T)|/loglog|V(T)|) rounds via a
+//     two-phase reduction to real-valued Approximate Agreement (Euler-list
+//     flattening + projection onto an approximately-agreed path).
+//   - The full substrate: labeled trees with convex-hull/projection/LCA
+//     machinery, a synchronous lock-step simulator with rushing adaptive
+//     adversaries, BDH gradecast, the RealAA building block, the classic
+//     DLPSW baseline, an O(log D) iteration-based tree baseline, an
+//     authenticated exact-agreement comparator (Dolev–Strong + tree median),
+//     a library of Byzantine strategies, and Fekete lower-bound calculators.
+//
+// This root package is a thin façade over the internal packages for the
+// most common entry points; examples/ and cmd/ show richer usage.
+package treeaa
+
+import (
+	"io"
+	"math/rand"
+
+	"treeaa/internal/baseline"
+	"treeaa/internal/core"
+	"treeaa/internal/exactaa"
+	"treeaa/internal/lowerbound"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// Tree is a labeled input-space tree. See the Parse*, New* and Builder
+// constructors.
+type Tree = tree.Tree
+
+// VertexID identifies a vertex of a Tree.
+type VertexID = tree.VertexID
+
+// Builder incrementally constructs a Tree from labeled vertices and edges.
+type Builder = tree.Builder
+
+// PartyID identifies one of the n parties.
+type PartyID = sim.PartyID
+
+// Adversary is the interface Byzantine strategies implement; ready-made
+// strategies live in internal/adversary and are exercised by cmd/ and the
+// test suites.
+type Adversary = sim.Adversary
+
+// Result summarizes a TreeAA execution.
+type Result = core.Result
+
+// ParseTree reads a tree in the "a - b" edge-list format.
+func ParseTree(r io.Reader) (*Tree, error) { return tree.Parse(r) }
+
+// ParseTreeString reads a tree from an in-memory edge list.
+func ParseTreeString(s string) (*Tree, error) { return tree.ParseString(s) }
+
+// NewPathTree, NewStarTree, NewSpiderTree, NewRandomTree construct common
+// input-space families with zero-padded numeric labels.
+func NewPathTree(n int) *Tree                   { return tree.NewPath(n) }
+func NewStarTree(n int) *Tree                   { return tree.NewStar(n) }
+func NewSpiderTree(legs, legLen int) *Tree      { return tree.NewSpider(legs, legLen) }
+func NewRandomTree(n int, rng *rand.Rand) *Tree { return tree.RandomPruefer(n, rng) }
+
+// Run executes TreeAA for n parties with fault budget t on tr; inputs[i] is
+// party i's input vertex and adv (nil for none) drives the Byzantine
+// parties. It returns the honest parties' outputs and execution statistics.
+func Run(tr *Tree, n, t int, inputs []VertexID, adv Adversary) (*Result, error) {
+	return core.Run(tr, n, t, inputs, adv)
+}
+
+// RunBaseline executes the O(log D) iteration-based comparison protocol
+// under the same conventions as Run.
+func RunBaseline(tr *Tree, n, t int, inputs []VertexID, adv Adversary) (map[PartyID]VertexID, error) {
+	out, _, err := baseline.Run(tr, n, t, inputs, adv)
+	return out, err
+}
+
+// Rounds returns TreeAA's communication-round budget for tr: the paper's
+// R_RealAA(2|V|,1) + R_RealAA(D(T),1) = O(log|V|/loglog|V|).
+func Rounds(tr *Tree) int { return core.Rounds(tr) }
+
+// LowerBoundRounds returns the smallest R for which Fekete's adapted bound
+// permits 1-Agreement on a diameter-d input space with n parties and t
+// faults (Theorem 2 machinery).
+func LowerBoundRounds(d float64, n, t int) int { return lowerbound.MinRounds(d, n, t) }
+
+// RunExact executes the authenticated exact-agreement comparator
+// (Dolev–Strong broadcast + tree median, t < n/2, t+1 rounds) — the
+// O(n)-round alternative the paper's PathsFinder avoids. A fresh ed25519
+// keyring is generated per call.
+func RunExact(tr *Tree, n, t int, inputs []VertexID, adv Adversary) (map[PartyID]VertexID, error) {
+	out, _, err := exactaa.Run(tr, n, t, inputs, adv)
+	return out, err
+}
+
+// ExactRounds returns the comparator's round budget (t+2: t+1 send rounds
+// plus local processing).
+func ExactRounds(t int) int { return exactaa.Rounds(t) }
