@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz examples experiments clean
+.PHONY: all build test race race-sim cover bench bench-sim fuzz examples experiments clean
 
-all: build test
+all: build test race-sim
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The sim engine's sequential/concurrent equivalence must hold under the
+# race detector; this focused gate is cheap enough for the default target.
+race-sim:
+	$(GO) test -race ./internal/sim/...
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -20
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Engine microbenchmarks (the BenchmarkSimRound family); `go run
+# ./cmd/bench-rounds -json > BENCH_sim.json` snapshots the same cases.
+bench-sim:
+	$(GO) test -run xxx -bench SimRound -benchmem .
 
 # Short fuzz pass over every fuzz target (tree parsing, Prüfer codec,
 # Euler-list invariants, hull/safe-area cross-checks).

@@ -21,6 +21,7 @@ import (
 	"treeaa/internal/lowerbound"
 	"treeaa/internal/realaa"
 	"treeaa/internal/sim"
+	"treeaa/internal/simbench"
 	"treeaa/internal/tree"
 )
 
@@ -34,27 +35,71 @@ func spreadInputs(tr *tree.Tree, n int) []tree.VertexID {
 }
 
 // BenchmarkE1RealAARounds measures RealAA's fixed-schedule round count
-// against Theorem 3's R_RealAA(D, eps) formula across input spreads.
+// against Theorem 3's R_RealAA(D, eps) formula across input spreads and
+// party counts. The n=64 cases double as the substrate throughput gauge:
+// they exercise the multi-word suspicion masks and put ~4x more gradecast
+// instances per round through the engine than the paper-scale n=7 runs.
 func BenchmarkE1RealAARounds(b *testing.B) {
-	for _, d := range []float64{10, 100, 1e4, 1e6} {
-		b.Run(fmt.Sprintf("D=%g", d), func(b *testing.B) {
-			n, t := 7, 2
-			inputs := make([]float64, n)
-			for i := range inputs {
-				inputs[i] = d * float64(i) / float64(n-1)
-			}
-			var rounds int
-			for i := 0; i < b.N; i++ {
-				outputs, _, err := realaa.RunReal(n, t, inputs, d, 1, true, nil)
-				if err != nil {
-					b.Fatal(err)
+	for _, n := range []int{7, 64} {
+		t := (n - 1) / 3
+		for _, d := range []float64{10, 100, 1e4, 1e6} {
+			b.Run(fmt.Sprintf("n=%d/D=%g", n, d), func(b *testing.B) {
+				inputs := make([]float64, n)
+				for i := range inputs {
+					inputs[i] = d * float64(i) / float64(n-1)
 				}
-				rounds = 3*realaa.Iterations(d, 1) + 1
-				_ = outputs
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					outputs, _, err := realaa.RunReal(n, t, inputs, d, 1, true, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = 3*realaa.Iterations(d, 1) + 1
+					_ = outputs
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(realaa.Rounds(d, 1)), "theoryR_RealAA")
+			})
+		}
+	}
+}
+
+// BenchmarkE1RealAABatch runs the whole E1 diameter sweep as a single
+// sim.RunBatch call: the four executions are independent deterministic
+// protocol runs, so the batch runner spreads them across cores. Comparing
+// its ns/op against the summed BenchmarkE1RealAARounds n=7 cases measures
+// the sweep-level speedup the parallel runner buys.
+func BenchmarkE1RealAABatch(b *testing.B) {
+	n, t := 7, 2
+	ds := []float64{10, 100, 1e4, 1e6}
+	cfgs := make([]sim.Config, len(ds))
+	for i, d := range ds {
+		cfgs[i] = sim.Config{N: n, MaxCorrupt: t, MaxRounds: 3*realaa.Iterations(d, 1) + 2}
+	}
+	machinesFor := func(i int) []sim.Machine {
+		d := ds[i]
+		inputs := make([]float64, n)
+		for p := range inputs {
+			inputs[p] = d * float64(p) / float64(n-1)
+		}
+		machines := make([]sim.Machine, n)
+		for p := 0; p < n; p++ {
+			m, err := realaa.NewMachine(realaa.Config{
+				N: n, T: t, ID: sim.PartyID(p), Tag: "real", StartRound: 1,
+				Input: inputs[p], Iterations: realaa.Iterations(d, 1),
+			})
+			if err != nil {
+				b.Fatal(err)
 			}
-			b.ReportMetric(float64(rounds), "rounds")
-			b.ReportMetric(float64(realaa.Rounds(d, 1)), "theoryR_RealAA")
-		})
+			machines[p] = m
+		}
+		return machines
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunBatch(cfgs, machinesFor); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -367,6 +412,17 @@ func BenchmarkE7ExactAASigning(b *testing.B) {
 		if !keys.Verify(0, "bench", 0, 5, sig) {
 			b.Fatal("verify failed")
 		}
+	}
+}
+
+// BenchmarkSimRound runs the sim-engine microbenchmark family from
+// internal/simbench: sequential/concurrent/adversary round loops and the
+// RunBatch parallel sweep runner. The same cases back `bench-rounds -json`
+// (BENCH_sim.json), so CI-number comparisons and the committed snapshot
+// measure identical workloads.
+func BenchmarkSimRound(b *testing.B) {
+	for _, c := range simbench.Cases() {
+		b.Run(c.Name, c.Bench)
 	}
 }
 

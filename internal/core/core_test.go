@@ -515,14 +515,14 @@ func TestFigure5FallbackIsDefensiveInDepth(t *testing.T) {
 	}
 }
 
-func TestPartyCountLimit(t *testing.T) {
-	// The suspicion-mask repair caps N at 52 (float64-exact bitmask); the
-	// limit must surface as a clean constructor error, not a miscount.
+func TestPartyCountBeyondOneMaskWord(t *testing.T) {
+	// The suspicion-mask repair historically capped N at 52 (float64-exact
+	// bitmask); masks now span multiple gradecast words, so large N must be
+	// accepted by the constructor.
 	tr := tree.NewPath(10)
-	if _, err := NewMachine(Config{Tree: tr, N: 53, T: 17, ID: 0, Input: 0}); err == nil {
-		t.Error("N = 53 should be rejected")
-	}
-	if _, err := NewMachine(Config{Tree: tr, N: 52, T: 17, ID: 0, Input: 0}); err != nil {
-		t.Errorf("N = 52 rejected: %v", err)
+	for _, n := range []int{52, 53, 64} {
+		if _, err := NewMachine(Config{Tree: tr, N: n, T: (n - 1) / 3, ID: 0, Input: 0}); err != nil {
+			t.Errorf("N = %d rejected: %v", n, err)
+		}
 	}
 }

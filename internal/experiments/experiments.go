@@ -80,27 +80,33 @@ type E1Row struct {
 
 // E1RoundsSweep measures RealAA's fixed schedule and final spread across
 // input diameters (experiment E1), with no adversary: validity must yield a
-// final range of 0.
+// final range of 0. The diameters run in parallel (each execution is an
+// independent deterministic protocol run); row order follows the input.
 func E1RoundsSweep(n, t int, diameters []float64) ([]E1Row, error) {
-	var rows []E1Row
-	for _, d := range diameters {
+	rows := make([]E1Row, len(diameters))
+	err := sim.ForEach(len(diameters), func(i int) error {
+		d := diameters[i]
 		inputs := pseudoSpread(n, d)
 		outputs, _, err := realaa.RunReal(n, t, inputs, d, 1, true, nil)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: E1 D=%g: %w", d, err)
+			return fmt.Errorf("experiments: E1 D=%g: %w", d, err)
 		}
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, v := range outputs {
 			lo = math.Min(lo, v)
 			hi = math.Max(hi, v)
 		}
-		rows = append(rows, E1Row{
+		rows[i] = E1Row{
 			D:              d,
 			ScheduleRounds: 3*realaa.Iterations(d, 1) + 1,
 			FormulaRounds:  realaa.Rounds(d, 1),
 			FinalRange:     hi - lo,
 			Valid:          lo >= -1e-9 && hi <= d+1e-9,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -125,35 +131,58 @@ type E2Row struct {
 }
 
 // E2RoundsSweep measures TreeAA and the baseline across families and sizes
-// (experiments E2 and E5).
+// (experiments E2 and E5). The (family, size) cells run in parallel —
+// every cell builds its own tree and trees are immutable once built — and
+// the rows keep the sequential family-major order.
 func E2RoundsSweep(families []Family, sizes []int, n, t int) ([]E2Row, error) {
-	var rows []E2Row
+	type cell struct {
+		f    Family
+		size int
+	}
+	var cells []cell
 	for _, f := range families {
 		for _, size := range sizes {
-			tr := f.Make(size)
-			d, _, _ := tr.Diameter()
-			if d <= 1 {
-				continue
-			}
-			inputs := SpreadInputs(tr, n)
-			res, err := core.Run(tr, n, t, inputs, nil)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s V=%d: %w", f.Name, size, err)
-			}
-			_, bres, err := baseline.Run(tr, n, t, inputs, nil)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s V=%d baseline: %w", f.Name, size, err)
-			}
-			v := float64(tr.NumVertices())
-			rows = append(rows, E2Row{
-				Family: f.Name, V: tr.NumVertices(), D: d,
-				TreeAARounds: res.Rounds, BaseRounds: bres.Rounds,
-				LowerBound: lowerbound.MinRounds(float64(d), n, t),
-				Theory:     math.Log2(v) / math.Log2(math.Log2(v)),
-			})
+			cells = append(cells, cell{f, size})
 		}
 	}
-	return rows, nil
+	rows := make([]E2Row, len(cells))
+	skip := make([]bool, len(cells))
+	err := sim.ForEach(len(cells), func(i int) error {
+		f, size := cells[i].f, cells[i].size
+		tr := f.Make(size)
+		d, _, _ := tr.Diameter()
+		if d <= 1 {
+			skip[i] = true
+			return nil
+		}
+		inputs := SpreadInputs(tr, n)
+		res, err := core.Run(tr, n, t, inputs, nil)
+		if err != nil {
+			return fmt.Errorf("experiments: %s V=%d: %w", f.Name, size, err)
+		}
+		_, bres, err := baseline.Run(tr, n, t, inputs, nil)
+		if err != nil {
+			return fmt.Errorf("experiments: %s V=%d baseline: %w", f.Name, size, err)
+		}
+		v := float64(tr.NumVertices())
+		rows[i] = E2Row{
+			Family: f.Name, V: tr.NumVertices(), D: d,
+			TreeAARounds: res.Rounds, BaseRounds: bres.Rounds,
+			LowerBound: lowerbound.MinRounds(float64(d), n, t),
+			Theory:     math.Log2(v) / math.Log2(math.Log2(v)),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := rows[:0]
+	for i, r := range rows {
+		if !skip[i] {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
 }
 
 // E2Table renders the sweep with the normalized columns EXPERIMENTS.md
@@ -238,11 +267,12 @@ func E4DetectAblation(n, t int, d float64) ([]E4Row, error) {
 		{"DLPSW", "none", false, nil},
 		{"DLPSW", "splitter", false, &adversary.DLPSWSplitter{IDs: ids, N: n, Tag: "real"}},
 	}
-	var rows []E4Row
-	for _, v := range variants {
+	rows := make([]E4Row, len(variants))
+	err := sim.ForEach(len(variants), func(i int) error {
+		v := variants[i]
 		outputs, histories, err := realaa.RunReal(n, t, inputs, d, 1, v.detect, v.adv)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", v.protocol, v.advName, err)
+			return fmt.Errorf("experiments: %s/%s: %w", v.protocol, v.advName, err)
 		}
 		roundsPerIter, budget := 1, realaa.DLPSWIterations(d, 1)+1
 		if v.detect {
@@ -253,13 +283,17 @@ func E4DetectAblation(n, t int, d float64) ([]E4Row, error) {
 			lo = math.Min(lo, out)
 			hi = math.Max(hi, out)
 		}
-		rows = append(rows, E4Row{
+		rows[i] = E4Row{
 			Protocol: v.protocol, Adversary: v.advName,
 			BudgetRounds:   budget,
 			MeasuredRounds: realaa.ConvergenceRound(histories, 1, roundsPerIter),
 			FinalRange:     hi - lo,
 			Valid:          lo >= -1e-9 && hi <= d+1e-9 && hi-lo <= 1+1e-9,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -361,17 +395,24 @@ func E6Matrix(tr *tree.Tree, n, t int, seed int64) ([]E6Row, error) {
 			return &adversary.RandomNoise{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Seed: seed + int64(1000*k), MaxVal: 2 * tr.NumVertices()}
 		})},
 	}
-	var rows []E6Row
-	for _, s := range strategies {
+	// The strategies run in parallel: each adversary value is used by
+	// exactly one execution, and the shared tree is immutable.
+	rows := make([]E6Row, len(strategies))
+	err := sim.ForEach(len(strategies), func(i int) error {
+		s := strategies[i]
 		res, err := core.Run(tr, n, t, inputs, s.adv)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", s.name, err)
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
 		}
 		maxDist, valid := Judge(tr, inputs, corrupt, res.Outputs)
-		rows = append(rows, E6Row{
+		rows[i] = E6Row{
 			Adversary: s.name, Rounds: res.Rounds, Messages: res.Messages,
 			Bytes: res.Bytes, MaxDist: maxDist, Valid: valid,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

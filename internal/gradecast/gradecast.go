@@ -30,7 +30,7 @@
 package gradecast
 
 import (
-	"sort"
+	"math"
 
 	"treeaa/internal/sim"
 )
@@ -150,44 +150,172 @@ func collectVectors(inbox []sim.Message, tag string, iter int, votes bool) map[s
 // vectors received: for each leader, if some value was echoed by at least
 // n-t parties, vote for it; otherwise vote ⊥ (leader omitted).
 func ComputeVotes(n, t int, echoes map[sim.PartyID]map[sim.PartyID]float64) map[sim.PartyID]float64 {
-	votes := make(map[sim.PartyID]float64)
-	for leader := sim.PartyID(0); int(leader) < n; leader++ {
-		counts := make(map[float64]int)
-		for _, vec := range echoes {
-			if v, ok := vec[leader]; ok {
-				counts[v]++
-			}
-		}
-		if v, c, ok := argmax(counts); ok && c >= n-t {
-			votes[leader] = v
-		}
-	}
-	return votes
+	var ta Tally
+	return ta.ComputeVotes(n, t, flatten(echoes))
 }
 
 // ComputeGrades derives the final (value, grade) per leader from the vote
 // vectors received: grade 2 for ≥ n-t matching votes, grade 1 for ≥ t+1,
 // grade 0 (and no value) otherwise.
 func ComputeGrades(n, t int, votes map[sim.PartyID]map[sim.PartyID]float64) map[sim.PartyID]Result {
+	var ta Tally
+	grades := ta.ComputeGrades(nil, n, t, flatten(votes))
 	out := make(map[sim.PartyID]Result, n)
-	for leader := sim.PartyID(0); int(leader) < n; leader++ {
-		counts := make(map[float64]int)
-		for _, vec := range votes {
-			if v, ok := vec[leader]; ok {
-				counts[v]++
-			}
-		}
-		v, c, ok := argmax(counts)
-		switch {
-		case ok && c >= n-t:
-			out[leader] = Result{Val: v, Grade: GradeHigh}
-		case ok && c >= t+1:
-			out[leader] = Result{Val: v, Grade: GradeLow}
-		default:
-			out[leader] = Result{Grade: GradeNone}
-		}
+	for leader, g := range grades {
+		out[sim.PartyID(leader)] = g
 	}
 	return out
+}
+
+// flatten materializes a received-vector map as a slice for the
+// slice-based tallies underneath the map-based entry points above.
+func flatten(m map[sim.PartyID]map[sim.PartyID]float64) []map[sim.PartyID]float64 {
+	vecs := make([]map[sim.PartyID]float64, 0, len(m))
+	for _, vec := range m {
+		vecs = append(vecs, vec)
+	}
+	return vecs
+}
+
+// Tally holds one party's reusable buffers for the per-round collect and
+// tally helpers. The map-based package functions above allocate their
+// intermediate state per call, which dominated the allocation profile of a
+// RealAA execution (every party runs every helper every round, for every
+// suspicion-mask word); a Machine embeds a Tally instead and reuses the
+// buffers for the lifetime of the execution. The zero value is ready to
+// use. A Tally must not be shared between machines or used concurrently.
+type Tally struct {
+	sends  map[sim.PartyID]float64
+	vecs   []map[sim.PartyID]float64
+	counts []valCount
+}
+
+// CollectSends is the package-level CollectSends collecting into a reused
+// map: the result is valid only until the next CollectSends call.
+func (ta *Tally) CollectSends(inbox []sim.Message, tag string, iter int) map[sim.PartyID]float64 {
+	if ta.sends == nil {
+		ta.sends = make(map[sim.PartyID]float64)
+	}
+	clear(ta.sends)
+	for _, m := range inbox {
+		p, ok := m.Payload.(SendMsg)
+		if !ok || p.Tag != tag || p.Iter != iter {
+			continue
+		}
+		if _, dup := ta.sends[m.From]; !dup {
+			ta.sends[m.From] = p.Val
+		}
+	}
+	return ta.sends
+}
+
+// CollectEchoes returns the deduplicated phase-2 echo vectors, one per
+// echoing party, in inbox order. The inbox must be sorted by sender (the
+// order the sim delivers): deduplication relies on each sender's messages
+// being consecutive. The slice is reused by the next Collect call.
+func (ta *Tally) CollectEchoes(inbox []sim.Message, tag string, iter int) []map[sim.PartyID]float64 {
+	return ta.collect(inbox, tag, iter, false)
+}
+
+// CollectVotes is CollectEchoes for the phase-3 vote vectors.
+func (ta *Tally) CollectVotes(inbox []sim.Message, tag string, iter int) []map[sim.PartyID]float64 {
+	return ta.collect(inbox, tag, iter, true)
+}
+
+func (ta *Tally) collect(inbox []sim.Message, tag string, iter int, votes bool) []map[sim.PartyID]float64 {
+	ta.vecs = ta.vecs[:0]
+	var last sim.PartyID
+	have := false
+	for _, m := range inbox {
+		var vals map[sim.PartyID]float64
+		if votes {
+			p, ok := m.Payload.(VoteMsg)
+			if !ok || p.Tag != tag || p.Iter != iter {
+				continue
+			}
+			vals = p.Vals
+		} else {
+			p, ok := m.Payload.(EchoMsg)
+			if !ok || p.Tag != tag || p.Iter != iter {
+				continue
+			}
+			vals = p.Vals
+		}
+		if have && m.From == last {
+			continue
+		}
+		last, have = m.From, true
+		ta.vecs = append(ta.vecs, vals)
+	}
+	return ta.vecs
+}
+
+// ComputeVotes is the package-level ComputeVotes over an
+// already-collected vector slice. The returned map is freshly allocated —
+// it becomes a wire payload — but the counting scratch is reused.
+func (ta *Tally) ComputeVotes(n, t int, vecs []map[sim.PartyID]float64) map[sim.PartyID]float64 {
+	votes := make(map[sim.PartyID]float64, n)
+	for leader := sim.PartyID(0); int(leader) < n; leader++ {
+		ta.counts = ta.counts[:0]
+		for _, vec := range vecs {
+			if v, ok := vec[leader]; ok {
+				ta.counts = bump(ta.counts, v)
+			}
+		}
+		if v, c, ok := argmax(ta.counts); ok && c >= n-t {
+			votes[leader] = v
+		}
+	}
+	return votes
+}
+
+// ComputeGrades is the package-level ComputeGrades over an
+// already-collected vector slice, writing the per-leader results into dst
+// (grown as needed) indexed by leader. It returns dst with length n.
+func (ta *Tally) ComputeGrades(dst []Result, n, t int, vecs []map[sim.PartyID]float64) []Result {
+	if cap(dst) < n {
+		dst = make([]Result, n)
+	}
+	dst = dst[:n]
+	for leader := sim.PartyID(0); int(leader) < n; leader++ {
+		ta.counts = ta.counts[:0]
+		for _, vec := range vecs {
+			if v, ok := vec[leader]; ok {
+				ta.counts = bump(ta.counts, v)
+			}
+		}
+		v, c, ok := argmax(ta.counts)
+		switch {
+		case ok && c >= n-t:
+			dst[leader] = Result{Val: v, Grade: GradeHigh}
+		case ok && c >= t+1:
+			dst[leader] = Result{Val: v, Grade: GradeLow}
+		default:
+			dst[leader] = Result{Grade: GradeNone}
+		}
+	}
+	return dst
+}
+
+// valCount is one distinct-value frequency. Honest executions see a single
+// distinct value per leader, so a linear scan over a tiny slice beats a
+// map.
+type valCount struct {
+	val   float64
+	count int
+}
+
+// bump increments v's frequency. NaN never equals itself, so each NaN
+// occurrence stays a distinct entry of count 1 — the same behavior a
+// float64-keyed map gives — and can therefore never reach a t+1 quorum.
+func bump(counts []valCount, v float64) []valCount {
+	for i := range counts {
+		if counts[i].val == v {
+			counts[i].count++
+			return counts
+		}
+	}
+	return append(counts, valCount{val: v, count: 1})
 }
 
 // CopyVals returns a copy of a value vector. Message payloads must not share
@@ -201,21 +329,19 @@ func CopyVals(vals map[sim.PartyID]float64) map[sim.PartyID]float64 {
 }
 
 // argmax returns the most frequent value, breaking count ties toward the
-// smallest value so that every party resolves adversarial ties identically.
-func argmax(counts map[float64]int) (val float64, count int, ok bool) {
-	if len(counts) == 0 {
-		return 0, 0, false
-	}
-	keys := make([]float64, 0, len(counts))
-	for v := range counts {
-		keys = append(keys, v)
-	}
-	sort.Float64s(keys)
-	val, count = keys[0], counts[keys[0]]
-	for _, v := range keys[1:] {
-		if counts[v] > count {
-			val, count = v, counts[v]
+// smallest value (NaN ordered below every number, matching sort.Float64s)
+// so that every party resolves adversarial ties identically.
+func argmax(counts []valCount) (val float64, count int, ok bool) {
+	for _, c := range counts {
+		if !ok || c.count > count || (c.count == count && lessFloat(c.val, val)) {
+			val, count, ok = c.val, c.count, true
 		}
 	}
-	return val, count, true
+	return val, count, ok
+}
+
+// lessFloat orders float64s with NaN below everything, the order
+// sort.Float64s uses.
+func lessFloat(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
 }

@@ -1,6 +1,7 @@
 package gradecast
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -269,9 +270,13 @@ func TestComputeGradesThresholds(t *testing.T) {
 }
 
 func TestArgmaxDeterministicTieBreak(t *testing.T) {
-	v, c, ok := argmax(map[float64]int{3: 2, 1: 2, 2: 1})
+	v, c, ok := argmax([]valCount{{3, 2}, {1, 2}, {2, 1}})
 	if !ok || v != 1 || c != 2 {
 		t.Errorf("argmax = (%v,%d,%v), want (1,2,true)", v, c, ok)
+	}
+	v, c, ok = argmax([]valCount{{2, 3}, {math.NaN(), 3}, {1, 3}})
+	if !ok || !math.IsNaN(v) || c != 3 {
+		t.Errorf("argmax with NaN = (%v,%d,%v), want (NaN,3,true)", v, c, ok)
 	}
 	if _, _, ok := argmax(nil); ok {
 		t.Error("argmax(nil) should report !ok")

@@ -8,14 +8,21 @@ import (
 	"treeaa/internal/sim"
 )
 
-// TestMaskLimit: the suspicion bitmask must stay float64-exact, so N is
-// capped.
-func TestMaskLimit(t *testing.T) {
-	if _, err := NewMachine(Config{N: 53, T: 17, ID: 0, Iterations: 1, StartRound: 1}); err == nil {
-		t.Error("N beyond the mask limit should be rejected")
+// TestMaskWords: suspicion bitmasks must stay float64-exact, so each mask
+// word covers 52 parties and larger N splits across ceil(N/52) words.
+func TestMaskWords(t *testing.T) {
+	for _, tc := range []struct{ n, words int }{{10, 1}, {52, 1}, {53, 2}, {64, 2}, {104, 2}, {105, 3}} {
+		if got := maskWords(tc.n); got != tc.words {
+			t.Errorf("maskWords(%d) = %d, want %d", tc.n, got, tc.words)
+		}
 	}
-	if _, err := NewMachine(Config{N: 52, T: 17, ID: 0, Iterations: 1, StartRound: 1}); err != nil {
-		t.Errorf("N at the mask limit rejected: %v", err)
+	// N beyond one word is accepted and wired with per-word tags.
+	m, err := NewMachine(Config{N: 64, T: 21, ID: 0, Tag: "real", Iterations: 1, StartRound: 1})
+	if err != nil {
+		t.Fatalf("N = 64 rejected: %v", err)
+	}
+	if want := []string{"real/acc", "real/acc1"}; len(m.accTags) != 2 || m.accTags[0] != want[0] || m.accTags[1] != want[1] {
+		t.Errorf("accTags = %v, want %v", m.accTags, want)
 	}
 }
 
@@ -24,14 +31,32 @@ func TestSuspicionMaskEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.suspicionMask(); got != 0 {
+	if got := m.suspicionMask(0); got != 0 {
 		t.Errorf("fresh mask = %v, want 0", got)
 	}
 	m.suspected[3] = true
 	m.suspected[7] = true
 	want := float64((1 << 3) | (1 << 7))
-	if got := m.suspicionMask(); got != want {
+	if got := m.suspicionMask(0); got != want {
 		t.Errorf("mask = %v, want %v", got, want)
+	}
+}
+
+// TestSuspicionMaskMultiWord: parties at or beyond index 52 land in the
+// second word, not an overflowing first word.
+func TestSuspicionMaskMultiWord(t *testing.T) {
+	m, err := NewMachine(Config{N: 64, T: 21, ID: 0, Iterations: 1, StartRound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.suspected[3] = true
+	m.suspected[52] = true
+	m.suspected[63] = true
+	if got, want := m.suspicionMask(0), float64(uint64(1)<<3); got != want {
+		t.Errorf("word 0 = %v, want %v", got, want)
+	}
+	if got, want := m.suspicionMask(1), float64(uint64(1)|uint64(1)<<11); got != want {
+		t.Errorf("word 1 = %v, want %v", got, want)
 	}
 }
 

@@ -132,8 +132,9 @@ func (c *Config) Validate() error {
 // The repair implemented here makes exclusion *global and threshold-based*:
 //
 //   - alongside its value, each party gradecasts its cumulative suspicion
-//     set (every leader it has ever graded < 2), as a bitmask in a second,
-//     parallel gradecast instance;
+//     set (every leader it has ever graded < 2), as one or more float64-exact
+//     52-bit bitmask words in parallel gradecast instances (one instance per
+//     word; a single instance suffices up to 52 parties);
 //   - a value with grade >= 1 is always used in its own iteration (so a
 //     2-vs-1 split causes no inclusion asymmetry at all);
 //   - a leader is excluded from future iterations only once at least t+1
@@ -159,17 +160,31 @@ type Machine struct {
 	// them); their values are discarded in all subsequent iterations.
 	excluded map[sim.PartyID]bool
 
-	received    map[sim.PartyID]float64 // current iteration's phase-1 values
-	receivedAcc map[sim.PartyID]float64 // current iteration's suspicion masks
-	history     []float64               // value after each completed iteration
-	decided     int                     // first iteration with trimmed spread <= Eps; 0 = not yet
-	done        bool
+	accTags []string  // precomputed per-word suspicion-instance tags
+	history []float64 // value after each completed iteration
+	decided int       // first iteration with trimmed spread <= Eps; 0 = not yet
+	done    bool
+
+	// Per-round scratch, reused across the whole execution so that a round
+	// costs only the allocations the wire demands (outgoing payload maps).
+	tally      gradecast.Tally
+	out        []sim.Message
+	grades     []gradecast.Result   // value-instance grades, indexed by leader
+	accGrades  [][]gradecast.Result // suspicion-instance grades, per word
+	suspCounts []int                // per-leader suspicion-set tally
+	accepted   []float64            // grade >= 1 values feeding the midpoint
 }
 
 var _ sim.Machine = (*Machine)(nil)
 
-// maskLimit bounds N so suspicion bitmasks are exact in a float64 mantissa.
-const maskLimit = 52
+// maskWordBits is how many parties one suspicion-mask word covers. Masks
+// travel as float64 gradecast values, which represent integers exactly up to
+// 2^52, so executions with N > 52 split the suspicion set across
+// ceil(N/52) parallel gradecast instances (one per word).
+const maskWordBits = 52
+
+// maskWords returns the number of suspicion-mask words for n parties.
+func maskWords(n int) int { return (n + maskWordBits - 1) / maskWordBits }
 
 // NewMachine returns a RealAA machine. It panics on invalid configuration
 // only via Validate at Run* call sites; prefer checking cfg.Validate first.
@@ -177,25 +192,37 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.N > maskLimit {
-		return nil, fmt.Errorf("realaa: N = %d exceeds the %d-party suspicion-mask limit", cfg.N, maskLimit)
+	words := maskWords(cfg.N)
+	tags := make([]string, words)
+	for w := range tags {
+		// Word 0 keeps the historical "/acc" tag so single-word executions
+		// (N <= 52) are wire-compatible with earlier traffic and tests.
+		if w == 0 {
+			tags[w] = cfg.Tag + "/acc"
+		} else {
+			tags[w] = fmt.Sprintf("%s/acc%d", cfg.Tag, w)
+		}
 	}
 	return &Machine{
 		cfg: cfg, val: cfg.Input,
-		suspected: make(map[sim.PartyID]bool),
-		excluded:  make(map[sim.PartyID]bool),
+		suspected:  make(map[sim.PartyID]bool),
+		excluded:   make(map[sim.PartyID]bool),
+		accTags:    tags,
+		accGrades:  make([][]gradecast.Result, words),
+		suspCounts: make([]int, cfg.N),
+		accepted:   make([]float64, 0, cfg.N),
 	}, nil
 }
 
-// accTag namespaces the parallel suspicion-set gradecast.
-func (m *Machine) accTag() string { return m.cfg.Tag + "/acc" }
-
-// suspicionMask encodes the cumulative suspicion set as a float64-exact
-// bitmask.
-func (m *Machine) suspicionMask() float64 {
+// suspicionMask encodes word w of the cumulative suspicion set (parties
+// [52w, 52w+52)) as a float64-exact bitmask.
+func (m *Machine) suspicionMask(w int) float64 {
 	var mask uint64
+	base := w * maskWordBits
 	for p := range m.suspected {
-		mask |= 1 << uint(p)
+		if bit := int(p) - base; bit >= 0 && bit < maskWordBits {
+			mask |= 1 << uint(bit)
+		}
 	}
 	return float64(mask)
 }
@@ -251,30 +278,36 @@ func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
 			m.done = true
 			return nil
 		}
-		return []sim.Message{
-			{To: sim.Broadcast, Payload: gradecast.SendMsg{Tag: m.cfg.Tag, Iter: iter, Val: m.val}},
-			{To: sim.Broadcast, Payload: gradecast.SendMsg{Tag: m.accTag(), Iter: iter, Val: m.suspicionMask()}},
+		out := append(m.out[:0], sim.Message{To: sim.Broadcast, Payload: gradecast.SendMsg{Tag: m.cfg.Tag, Iter: iter, Val: m.val}})
+		for w, tag := range m.accTags {
+			out = append(out, sim.Message{To: sim.Broadcast, Payload: gradecast.SendMsg{Tag: tag, Iter: iter, Val: m.suspicionMask(w)}})
 		}
+		m.out = out
+		return out
 	case 1: // echo
 		if iter > m.cfg.Iterations {
 			return nil
 		}
-		m.received = gradecast.CollectSends(inbox, m.cfg.Tag, iter)
-		m.receivedAcc = gradecast.CollectSends(inbox, m.accTag(), iter)
-		return []sim.Message{
-			{To: sim.Broadcast, Payload: gradecast.EchoMsg{Tag: m.cfg.Tag, Iter: iter, Vals: gradecast.CopyVals(m.received)}},
-			{To: sim.Broadcast, Payload: gradecast.EchoMsg{Tag: m.accTag(), Iter: iter, Vals: gradecast.CopyVals(m.receivedAcc)}},
+		sends := m.tally.CollectSends(inbox, m.cfg.Tag, iter)
+		out := append(m.out[:0], sim.Message{To: sim.Broadcast, Payload: gradecast.EchoMsg{Tag: m.cfg.Tag, Iter: iter, Vals: gradecast.CopyVals(sends)}})
+		for _, tag := range m.accTags {
+			sends := m.tally.CollectSends(inbox, tag, iter)
+			out = append(out, sim.Message{To: sim.Broadcast, Payload: gradecast.EchoMsg{Tag: tag, Iter: iter, Vals: gradecast.CopyVals(sends)}})
 		}
+		m.out = out
+		return out
 	default: // vote
 		if iter > m.cfg.Iterations {
 			return nil
 		}
-		echoes := gradecast.CollectEchoes(inbox, m.cfg.Tag, iter)
-		accEchoes := gradecast.CollectEchoes(inbox, m.accTag(), iter)
-		return []sim.Message{
-			{To: sim.Broadcast, Payload: gradecast.VoteMsg{Tag: m.cfg.Tag, Iter: iter, Vals: gradecast.ComputeVotes(m.cfg.N, m.cfg.T, echoes)}},
-			{To: sim.Broadcast, Payload: gradecast.VoteMsg{Tag: m.accTag(), Iter: iter, Vals: gradecast.ComputeVotes(m.cfg.N, m.cfg.T, accEchoes)}},
+		echoes := m.tally.CollectEchoes(inbox, m.cfg.Tag, iter)
+		out := append(m.out[:0], sim.Message{To: sim.Broadcast, Payload: gradecast.VoteMsg{Tag: m.cfg.Tag, Iter: iter, Vals: m.tally.ComputeVotes(m.cfg.N, m.cfg.T, echoes)}})
+		for _, tag := range m.accTags {
+			accEchoes := m.tally.CollectEchoes(inbox, tag, iter)
+			out = append(out, sim.Message{To: sim.Broadcast, Payload: gradecast.VoteMsg{Tag: tag, Iter: iter, Vals: m.tally.ComputeVotes(m.cfg.N, m.cfg.T, accEchoes)}})
 		}
+		m.out = out
+		return out
 	}
 }
 
@@ -283,49 +316,66 @@ func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
 // exclusion set from the suspicion-set counts, and applies the trimmed
 // midpoint update.
 func (m *Machine) finishIteration(iter int, inbox []sim.Message) {
-	grades := gradecast.ComputeGrades(m.cfg.N, m.cfg.T, gradecast.CollectVotes(inbox, m.cfg.Tag, iter))
-	accGrades := gradecast.ComputeGrades(m.cfg.N, m.cfg.T, gradecast.CollectVotes(inbox, m.accTag(), iter))
+	m.grades = m.tally.ComputeGrades(m.grades, m.cfg.N, m.cfg.T, m.tally.CollectVotes(inbox, m.cfg.Tag, iter))
+	for w, tag := range m.accTags {
+		m.accGrades[w] = m.tally.ComputeGrades(m.accGrades[w], m.cfg.N, m.cfg.T, m.tally.CollectVotes(inbox, tag, iter))
+	}
 
 	// Count, over the currently included suspicion sets, how many distinct
-	// parties name each leader. Only masks with grade >= 1 from
+	// parties name each leader. Only mask words with grade >= 1 from
 	// not-yet-excluded senders count; at least one honest witness is
-	// guaranteed at the t+1 threshold.
-	counts := make(map[sim.PartyID]int)
-	for sender := sim.PartyID(0); int(sender) < m.cfg.N; sender++ {
-		if m.excluded[sender] {
-			continue
-		}
-		g := accGrades[sender]
-		if g.Grade < gradecast.GradeLow || g.Val < 0 || g.Val != math.Trunc(g.Val) || g.Val >= math.Exp2(maskLimit) {
-			continue
-		}
-		mask := uint64(g.Val)
-		for p := 0; p < m.cfg.N; p++ {
-			if mask&(1<<uint(p)) != 0 {
-				counts[sim.PartyID(p)]++
+	// guaranteed at the t+1 threshold. Each leader's bit lives in exactly
+	// one word, so the words are counted independently.
+	counts := m.suspCounts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for w := range m.accTags {
+		base := w * maskWordBits
+		for sender := 0; sender < m.cfg.N; sender++ {
+			if m.excluded[sim.PartyID(sender)] {
+				continue
+			}
+			g := m.accGrades[w][sender]
+			if g.Grade < gradecast.GradeLow || g.Val < 0 || g.Val != math.Trunc(g.Val) || g.Val >= math.Exp2(maskWordBits) {
+				continue
+			}
+			mask := uint64(g.Val)
+			for bit := 0; bit < maskWordBits && base+bit < m.cfg.N; bit++ {
+				if mask&(1<<uint(bit)) != 0 {
+					counts[base+bit]++
+				}
 			}
 		}
 	}
 	for leader, c := range counts {
 		if c >= m.cfg.T+1 {
-			m.excluded[leader] = true
+			m.excluded[sim.PartyID(leader)] = true
 		}
 	}
 
 	// Values with grade >= 1 from non-excluded leaders are used this
 	// iteration even if this party suspects the leader — local suspicion
 	// alone must not cause inclusion asymmetry (see the type comment).
-	accepted := make([]float64, 0, m.cfg.N)
+	accepted := m.accepted[:0]
 	for leader := sim.PartyID(0); int(leader) < m.cfg.N; leader++ {
-		g := grades[leader]
+		g := m.grades[leader]
 		if !m.excluded[leader] && g.Grade >= gradecast.GradeLow {
 			accepted = append(accepted, g.Val)
 		}
 		// Any grade < 2 on either instance marks the leader suspected.
-		if g.Grade < gradecast.GradeHigh || accGrades[leader].Grade < gradecast.GradeHigh {
+		suspect := g.Grade < gradecast.GradeHigh
+		for w := range m.accGrades {
+			if suspect {
+				break
+			}
+			suspect = m.accGrades[w][leader].Grade < gradecast.GradeHigh
+		}
+		if suspect {
 			m.suspected[leader] = true
 		}
 	}
+	m.accepted = accepted
 	// With t < n/3 and honest leaders always delivering grade 2, at least
 	// n - t > 2t values are accepted; the guard below only protects
 	// against misuse outside the resilience bound.

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), ..., fn(n-1) on at most runtime.GOMAXPROCS(0)
+// goroutines and returns the combined errors (nil when every call
+// succeeded). It is the generic fan-out under RunBatch, exported so that
+// protocol-level parameter sweeps — which wrap executions in their own
+// machine construction and output decoding — can use the same
+// GOMAXPROCS-bounded pool. fn must be safe to call concurrently for
+// distinct indices; calls are ordered arbitrarily.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var errs []error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RunBatch executes len(cfgs) independent sequential executions in
+// parallel, bounded by GOMAXPROCS: results[i] is the outcome of
+// Run(cfgs[i], machines(i)). It is the intended driver for parameter
+// sweeps (n × adversary × tree shape), where each execution is
+// deterministic on its own and only the sweep is concurrent.
+//
+// machines is called once per index, possibly concurrently with other
+// indices; the machine sets it returns must not share mutable state across
+// indices (adversaries in cfgs must likewise be per-index values). On
+// error, the failing indices carry nil results and the returned error
+// joins every per-execution failure, each wrapped with its index.
+func RunBatch(cfgs []Config, machines func(i int) []Machine) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	err := ForEach(len(cfgs), func(i int) error {
+		res, err := Run(cfgs[i], machines(i))
+		if err != nil {
+			return fmt.Errorf("sim: batch execution %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := ForEach(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d executed %d times, want 1", i, got)
+		}
+	}
+	if err := ForEach(0, func(int) error { t.Error("fn called for n=0"); return nil }); err != nil {
+		t.Errorf("ForEach(0) = %v", err)
+	}
+}
+
+func TestForEachJoinsErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	err := ForEach(10, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("index %d: %w", i, wantErr)
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	for _, frag := range []string{"index 3", "index 7"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestRunBatchMatchesSequentialRuns(t *testing.T) {
+	vals := [][]int{
+		{3, 9, 1},
+		{5, 2, 8},
+		{7, 7, 7},
+		{0, 1, 100},
+	}
+	cfgs := make([]Config, len(vals))
+	for i := range cfgs {
+		cfgs[i] = Config{N: 3, MaxRounds: 10}
+	}
+	results, err := RunBatch(cfgs, func(i int) []Machine { return maxMachines(vals[i], 2) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		want, err := Run(cfgs[i], maxMachines(vals[i], 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs[0].(int) != want.Outputs[0].(int) || res.Messages != want.Messages || res.Rounds != want.Rounds {
+			t.Errorf("batch result %d = %+v, want %+v", i, res, want)
+		}
+	}
+}
+
+func TestRunBatchReportsFailingIndices(t *testing.T) {
+	cfgs := []Config{
+		{N: 2, MaxRounds: 10},
+		{N: 2, MaxRounds: 2}, // too few rounds: ErrNotDone
+		{N: 2, MaxRounds: 10},
+	}
+	results, err := RunBatch(cfgs, func(i int) []Machine { return maxMachines([]int{1, 2}, 3) })
+	if !errors.Is(err, ErrNotDone) {
+		t.Fatalf("err = %v, want ErrNotDone", err)
+	}
+	if !strings.Contains(err.Error(), "batch execution 1") {
+		t.Errorf("error %q does not name the failing index", err)
+	}
+	if results[1] != nil {
+		t.Error("failing index should carry a nil result")
+	}
+	for _, i := range []int{0, 2} {
+		if results[i] == nil || len(results[i].Outputs) != 2 {
+			t.Errorf("index %d result = %+v, want a completed execution", i, results[i])
+		}
+	}
+}

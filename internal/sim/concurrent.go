@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // RunConcurrent executes machines under cfg with one goroutine per party and
 // a per-round barrier, matching the synchronous model's "all clocks aligned"
@@ -8,51 +11,61 @@ import "sync"
 // execution as Run; it exists to exercise protocols under real concurrency
 // (and under the race detector in tests).
 //
-// Goroutine lifecycle: workers are started once, receive (round, inbox)
-// requests over per-party channels, and are shut down by closing those
-// channels before RunConcurrent returns; a WaitGroup guarantees none
-// outlive the call.
+// Goroutine lifecycle and allocation discipline: workers are started once
+// and communicate through preallocated per-party request slots. Each round
+// the driver fills the slots of the honest parties, signals each worker on
+// its reusable start channel, and waits on a reusable WaitGroup barrier —
+// no channels, request structs or reply channels are allocated per round.
+// Workers are shut down by closing the start channels before RunConcurrent
+// returns; a second WaitGroup guarantees none outlive the call.
 func RunConcurrent(cfg Config, machines []Machine) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if len(machines) != cfg.N {
+		return nil, fmt.Errorf("sim: %d machines for N = %d", len(machines), cfg.N)
+	}
 
-	type request struct {
+	// slot is a preallocated request/reply cell for one party. The trailing
+	// pad keeps neighboring slots from sharing a cache line, so concurrent
+	// workers writing their replies do not false-share.
+	type slot struct {
 		round int
 		inbox []Message
-		reply chan []Message
+		out   []Message
+		_     [64]byte
 	}
-	reqs := make([]chan request, cfg.N)
-	var wg sync.WaitGroup
+	slots := make([]slot, cfg.N)
+	start := make([]chan struct{}, cfg.N)
+	var workers, barrier sync.WaitGroup
 	for p := 0; p < cfg.N; p++ {
-		reqs[p] = make(chan request)
-		wg.Add(1)
-		go func(m Machine, in <-chan request) {
-			defer wg.Done()
-			for req := range in {
-				req.reply <- m.Step(req.round, req.inbox)
+		start[p] = make(chan struct{}, 1)
+		workers.Add(1)
+		go func(m Machine, s *slot, in <-chan struct{}) {
+			defer workers.Done()
+			for range in {
+				s.out = m.Step(s.round, s.inbox)
+				barrier.Done()
 			}
-		}(machines[p], reqs[p])
+		}(machines[p], &slots[p], start[p])
 	}
 	defer func() {
-		for _, ch := range reqs {
+		for _, ch := range start {
 			close(ch)
 		}
-		wg.Wait()
+		workers.Wait()
 	}()
 
-	step := func(r int, honest []PartyID, _ []Machine, inboxes map[PartyID][]Message) map[PartyID][]Message {
-		replies := make(map[PartyID]chan []Message, len(honest))
+	step := func(r int, honest []PartyID, _ []Machine, inboxes, raw [][]Message) {
+		barrier.Add(len(honest))
 		for _, p := range honest {
-			reply := make(chan []Message, 1)
-			replies[p] = reply
-			reqs[p] <- request{round: r, inbox: inboxes[p], reply: reply}
+			slots[p].round, slots[p].inbox = r, inboxes[p]
+			start[p] <- struct{}{}
 		}
-		out := make(map[PartyID][]Message, len(honest))
+		barrier.Wait() // barrier: wait for every party
 		for _, p := range honest {
-			out[p] = <-replies[p] // barrier: wait for every party
+			raw[p] = slots[p].out
 		}
-		return out
 	}
 	return run(cfg, machines, step)
 }

@@ -1,0 +1,134 @@
+package sim
+
+import "fmt"
+
+// engine owns the reusable buffers of the round loop. Every slice is
+// allocated once per execution and len-reset between rounds, so a steady
+// round (no newly terminated parties, no trace) performs no heap
+// allocations of its own: mailboxes, outbox scratch, rate-limit counters
+// and the counting-sort scratch all retain their capacity across rounds.
+type engine struct {
+	n     int
+	limit int // Config.MaxMessagesPerParty; 0 = no cap
+
+	// cur and next are the per-party mailboxes, double-buffered: cur holds
+	// the messages delivered this round (sent last round), next collects
+	// the messages sent this round. rotate swaps them at round end.
+	cur, next [][]Message
+	// raw holds each honest party's unexpanded outbox for the current
+	// round, indexed by party (entries for corrupted parties are stale and
+	// never read).
+	raw [][]Message
+
+	honest    []PartyID // current honest parties, ascending
+	honestOut []Message // expanded honest traffic (adversary path only)
+	advOut    []Message // expanded adversary traffic
+	sent      []int     // per-party delivered-message counts for the rate limit
+	counts    []int     // counting-sort histogram scratch
+	sortBuf   []Message // counting-sort output scratch
+
+	corrupted []bool // mirror of the Result.Corrupted map for hot-path checks
+	omission  []bool // omission-faulty parties (OutboxFilter)
+}
+
+func newEngine(cfg Config) *engine {
+	n := cfg.N
+	return &engine{
+		n:     n,
+		limit: cfg.MaxMessagesPerParty,
+		cur:   make([][]Message, n),
+		next:  make([][]Message, n),
+		raw:   make([][]Message, n),
+
+		honest:    make([]PartyID, 0, n),
+		sent:      make([]int, n),
+		counts:    make([]int, n),
+		corrupted: make([]bool, n),
+		omission:  make([]bool, n),
+	}
+}
+
+// checkParty validates a party id named by the adversary (a corruption
+// target or a message address).
+func (e *engine) checkParty(p PartyID, what string) error {
+	if p < 0 || int(p) >= e.n {
+		return fmt.Errorf("sim: %s %d out of range [0, %d)", what, p, e.n)
+	}
+	return nil
+}
+
+// refreshHonest rebuilds the honest-party list in the reused buffer.
+func (e *engine) refreshHonest() {
+	e.honest = e.honest[:0]
+	for p := 0; p < e.n; p++ {
+		if !e.corrupted[p] {
+			e.honest = append(e.honest, PartyID(p))
+		}
+	}
+}
+
+// deliver appends m to its recipient's next-round mailbox, enforcing the
+// per-sender rate limit, and reports whether the message was delivered
+// (false: dropped as the tail of a flood). m must already be expanded,
+// stamped and address-validated.
+func (e *engine) deliver(m Message) bool {
+	if e.limit > 0 {
+		if e.sent[m.From] >= e.limit {
+			return false
+		}
+		e.sent[m.From]++
+	}
+	e.next[m.To] = append(e.next[m.To], m)
+	return true
+}
+
+// rotate makes this round's collected traffic the next round's inboxes and
+// recycles the consumed mailboxes and rate-limit counters.
+func (e *engine) rotate() {
+	for p := range e.cur {
+		e.cur[p] = e.cur[p][:0]
+		e.sent[p] = 0
+	}
+	e.cur, e.next = e.next, e.cur
+}
+
+// sortMailbox orders box by sender, preserving each sender's emission order
+// (the delivery order Machine.Step is promised). Mailboxes are filled with
+// honest senders first in ascending id order, so they are usually already
+// sorted and the initial scan is the whole cost; adversarial traffic (and
+// adaptive retraction) can break the order, in which case a stable counting
+// sort keyed by sender runs in O(n + len(box)) using reused scratch.
+func (e *engine) sortMailbox(box []Message) {
+	sorted := true
+	for i := 1; i < len(box); i++ {
+		if box[i].From < box[i-1].From {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	counts := e.counts // all zero on entry, rezeroed below
+	for i := range box {
+		counts[box[i].From]++
+	}
+	off := 0
+	for p := range counts {
+		c := counts[p]
+		counts[p] = off
+		off += c
+	}
+	if cap(e.sortBuf) < len(box) {
+		e.sortBuf = make([]Message, len(box))
+	}
+	buf := e.sortBuf[:len(box)]
+	for i := range box {
+		buf[counts[box[i].From]] = box[i]
+		counts[box[i].From]++
+	}
+	copy(box, buf)
+	for p := range counts {
+		counts[p] = 0
+	}
+}

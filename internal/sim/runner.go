@@ -11,16 +11,15 @@ func Run(cfg Config, machines []Machine) (*Result, error) {
 	return run(cfg, machines, stepSequential)
 }
 
-// stepper computes one round of honest outboxes. It exists so that the
-// sequential and concurrent drivers share every other line of the loop.
-type stepper func(r int, honest []PartyID, machines []Machine, inboxes map[PartyID][]Message) map[PartyID][]Message
+// stepper computes one round of honest outboxes, writing machines[p]'s raw
+// outbox into raw[p] for every honest p. It exists so that the sequential
+// and concurrent drivers share every other line of the loop.
+type stepper func(r int, honest []PartyID, machines []Machine, inboxes, raw [][]Message)
 
-func stepSequential(r int, honest []PartyID, machines []Machine, inboxes map[PartyID][]Message) map[PartyID][]Message {
-	out := make(map[PartyID][]Message, len(honest))
+func stepSequential(r int, honest []PartyID, machines []Machine, inboxes, raw [][]Message) {
 	for _, p := range honest {
-		out[p] = machines[p].Step(r, inboxes[p])
+		raw[p] = machines[p].Step(r, inboxes[p])
 	}
-	return out
 }
 
 func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
@@ -30,70 +29,135 @@ func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
 	if len(machines) != cfg.N {
 		return nil, fmt.Errorf("sim: %d machines for N = %d", len(machines), cfg.N)
 	}
+	e := newEngine(cfg)
 	corrupted := make(map[PartyID]bool)
-	omission := make(map[PartyID]bool)
+	omissionCount := 0
 	var filter OutboxFilter
 	if cfg.Adversary != nil {
 		for _, p := range cfg.Adversary.Initial() {
+			if err := e.checkParty(p, "corrupted party"); err != nil {
+				return nil, err
+			}
 			corrupted[p] = true
+			e.corrupted[p] = true
 		}
 		if f, ok := cfg.Adversary.(OutboxFilter); ok {
 			filter = f
 			for _, p := range f.OmissionParties() {
+				if err := e.checkParty(p, "omission party"); err != nil {
+					return nil, err
+				}
 				if corrupted[p] {
 					return nil, fmt.Errorf("sim: party %d is both Byzantine and omission-faulty", p)
 				}
-				omission[p] = true
+				e.omission[p] = true
+				omissionCount++
 			}
 		}
-		if len(corrupted)+len(omission) > cfg.MaxCorrupt {
+		if len(corrupted)+omissionCount > cfg.MaxCorrupt {
 			return nil, fmt.Errorf("%w: %d initial corruptions, budget %d",
-				ErrBudgetExceeded, len(corrupted)+len(omission), cfg.MaxCorrupt)
+				ErrBudgetExceeded, len(corrupted)+omissionCount, cfg.MaxCorrupt)
 		}
 	}
 	res := &Result{Outputs: make(map[PartyID]any), Corrupted: corrupted}
-	done := make(map[PartyID]bool)
-
-	// pending holds the messages sent in the previous round, keyed by
-	// recipient, delivered at the start of the current round.
-	pending := make(map[PartyID][]Message)
+	done := make([]bool, cfg.N)
+	// corruptInbox is rebuilt (not reallocated) each round for the
+	// adversary; like the mailboxes it references, it is only valid for the
+	// duration of Adversary.Step.
+	var corruptInbox map[PartyID][]Message
+	if cfg.Adversary != nil {
+		corruptInbox = make(map[PartyID][]Message, len(corrupted)+1)
+	}
 
 	for r := 1; r <= cfg.MaxRounds; r++ {
-		inboxes := pending
-		pending = make(map[PartyID][]Message)
-		for _, box := range inboxes {
-			sortInbox(box)
+		// Deliver round r-1's traffic: each mailbox sorted by sender.
+		for p := range e.cur {
+			e.sortMailbox(e.cur[p])
 		}
 
-		honest := honestParties(cfg.N, corrupted)
-		honestRaw := step(r, honest, machines, inboxes)
+		e.refreshHonest()
+		step(r, e.honest, machines, e.cur, e.raw)
 
-		// Collect honest traffic (network stamps origin and expands
-		// broadcasts); omission-faulty parties' expanded sends pass through
-		// the adversary's filter.
-		honestOut := make([]Message, 0, 64)
-		for _, p := range honest {
-			msgs := expand(p, r, cfg.N, honestRaw[p])
-			if filter != nil && omission[p] {
-				msgs = filter.FilterOutbox(r, p, msgs)
-				for i := range msgs {
-					if msgs[i].From != p {
-						return nil, fmt.Errorf("%w: omission filter forged sender %d", ErrForgedSender, msgs[i].From)
+		roundMsgs, roundBytes := 0, 0
+		if cfg.Adversary == nil {
+			// Fast path: the network stamps origin and round and expands
+			// broadcasts straight into the recipient mailboxes — no
+			// intermediate concatenated slice exists.
+			for _, p := range e.honest {
+				for _, m := range e.raw[p] {
+					m.From, m.Round = p, r
+					if m.To == Broadcast {
+						for to := 0; to < e.n; to++ {
+							mm := m
+							mm.To = PartyID(to)
+							if e.deliver(mm) {
+								roundMsgs++
+								roundBytes += payloadSize(mm.Payload)
+							}
+						}
+						continue
+					}
+					if err := e.checkParty(m.To, "recipient"); err != nil {
+						return nil, err
+					}
+					if e.deliver(m) {
+						roundMsgs++
+						roundBytes += payloadSize(m.Payload)
 					}
 				}
 			}
-			honestOut = append(honestOut, msgs...)
-		}
-
-		var advOut []Message
-		if cfg.Adversary != nil {
-			corruptInbox := make(map[PartyID][]Message)
-			for p := range corrupted {
-				corruptInbox[p] = inboxes[p]
+		} else {
+			// Rushing-adversary path: the expanded honest traffic must be
+			// materialized (the adversary observes it before choosing its
+			// own, and adaptive corruption may retract slices of it), so it
+			// is collected into a flat buffer reused across rounds.
+			// Omission-faulty parties' expanded sends pass through the
+			// adversary's filter.
+			e.honestOut = e.honestOut[:0]
+			for _, p := range e.honest {
+				start := len(e.honestOut)
+				for _, m := range e.raw[p] {
+					m.From, m.Round = p, r
+					if m.To == Broadcast {
+						for to := 0; to < e.n; to++ {
+							mm := m
+							mm.To = PartyID(to)
+							e.honestOut = append(e.honestOut, mm)
+						}
+						continue
+					}
+					if err := e.checkParty(m.To, "recipient"); err != nil {
+						return nil, err
+					}
+					e.honestOut = append(e.honestOut, m)
+				}
+				if filter != nil && e.omission[p] {
+					msgs := filter.FilterOutbox(r, p, e.honestOut[start:])
+					for i := range msgs {
+						if msgs[i].From != p {
+							return nil, fmt.Errorf("%w: omission filter forged sender %d", ErrForgedSender, msgs[i].From)
+						}
+						if err := e.checkParty(msgs[i].To, "recipient"); err != nil {
+							return nil, err
+						}
+					}
+					// msgs is a subset of (or aliases) the just-appended
+					// window, so this copy moves entries left, never right.
+					e.honestOut = append(e.honestOut[:start], msgs...)
+				}
 			}
-			msgs, more := cfg.Adversary.Step(r, honestOut, corruptInbox)
+
+			clear(corruptInbox)
+			for p := range corrupted {
+				corruptInbox[p] = e.cur[p]
+			}
+			msgs, more := cfg.Adversary.Step(r, e.honestOut, corruptInbox)
 			for _, p := range more {
+				if err := e.checkParty(p, "corrupted party"); err != nil {
+					return nil, err
+				}
 				corrupted[p] = true
+				e.corrupted[p] = true
 			}
 			if len(corrupted) > cfg.MaxCorrupt {
 				return nil, fmt.Errorf("%w: %d corruptions at round %d, budget %d", ErrBudgetExceeded, len(corrupted), r, cfg.MaxCorrupt)
@@ -101,46 +165,52 @@ func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
 			// Adaptive corruption retracts the just-produced messages of
 			// newly corrupted parties.
 			if len(more) > 0 {
-				kept := honestOut[:0]
-				for _, m := range honestOut {
-					if !corrupted[m.From] {
+				kept := e.honestOut[:0]
+				for _, m := range e.honestOut {
+					if !e.corrupted[m.From] {
 						kept = append(kept, m)
 					}
 				}
-				honestOut = kept
+				e.honestOut = kept
 			}
 			for _, m := range msgs {
 				if !corrupted[m.From] {
 					return nil, fmt.Errorf("%w: message from party %d at round %d", ErrForgedSender, m.From, r)
 				}
 			}
-			advOut = make([]Message, 0, len(msgs))
+			e.advOut = e.advOut[:0]
 			for _, m := range msgs {
 				m.Round = r
 				if m.To == Broadcast {
-					for to := 0; to < cfg.N; to++ {
+					for to := 0; to < e.n; to++ {
 						mm := m
 						mm.To = PartyID(to)
-						advOut = append(advOut, mm)
+						e.advOut = append(e.advOut, mm)
 					}
 					continue
 				}
-				advOut = append(advOut, m)
-			}
-		}
-
-		roundMsgs, roundBytes := 0, 0
-		sent := make(map[PartyID]int)
-		for _, m := range append(honestOut, advOut...) {
-			if cap := cfg.MaxMessagesPerParty; cap > 0 {
-				if sent[m.From] >= cap {
-					continue // rate limit: drop the flood's tail
+				if err := e.checkParty(m.To, "recipient"); err != nil {
+					return nil, err
 				}
-				sent[m.From]++
+				e.advOut = append(e.advOut, m)
 			}
-			pending[m.To] = append(pending[m.To], m)
-			roundMsgs++
-			roundBytes += payloadSize(m.Payload)
+			// Route both streams without concatenating them: honest traffic
+			// first, then the adversary's, sharing one rate-limit ledger.
+			for _, m := range e.honestOut {
+				if e.deliver(m) {
+					roundMsgs++
+					roundBytes += payloadSize(m.Payload)
+				}
+			}
+			for _, m := range e.advOut {
+				if e.deliver(m) {
+					roundMsgs++
+					roundBytes += payloadSize(m.Payload)
+				}
+			}
+			if len(more) > 0 {
+				e.refreshHonest()
+			}
 		}
 		res.Messages += roundMsgs
 		res.Bytes += roundBytes
@@ -148,7 +218,7 @@ func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
 
 		var newlyDone []PartyID
 		allDone := true
-		for _, p := range honestParties(cfg.N, corrupted) {
+		for _, p := range e.honest {
 			if done[p] {
 				continue
 			}
@@ -168,16 +238,7 @@ func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
 		if allDone {
 			return res, nil
 		}
+		e.rotate()
 	}
 	return res, fmt.Errorf("%w: after %d rounds", ErrNotDone, cfg.MaxRounds)
-}
-
-func honestParties(n int, corrupted map[PartyID]bool) []PartyID {
-	out := make([]PartyID, 0, n)
-	for p := 0; p < n; p++ {
-		if !corrupted[PartyID(p)] {
-			out = append(out, PartyID(p))
-		}
-	}
-	return out
 }

@@ -15,7 +15,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // PartyID identifies one of the n parties, in [0, n).
@@ -49,7 +48,10 @@ const DefaultPayloadSize = 16
 // party. The driver calls Step once per round r = 1, 2, ...; inbox holds the
 // messages sent to this party in round r-1 (sorted by sender). Step returns
 // the messages this party sends in round r. Machines must not retain inbox
-// slices and must not share mutable state with other machines.
+// slices and must not share mutable state with other machines. The driver
+// finishes with the returned slice before the next Step call, so a machine
+// may reuse a single outbox buffer across rounds (message *payloads* are
+// shared with recipients and must still be immutable once returned).
 type Machine interface {
 	// Step advances the machine to round r and returns its outgoing messages.
 	Step(r int, inbox []Message) []Message
@@ -64,14 +66,19 @@ type Machine interface {
 // and the adversary sees that traffic before choosing its own. It is
 // adaptive: Step may name additional parties to corrupt, effective
 // immediately (their just-produced round-r messages are retracted and
-// replaced by the adversary's).
+// replaced by the adversary's). Every party id an adversary names — in
+// Initial, corruptMore, or a message's From/To — must lie in [0, N);
+// out-of-range ids fail the execution.
 type Adversary interface {
 	// Initial returns the parties corrupted before round 1.
 	Initial() []PartyID
 	// Step returns the messages the corrupted parties send in round r,
 	// together with any new corruptions. honestOut is the round-r traffic of
 	// currently honest parties; corruptInbox holds the messages delivered
-	// this round to each corrupted party.
+	// this round to each corrupted party. Both views are backed by buffers
+	// the driver reuses across rounds: an adversary may read them freely
+	// during the call but must not retain or mutate them (copy message
+	// values out instead, as the built-in strategies do).
 	Step(r int, honestOut []Message, corruptInbox map[PartyID][]Message) (out []Message, corruptMore []PartyID)
 }
 
@@ -129,8 +136,13 @@ func (c *Config) Validate() error {
 
 // Result summarizes an execution.
 type Result struct {
-	// Rounds is the number of rounds in which any message was sent or any
-	// machine stepped.
+	// Rounds is the index of the last round the driver executed: the round
+	// in which the last honest machine reported done, or MaxRounds when the
+	// execution timed out. Every round up to and including it stepped the
+	// honest machines, whether or not any message was sent — in particular
+	// the final round, in which machines typically only consume their last
+	// inboxes and terminate, is counted. TestRoundsCountsLastSteppedRound
+	// pins these semantics.
 	Rounds int
 	// Messages is the total point-to-point message count after broadcast
 	// expansion.
@@ -173,30 +185,4 @@ func payloadSize(p any) int {
 		return s.Size()
 	}
 	return DefaultPayloadSize
-}
-
-// expand turns a party's raw outbox into deliverable messages: the network
-// stamps From and Round and expands Broadcast.
-func expand(from PartyID, r, n int, raw []Message) []Message {
-	out := make([]Message, 0, len(raw))
-	for _, m := range raw {
-		m.From = from
-		m.Round = r
-		if m.To == Broadcast {
-			for to := 0; to < n; to++ {
-				mm := m
-				mm.To = PartyID(to)
-				out = append(out, mm)
-			}
-			continue
-		}
-		out = append(out, m)
-	}
-	return out
-}
-
-// sortInbox orders messages deterministically: by sender, preserving each
-// sender's emission order.
-func sortInbox(msgs []Message) {
-	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
 }

@@ -1,0 +1,206 @@
+// Package simbench defines the BenchmarkSimRound microbenchmark family for
+// the sim substrate. The cases live here — rather than in a _test.go file —
+// so that both the root benchmark suite (`go test -bench SimRound`) and the
+// cmd/bench-rounds binary (`-json`, emitting BENCH_sim.json) run the exact
+// same workloads: the engine's allocation discipline is a documented
+// performance contract, and the JSON snapshot is the recorded evidence.
+package simbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"treeaa/internal/sim"
+)
+
+// benchRounds is the fixed round count every case runs per execution, so
+// per-round figures are comparable across cases.
+const benchRounds = 64
+
+type intPayload int
+
+func (p intPayload) Size() int { return 8 }
+
+// chatterMachine broadcasts and sends one directed message every round,
+// reusing its outbox slice — the traffic pattern the zero-allocation
+// engine is designed around.
+type chatterMachine struct {
+	id     sim.PartyID
+	n      int
+	rounds int
+	out    []sim.Message
+	done   bool
+}
+
+func (m *chatterMachine) Step(r int, inbox []sim.Message) []sim.Message {
+	if r > m.rounds {
+		m.done = true
+		return nil
+	}
+	m.out = append(m.out[:0],
+		sim.Message{To: sim.Broadcast, Payload: intPayload(r)},
+		sim.Message{To: sim.PartyID((int(m.id) + r) % m.n), Payload: intPayload(r)},
+	)
+	return m.out
+}
+
+func (m *chatterMachine) Output() (any, bool) { return nil, m.done }
+
+func chatterMachines(n, rounds int) []sim.Machine {
+	ms := make([]sim.Machine, n)
+	for i := range ms {
+		ms[i] = &chatterMachine{id: sim.PartyID(i), n: n, rounds: rounds}
+	}
+	return ms
+}
+
+// benchFlooder exercises the adversary path: it observes honest traffic
+// and answers with directed bursts from its corrupted parties.
+type benchFlooder struct {
+	ids   []sim.PartyID
+	n     int
+	burst int
+	out   []sim.Message
+}
+
+func (f *benchFlooder) Initial() []sim.PartyID { return f.ids }
+
+func (f *benchFlooder) Step(r int, honestOut []sim.Message, _ map[sim.PartyID][]sim.Message) ([]sim.Message, []sim.PartyID) {
+	f.out = f.out[:0]
+	for _, id := range f.ids {
+		for i := 0; i < f.burst; i++ {
+			to := sim.PartyID((i + len(honestOut)) % f.n)
+			f.out = append(f.out, sim.Message{From: id, To: to, Payload: intPayload(i)})
+		}
+	}
+	return f.out, nil
+}
+
+// Case is one named microbenchmark of the family. RoundsPerOp is the
+// total number of engine rounds one benchmark iteration executes (the
+// batch case runs benchRounds per batched execution), the divisor behind
+// the ns/round metric.
+type Case struct {
+	Name        string
+	RoundsPerOp int
+	Bench       func(b *testing.B)
+}
+
+// Cases returns the BenchmarkSimRound family: sequential and concurrent
+// drivers, the adversary path, and the parallel batch runner.
+func Cases() []Case {
+	seqCase := func(n int) Case {
+		return Case{
+			Name:        fmt.Sprintf("seq/n=%d", n),
+			RoundsPerOp: benchRounds,
+			Bench: func(b *testing.B) {
+				cfg := sim.Config{N: n, MaxRounds: benchRounds + 2}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(cfg, chatterMachines(n, benchRounds)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportPerRound(b, benchRounds)
+			},
+		}
+	}
+	return []Case{
+		seqCase(16),
+		seqCase(64),
+		{
+			Name:        "adversary/n=64",
+			RoundsPerOp: benchRounds,
+			Bench: func(b *testing.B) {
+				const n = 64
+				adv := func() sim.Adversary {
+					return &benchFlooder{ids: []sim.PartyID{0, 1, 2}, n: n, burst: n}
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg := sim.Config{
+						N: n, MaxRounds: benchRounds + 2, MaxCorrupt: 3,
+						MaxMessagesPerParty: 2 * n,
+						Adversary:           adv(),
+					}
+					if _, err := sim.Run(cfg, chatterMachines(n, benchRounds)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportPerRound(b, benchRounds)
+			},
+		},
+		{
+			Name:        "concurrent/n=64",
+			RoundsPerOp: benchRounds,
+			Bench: func(b *testing.B) {
+				const n = 64
+				cfg := sim.Config{N: n, MaxRounds: benchRounds + 2}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.RunConcurrent(cfg, chatterMachines(n, benchRounds)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportPerRound(b, benchRounds)
+			},
+		},
+		{
+			Name:        "batch/n=16x32",
+			RoundsPerOp: benchRounds * 32,
+			Bench: func(b *testing.B) {
+				const n, batch = 16, 32
+				cfgs := make([]sim.Config, batch)
+				for i := range cfgs {
+					cfgs[i] = sim.Config{N: n, MaxRounds: benchRounds + 2}
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.RunBatch(cfgs, func(int) []sim.Machine {
+						return chatterMachines(n, benchRounds)
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportPerRound(b, benchRounds*batch)
+			},
+		},
+	}
+}
+
+func reportPerRound(b *testing.B, rounds int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rounds), "ns/round")
+}
+
+// JSONResult is one case's measurement in the BENCH_sim.json snapshot.
+type JSONResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerRound  float64 `json:"ns_per_round"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"iterations"`
+}
+
+// RunJSON executes every case under testing.Benchmark and writes the
+// results as indented JSON, the format committed as BENCH_sim.json.
+func RunJSON(w io.Writer) error {
+	var results []JSONResult
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Bench)
+		perOp := float64(r.NsPerOp())
+		results = append(results, JSONResult{
+			Name:        c.Name,
+			NsPerOp:     perOp,
+			NsPerRound:  perOp / float64(c.RoundsPerOp),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

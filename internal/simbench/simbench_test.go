@@ -1,0 +1,48 @@
+package simbench
+
+import (
+	"testing"
+
+	"treeaa/internal/sim"
+)
+
+func TestCasesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cases() {
+		if c.Name == "" || c.Bench == nil || c.RoundsPerOp <= 0 {
+			t.Errorf("malformed case %+v", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestChatterWorkloadRuns(t *testing.T) {
+	const n = 8
+	res, err := sim.Run(sim.Config{N: n, MaxRounds: 12}, chatterMachines(n, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each round every party broadcasts (n deliveries) and sends one
+	// directed message: 10 rounds of n*(n+1).
+	if want := 10 * n * (n + 1); res.Messages != want {
+		t.Errorf("messages = %d, want %d", res.Messages, want)
+	}
+	if len(res.Outputs) != n {
+		t.Errorf("outputs = %d, want %d", len(res.Outputs), n)
+	}
+}
+
+func TestBenchFlooderStaysInRange(t *testing.T) {
+	const n = 8
+	adv := &benchFlooder{ids: []sim.PartyID{0}, n: n, burst: 2 * n}
+	_, err := sim.Run(sim.Config{
+		N: n, MaxRounds: 12, MaxCorrupt: 1, MaxMessagesPerParty: 2 * n,
+		Adversary: adv,
+	}, chatterMachines(n, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
