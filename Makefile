@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim cover bench bench-sim fuzz examples experiments clean
+.PHONY: all build test race race-sim node-smoke cover bench bench-sim fuzz examples experiments clean
 
-all: build test race-sim
+all: build test race-sim node-smoke
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The sim engine's sequential/concurrent equivalence must hold under the
-# race detector; this focused gate is cheap enough for the default target.
+# The sim engine's sequential/concurrent equivalence and the TCP
+# transport's sim-equivalence must hold under the race detector; this
+# focused gate is cheap enough for the default target.
 race-sim:
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/transport/...
+
+# Multi-process smoke: spawn real cmd/node processes on loopback ports (an
+# honest 3-node path cluster, then a 7-party splitvote deployment with the
+# adversary host seat) and assert validity + 1-agreement of the outputs.
+node-smoke:
+	$(GO) run ./cmd/node -cluster 3 -tree path:16
+	$(GO) run ./cmd/node -cluster 7 -t 2 -tree path:40 -adversary splitvote
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -36,8 +44,9 @@ bench-sim:
 	$(GO) test -run xxx -bench SimRound -benchmem .
 
 # Short fuzz pass over every fuzz target (tree parsing, Prüfer codec,
-# Euler-list invariants, hull/safe-area cross-checks).
+# Euler-list invariants, hull/safe-area cross-checks, wire decoding).
 fuzz:
+	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 30s ./internal/wire/
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 30s ./internal/tree/
 	$(GO) test -run FuzzPruefer -fuzz FuzzPruefer -fuzztime 30s ./internal/tree/
 	$(GO) test -run FuzzEulerList -fuzz FuzzEulerList -fuzztime 30s ./internal/tree/

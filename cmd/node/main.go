@@ -1,0 +1,310 @@
+// Command node runs one TreeAA party as a real networked process: it binds
+// its TCP listen address, meshes with its peers, and steps the protocol in
+// lock-step rounds with every message wire-encoded onto sockets.
+//
+// A deployment is one process per honest party plus, when an adversary is
+// configured, one *adversary host* process seated at the lowest corrupted
+// id — it co-hosts all t corrupted parties, because the model's adversary
+// is a single rushing, coordinated entity that cannot be split. The peers
+// file has one "host:port" per line; line i is party i's listen address.
+//
+//	node -id 0 -peers peers.txt -t 2 -tree path:40 -adversary splitvote
+//	node -id 5 -peers peers.txt -t 2 -tree path:40 -adversary splitvote   # host seat (n=7)
+//
+// The -cluster mode is a self-contained smoke test: it allocates loopback
+// ports, spawns the whole deployment as child processes of this binary,
+// and checks validity and 1-agreement of the outputs:
+//
+//	node -cluster 3 -tree path:16
+//	node -cluster 7 -t 2 -tree path:40 -adversary splitvote
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"treeaa/internal/adversary"
+	"treeaa/internal/cli"
+	"treeaa/internal/core"
+	"treeaa/internal/metrics"
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+	"treeaa/internal/tree"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", -1, "this process's party id (line number in -peers)")
+		peersFile = flag.String("peers", "", "peers file: one host:port per line, line i = party i")
+		tFlag     = flag.Int("t", 0, "Byzantine budget (corrupted set is the highest t ids)")
+		treeSpec  = flag.String("tree", "path:40", "input space tree spec (as in cmd/treeaa)")
+		inputSpec = flag.String("inputs", "", "comma-separated input vertex labels (default: spread)")
+		advName   = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
+		seed      = flag.Int64("seed", 1, "seed for random trees / noise adversaries")
+		cluster   = flag.Int("cluster", 0, "spawn an n-party loopback cluster of this binary and check agreement")
+	)
+	flag.Parse()
+	var err error
+	if *cluster > 0 {
+		err = runCluster(*cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed)
+	} else {
+		err = runSeat(*id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "node:", err)
+		os.Exit(1)
+	}
+}
+
+// runSeat runs one party (or the adversary host seat) of a deployment.
+func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName string, seed int64) error {
+	if peersFile == "" {
+		return fmt.Errorf("-peers is required (or use -cluster)")
+	}
+	addrs, err := readPeers(peersFile)
+	if err != nil {
+		return err
+	}
+	n := len(addrs)
+	if id < 0 || id >= n {
+		return fmt.Errorf("-id %d out of range for %d peers", id, n)
+	}
+	if advName == "crash" {
+		return fmt.Errorf("the crash adversary corrupts adaptively; messages on the wire cannot " +
+			"be retracted — use cmd/treeaa's in-process transport for it")
+	}
+	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	if err != nil {
+		return err
+	}
+	inputs, err := cli.ParseInputs(tr, inputSpec, n)
+	if err != nil {
+		return err
+	}
+	adv, corruptSet, err := cli.BuildAdversary(advName, tr, n, t, seed)
+	if err != nil {
+		return err
+	}
+	var corrupted []sim.PartyID
+	if adv != nil {
+		corrupted = adversary.FirstParties(n, t)
+	}
+
+	stats := &metrics.WireStats{}
+	pcfg := transport.ProcessConfig{
+		ID: sim.PartyID(id), N: n, Addrs: addrs,
+		Corrupted: corrupted, MaxRounds: core.Rounds(tr) + 2,
+		Session: transport.DeriveSession(append([]string{treeSpec, inputSpec, advName,
+			fmt.Sprint(n), fmt.Sprint(t), fmt.Sprint(seed)}, addrs...)...),
+		Opts: transport.Options{Stats: stats},
+	}
+	role := "party"
+	if corruptSet[sim.PartyID(id)] {
+		role = "adversary-host"
+		pcfg.Adversary = adv
+	} else {
+		m, err := core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: sim.PartyID(id), Input: inputs[id]})
+		if err != nil {
+			return err
+		}
+		pcfg.Machine = m
+	}
+
+	fmt.Printf("node %d: %s, n=%d t=%d tree=%s adversary=%s, listening on %s\n",
+		id, role, n, t, treeSpec, advName, addrs[id])
+	res, err := transport.RunProcess(pcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d: execution %d rounds, sent %d protocol msgs / %d bytes\n",
+		id, res.Rounds, res.Messages, res.Bytes)
+	fmt.Printf("node %d: wire: %s\n", id, stats)
+	if role == "party" {
+		v := res.Output.(tree.VertexID)
+		fmt.Printf("node %d: output %s (done round %d)\n", id, tr.Label(v), res.DoneRound)
+		fmt.Printf("RESULT id=%d role=party output=%s rounds=%d\n", id, tr.Label(v), res.Rounds)
+	} else {
+		fmt.Printf("RESULT id=%d role=adversary rounds=%d\n", id, res.Rounds)
+	}
+	return nil
+}
+
+// runCluster spawns a whole deployment of this binary on loopback ports and
+// checks the protocol's guarantees across the collected outputs.
+func runCluster(n, t int, treeSpec, inputSpec, advName string, seed int64) error {
+	if t < 0 || (t > 0 && n <= 3*t) {
+		return fmt.Errorf("need n > 3t, got n=%d t=%d", n, t)
+	}
+	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	if err != nil {
+		return err
+	}
+	inputs, err := cli.ParseInputs(tr, inputSpec, n)
+	if err != nil {
+		return err
+	}
+	_, corruptSet, err := cli.BuildAdversary(advName, tr, n, t, seed)
+	if err != nil {
+		return err
+	}
+
+	// Reserve one loopback port per party, then release them for the
+	// children to bind. The window between close and child bind is a
+	// port-theft race in principle; the session handshake turns any
+	// collision into a clean failure rather than a confused mesh.
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	dir, err := os.MkdirTemp("", "treeaa-node")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	peersFile := filepath.Join(dir, "peers.txt")
+	if err := os.WriteFile(peersFile, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	// One child per honest party, plus the adversary host seat.
+	var seats []int
+	for i := 0; i < n; i++ {
+		if !corruptSet[sim.PartyID(i)] {
+			seats = append(seats, i)
+		}
+	}
+	if len(corruptSet) > 0 {
+		seats = append(seats, n-t) // observer = lowest corrupted id
+	}
+	outputs := make(map[int]string)
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		errs []error
+	)
+	for _, seat := range seats {
+		wg.Add(1)
+		go func(seat int) {
+			defer wg.Done()
+			cmd := exec.Command(self, "-id", fmt.Sprint(seat), "-peers", peersFile,
+				"-t", fmt.Sprint(t), "-tree", treeSpec, "-inputs", inputSpec,
+				"-adversary", advName, "-seed", fmt.Sprint(seed))
+			out, err := cmd.CombinedOutput()
+			mu.Lock()
+			defer mu.Unlock()
+			for _, line := range strings.Split(strings.TrimRight(string(out), "\n"), "\n") {
+				fmt.Printf("  [%d] %s\n", seat, line)
+				var id, rounds int
+				var label string
+				if _, e := fmt.Sscanf(line, "RESULT id=%d role=party output=%s rounds=%d", &id, &label, &rounds); e == nil {
+					outputs[id] = strings.Fields(label)[0]
+				}
+			}
+			if err != nil {
+				errs = append(errs, fmt.Errorf("seat %d: %w", seat, err))
+			}
+		}(seat)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return fmt.Errorf("cluster children failed: %v", errs)
+	}
+
+	// Validity: outputs lie in the hull of honest inputs. 1-agreement: all
+	// outputs within distance 1.
+	var honestIn []tree.VertexID
+	for i := 0; i < n; i++ {
+		if !corruptSet[sim.PartyID(i)] {
+			honestIn = append(honestIn, inputs[i])
+		}
+	}
+	hull := make(map[tree.VertexID]bool)
+	for _, v := range tr.ConvexHull(honestIn) {
+		hull[v] = true
+	}
+	var outs []tree.VertexID
+	ok := true
+	for i := 0; i < n; i++ {
+		if corruptSet[sim.PartyID(i)] {
+			continue
+		}
+		label, have := outputs[i]
+		if !have {
+			fmt.Printf("cluster: party %d reported no output\n", i)
+			ok = false
+			continue
+		}
+		v, err := tr.VertexByLabel(label)
+		if err != nil {
+			return fmt.Errorf("party %d reported unknown vertex %q", i, label)
+		}
+		if !hull[v] {
+			fmt.Printf("cluster: party %d output %s outside the honest hull\n", i, label)
+			ok = false
+		}
+		outs = append(outs, v)
+	}
+	maxDist := 0
+	for i := range outs {
+		for j := i + 1; j < len(outs); j++ {
+			if d := tr.Dist(outs[i], outs[j]); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	fmt.Printf("cluster: n=%d t=%d adversary=%s, max pairwise output distance %d (1-agreement: %v)\n",
+		n, t, advName, maxDist, maxDist <= 1)
+	if !ok || maxDist > 1 {
+		return fmt.Errorf("AA properties violated")
+	}
+	return nil
+}
+
+// readPeers parses a peers file: one host:port per line, ignoring blank
+// lines and #-comments; line i is party i's listen address.
+func readPeers(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var addrs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(line); err != nil {
+			return nil, fmt.Errorf("%s: bad peer address %q: %w", path, line, err)
+		}
+		addrs = append(addrs, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("%s: need at least 2 peers, got %d", path, len(addrs))
+	}
+	return addrs, nil
+}

@@ -14,14 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
-	"treeaa/internal/adversary"
 	"treeaa/internal/cli"
 	"treeaa/internal/core"
 	"treeaa/internal/sim"
+	"treeaa/internal/transport"
 	"treeaa/internal/tree"
 )
 
@@ -31,29 +30,38 @@ func main() {
 		tFlag      = flag.Int("t", 2, "Byzantine budget (t < n/3)")
 		treeSpec   = flag.String("tree", "path:40", "input space tree spec (see -help)")
 		inputSpec  = flag.String("inputs", "", "comma-separated input vertex labels (default: spread across the tree)")
-		advName    = flag.String("adversary", "none", "none|silent|crash|equivocator|splitvote|halfburn|noise")
+		advName    = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
 		seed       = flag.Int64("seed", 1, "seed for random trees / noise adversaries")
 		quiet      = flag.Bool("q", false, "suppress the tree drawing and round trace")
-		concurrent = flag.Bool("concurrent", false, "run each party in its own goroutine (round-barrier driver)")
+		transName  = flag.String("transport", "mem", strings.Join(transport.Names(), "|"))
+		concurrent = flag.Bool("concurrent", false, "alias for -transport mem-concurrent")
 		dotFile    = flag.String("dot", "", "write a Graphviz DOT visualization of the execution to this file")
 	)
 	flag.Parse()
-	if err := run(*nFlag, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *quiet, *concurrent, *dotFile); err != nil {
+	name := *transName
+	if *concurrent && name == "mem" {
+		name = "mem-concurrent"
+	}
+	if err := run(*nFlag, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *quiet, name, *dotFile); err != nil {
 		fmt.Fprintln(os.Stderr, "treeaa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet, concurrent bool, dotFile string) error {
+func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet bool, transName, dotFile string) error {
 	tr, err := cli.ParseTreeSpec(treeSpec, seed)
 	if err != nil {
 		return err
 	}
-	inputs, err := parseInputs(tr, inputSpec, n)
+	inputs, err := cli.ParseInputs(tr, inputSpec, n)
 	if err != nil {
 		return err
 	}
-	adv, corrupt, err := buildAdversary(advName, tr, n, t, seed)
+	adv, corrupt, err := cli.BuildAdversary(advName, tr, n, t, seed)
+	if err != nil {
+		return err
+	}
+	driver, err := transport.New(transName)
 	if err != nil {
 		return err
 	}
@@ -91,11 +99,7 @@ func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet, concu
 		N: n, MaxCorrupt: t, MaxRounds: core.Rounds(tr) + 2,
 		Adversary: adv, Trace: &trace,
 	}
-	driver := sim.Run
-	if concurrent {
-		driver = sim.RunConcurrent
-	}
-	res, err := driver(simCfg, machines)
+	res, err := driver.Run(simCfg, machines)
 	if err != nil {
 		return err
 	}
@@ -192,82 +196,4 @@ func writeDOT(path string, tr *tree.Tree, inputs []tree.VertexID, corrupt map[si
 	}
 	defer f.Close()
 	return tr.WriteDOT(f, "treeaa", attrs)
-}
-
-func parseInputs(tr *tree.Tree, spec string, n int) ([]tree.VertexID, error) {
-	if spec == "" {
-		inputs := make([]tree.VertexID, n)
-		for i := range inputs {
-			inputs[i] = tree.VertexID(i * (tr.NumVertices() - 1) / maxInt(n-1, 1))
-		}
-		return inputs, nil
-	}
-	parts := strings.Split(spec, ",")
-	if len(parts) != n {
-		return nil, fmt.Errorf("got %d inputs for n = %d", len(parts), n)
-	}
-	inputs := make([]tree.VertexID, n)
-	for i, label := range parts {
-		v, err := tr.VertexByLabel(strings.TrimSpace(label))
-		if err != nil {
-			return nil, err
-		}
-		inputs[i] = v
-	}
-	return inputs, nil
-}
-
-func buildAdversary(name string, tr *tree.Tree, n, t int, seed int64) (sim.Adversary, map[sim.PartyID]bool, error) {
-	if name == "none" || t == 0 {
-		return nil, map[sim.PartyID]bool{}, nil
-	}
-	ids := adversary.FirstParties(n, t)
-	corrupt := make(map[sim.PartyID]bool, len(ids))
-	for _, id := range ids {
-		corrupt[id] = true
-	}
-	phases := core.PhaseTags(tr)
-	perPhase := func(mk func(p core.PhaseTag, k int) sim.Adversary) sim.Adversary {
-		var parts []sim.Adversary
-		for k, p := range phases {
-			parts = append(parts, mk(p, k))
-		}
-		return &adversary.Compose{Strategies: parts}
-	}
-	switch name {
-	case "silent":
-		return &adversary.Silent{IDs: ids}, corrupt, nil
-	case "crash":
-		rounds := make([]int, len(ids))
-		rng := rand.New(rand.NewSource(seed))
-		for i := range rounds {
-			rounds[i] = 1 + rng.Intn(core.Rounds(tr)+1)
-		}
-		return &adversary.CrashAt{IDs: ids, Rounds: rounds}, corrupt, nil
-	case "equivocator":
-		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
-			return &adversary.GradecastEquivocator{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Lo: -100, Hi: 1e6}
-		}), corrupt, nil
-	case "splitvote":
-		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
-			return &adversary.SplitVote{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound, PerIteration: 1}
-		}), corrupt, nil
-	case "halfburn":
-		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
-			return &adversary.HalfBurn{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound}
-		}), corrupt, nil
-	case "noise":
-		return perPhase(func(p core.PhaseTag, k int) sim.Adversary {
-			return &adversary.RandomNoise{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Seed: seed + int64(1000*k), MaxVal: 2 * tr.NumVertices()}
-		}), corrupt, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown adversary %q", name)
-	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

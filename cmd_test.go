@@ -35,6 +35,21 @@ func TestCommandsRun(t *testing.T) {
 			wants: []string{"1-agreement: true"},
 		},
 		{
+			name:  "treeaa over tcp transport",
+			args:  []string{"run", "./cmd/treeaa", "-tree", "path:24", "-n", "4", "-t", "1", "-adversary", "splitvote", "-transport", "tcp", "-q"},
+			wants: []string{"1-agreement: true"},
+		},
+		{
+			name:  "node loopback cluster",
+			args:  []string{"run", "./cmd/node", "-cluster", "3", "-tree", "path:16"},
+			wants: []string{"1-agreement: true"},
+		},
+		{
+			name:  "node cluster with adversary host",
+			args:  []string{"run", "./cmd/node", "-cluster", "7", "-t", "2", "-tree", "path:40", "-adversary", "splitvote"},
+			wants: []string{"role=adversary", "1-agreement: true"},
+		},
+		{
 			name:  "bench-rounds",
 			args:  []string{"run", "./cmd/bench-rounds", "-sizes", "64,256", "-family", "caterpillar"},
 			wants: []string{"treeaa_norm", "caterpillar"},

@@ -49,8 +49,11 @@ type VertexMsg struct {
 	V    tree.VertexID
 }
 
-// Size implements sim.Sizer.
-func (m VertexMsg) Size() int { return len(m.Tag) + 8 }
+// Size implements sim.Sizer with the exact internal/wire encoded length
+// (the vertex travels as a fixed u32).
+func (m VertexMsg) Size() int {
+	return 2 + sim.UvarintLen(uint64(len(m.Tag))) + len(m.Tag) + sim.UvarintLen(uint64(m.Iter)) + 4
+}
 
 // Config parameterizes a baseline machine.
 type Config struct {

@@ -1,5 +1,6 @@
 // Package cli holds small helpers shared by the cmd/ binaries: the tree
-// specification mini-language and input spreading.
+// specification mini-language, input spreading and parsing, and adversary
+// construction from its flag name.
 package cli
 
 import (
@@ -9,6 +10,9 @@ import (
 	"strconv"
 	"strings"
 
+	"treeaa/internal/adversary"
+	"treeaa/internal/core"
+	"treeaa/internal/sim"
 	"treeaa/internal/tree"
 )
 
@@ -109,4 +113,82 @@ func SpreadInputs(tr *tree.Tree, n int) []tree.VertexID {
 		inputs[i] = tree.VertexID(i * (tr.NumVertices() - 1) / denom)
 	}
 	return inputs
+}
+
+// ParseInputs resolves a comma-separated list of vertex labels to inputs,
+// or spreads them across the tree when the spec is empty.
+func ParseInputs(tr *tree.Tree, spec string, n int) ([]tree.VertexID, error) {
+	if spec == "" {
+		return SpreadInputs(tr, n), nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("got %d inputs for n = %d", len(parts), n)
+	}
+	inputs := make([]tree.VertexID, n)
+	for i, label := range parts {
+		v, err := tr.VertexByLabel(strings.TrimSpace(label))
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = v
+	}
+	return inputs, nil
+}
+
+// AdversaryNames lists the -adversary flag values for help text.
+func AdversaryNames() []string {
+	return []string{"none", "silent", "crash", "equivocator", "splitvote", "halfburn", "noise"}
+}
+
+// BuildAdversary constructs the named adversary over the canonical
+// corrupted set FirstParties(n, t), phase-composed for TreeAA's gradecast
+// tags where the strategy is tag-scoped. It returns the adversary (nil for
+// "none" or t = 0) and the corrupted-party map.
+func BuildAdversary(name string, tr *tree.Tree, n, t int, seed int64) (sim.Adversary, map[sim.PartyID]bool, error) {
+	if name == "none" || t == 0 {
+		return nil, map[sim.PartyID]bool{}, nil
+	}
+	ids := adversary.FirstParties(n, t)
+	corrupt := make(map[sim.PartyID]bool, len(ids))
+	for _, id := range ids {
+		corrupt[id] = true
+	}
+	phases := core.PhaseTags(tr)
+	perPhase := func(mk func(p core.PhaseTag, k int) sim.Adversary) sim.Adversary {
+		var parts []sim.Adversary
+		for k, p := range phases {
+			parts = append(parts, mk(p, k))
+		}
+		return &adversary.Compose{Strategies: parts}
+	}
+	switch name {
+	case "silent":
+		return &adversary.Silent{IDs: ids}, corrupt, nil
+	case "crash":
+		rounds := make([]int, len(ids))
+		rng := rand.New(rand.NewSource(seed))
+		for i := range rounds {
+			rounds[i] = 1 + rng.Intn(core.Rounds(tr)+1)
+		}
+		return &adversary.CrashAt{IDs: ids, Rounds: rounds}, corrupt, nil
+	case "equivocator":
+		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
+			return &adversary.GradecastEquivocator{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Lo: -100, Hi: 1e6}
+		}), corrupt, nil
+	case "splitvote":
+		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
+			return &adversary.SplitVote{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound, PerIteration: 1}
+		}), corrupt, nil
+	case "halfburn":
+		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
+			return &adversary.HalfBurn{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound}
+		}), corrupt, nil
+	case "noise":
+		return perPhase(func(p core.PhaseTag, k int) sim.Adversary {
+			return &adversary.RandomNoise{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Seed: seed + int64(1000*k), MaxVal: 2 * tr.NumVertices()}
+		}), corrupt, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown adversary %q", name)
+	}
 }

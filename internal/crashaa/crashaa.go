@@ -30,8 +30,10 @@ type ValueMsg struct {
 	Val  float64
 }
 
-// Size implements sim.Sizer.
-func (m ValueMsg) Size() int { return len(m.Tag) + 12 }
+// Size implements sim.Sizer with the exact internal/wire encoded length.
+func (m ValueMsg) Size() int {
+	return 2 + sim.UvarintLen(uint64(len(m.Tag))) + len(m.Tag) + sim.UvarintLen(uint64(m.Iter)) + 8
+}
 
 // Config parameterizes a crash-model machine.
 type Config struct {

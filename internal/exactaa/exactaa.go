@@ -99,8 +99,18 @@ type ChainMsg struct {
 	Sigs   [][]byte
 }
 
-// Size implements sim.Sizer.
-func (m ChainMsg) Size() int { return len(m.Tag) + 16 + len(m.Sigs)*(8+ed25519.SignatureSize) }
+// Size implements sim.Sizer with the exact internal/wire encoded length:
+// header, length-prefixed Tag, u32 sender and vertex, the signer list as
+// u32s, and each signature length-prefixed.
+func (m ChainMsg) Size() int {
+	n := 2 + sim.UvarintLen(uint64(len(m.Tag))) + len(m.Tag) + 4 + 4 +
+		sim.UvarintLen(uint64(len(m.Signer))) + 4*len(m.Signer) +
+		sim.UvarintLen(uint64(len(m.Sigs)))
+	for _, sig := range m.Sigs {
+		n += sim.UvarintLen(uint64(len(sig))) + len(sig)
+	}
+	return n
+}
 
 // validChain checks a chain carried by a message processed in send-round r
 // (i.e. it must hold at least r distinct valid signatures, the first by the

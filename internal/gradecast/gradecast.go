@@ -58,8 +58,11 @@ type SendMsg struct {
 	Val  float64
 }
 
-// Size implements sim.Sizer.
-func (m SendMsg) Size() int { return 8 + len(m.Tag) + 4 }
+// Size implements sim.Sizer with the exact internal/wire encoded length:
+// header (version + type tag), length-prefixed Tag, varint Iter, f64 value.
+func (m SendMsg) Size() int {
+	return 2 + sim.UvarintLen(uint64(len(m.Tag))) + len(m.Tag) + sim.UvarintLen(uint64(m.Iter)) + 8
+}
 
 // EchoMsg is the phase-2 message: for each leader the sender received a
 // phase-1 value from, the value it received. Missing leaders mean ⊥.
@@ -69,8 +72,10 @@ type EchoMsg struct {
 	Vals map[sim.PartyID]float64
 }
 
-// Size implements sim.Sizer.
-func (m EchoMsg) Size() int { return len(m.Tag) + 4 + 12*len(m.Vals) }
+// Size implements sim.Sizer with the exact internal/wire encoded length;
+// each map entry costs a fixed 12 bytes (u32 leader + f64 value) so sizing
+// a vector message stays O(1).
+func (m EchoMsg) Size() int { return vectorSize(m.Tag, m.Iter, len(m.Vals)) }
 
 // VoteMsg is the phase-3 message: for each leader for which the sender saw
 // n-t matching echoes, the echoed value. Missing leaders mean a ⊥ vote.
@@ -80,8 +85,14 @@ type VoteMsg struct {
 	Vals map[sim.PartyID]float64
 }
 
-// Size implements sim.Sizer.
-func (m VoteMsg) Size() int { return len(m.Tag) + 4 + 12*len(m.Vals) }
+// Size implements sim.Sizer (see EchoMsg.Size).
+func (m VoteMsg) Size() int { return vectorSize(m.Tag, m.Iter, len(m.Vals)) }
+
+// vectorSize is the shared wire size of the echo/vote vector messages.
+func vectorSize(tag string, iter, vals int) int {
+	return 2 + sim.UvarintLen(uint64(len(tag))) + len(tag) +
+		sim.UvarintLen(uint64(iter)) + sim.UvarintLen(uint64(vals)) + 12*vals
+}
 
 // Result is one party's gradecast output for one leader.
 type Result struct {

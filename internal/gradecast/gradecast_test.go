@@ -287,8 +287,9 @@ func TestSizes(t *testing.T) {
 	if s := (SendMsg{Tag: "ab"}).Size(); s != 14 {
 		t.Errorf("SendMsg size = %d", s)
 	}
+	// header(2) + tag len prefix(1) + tag(2) + iter(1) + count(1) + 2*12.
 	e := EchoMsg{Tag: "ab", Vals: map[sim.PartyID]float64{0: 1, 1: 2}}
-	if s := e.Size(); s != 2+4+24 {
+	if s := e.Size(); s != 2+1+2+1+1+24 {
 		t.Errorf("EchoMsg size = %d", s)
 	}
 }

@@ -10,7 +10,41 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
+
+// WireStats counts transport-level traffic: every frame the TCP substrate
+// puts on (or takes off) a socket, including protocol payload frames and
+// the handshake / mirror / end-of-round control frames that sim.Result's
+// Messages and Bytes deliberately exclude. The difference between
+// BytesSent and a run's Result.Bytes is therefore the substrate's framing
+// overhead — the number the guesswork-era DefaultPayloadSize accounting
+// could never produce. All counters are atomic; one WireStats may be
+// shared by every connection of a node.
+type WireStats struct {
+	FramesSent atomic.Int64
+	BytesSent  atomic.Int64
+	FramesRecv atomic.Int64
+	BytesRecv  atomic.Int64
+}
+
+// AddSent records one sent frame of the given encoded size.
+func (w *WireStats) AddSent(bytes int) {
+	w.FramesSent.Add(1)
+	w.BytesSent.Add(int64(bytes))
+}
+
+// AddRecv records one received frame of the given encoded size.
+func (w *WireStats) AddRecv(bytes int) {
+	w.FramesRecv.Add(1)
+	w.BytesRecv.Add(int64(bytes))
+}
+
+// String renders the counters for logs and the cmd/node summary line.
+func (w *WireStats) String() string {
+	return fmt.Sprintf("sent %d frames / %d bytes, recv %d frames / %d bytes",
+		w.FramesSent.Load(), w.BytesSent.Load(), w.FramesRecv.Load(), w.BytesRecv.Load())
+}
 
 // Summary holds order statistics of a sample.
 type Summary struct {

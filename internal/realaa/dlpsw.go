@@ -29,8 +29,10 @@ type DLPSWMsg struct {
 	Val  float64
 }
 
-// Size implements sim.Sizer.
-func (m DLPSWMsg) Size() int { return 8 + len(m.Tag) + 4 }
+// Size implements sim.Sizer with the exact internal/wire encoded length.
+func (m DLPSWMsg) Size() int {
+	return 2 + sim.UvarintLen(uint64(len(m.Tag))) + len(m.Tag) + sim.UvarintLen(uint64(m.Iter)) + 8
+}
 
 // DLPSW is the classic one-round-per-iteration AA protocol in the style of
 // Dolev et al. [12]: broadcast the current value, discard the t lowest and t

@@ -34,15 +34,35 @@ type Message struct {
 	Payload any
 }
 
-// Sizer lets payloads report an approximate wire size for bandwidth
-// accounting. Payloads that do not implement Sizer are charged
-// DefaultPayloadSize bytes.
+// Sizer lets payloads report their wire size for bandwidth accounting.
+// Every in-tree protocol payload implements Sizer with its *exact*
+// internal/wire encoded length (a cross-check test in internal/wire
+// enforces Size() == len(wire.Encode(p)) for each type); payloads that do
+// not implement Sizer are charged DefaultPayloadSize bytes.
 type Sizer interface {
 	Size() int
 }
 
 // DefaultPayloadSize is the byte charge for payloads without a Sizer.
 const DefaultPayloadSize = 16
+
+// PayloadSize returns the byte charge for a payload: its Sizer size, or
+// DefaultPayloadSize. It is the accounting rule both drivers (in-process
+// and TCP transport) share, so their Result.Bytes agree.
+func PayloadSize(p any) int { return payloadSize(p) }
+
+// UvarintLen returns the encoded length of x as a canonical LEB128
+// varint — the arithmetic Sizer implementations need to mirror the
+// internal/wire codec without importing it (wire imports the protocol
+// packages, so the dependency must point this way).
+func UvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
 
 // Machine is a deterministic, synchronous protocol state machine for one
 // party. The driver calls Step once per round r = 1, 2, ...; inbox holds the

@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/wire"
+)
+
+// hostConfig drives all corrupted parties — and the adversary controlling
+// them — inside one process. The simulator's adversary is a *global*
+// entity: rushing (it sees every honest round-r message before sending its
+// own) and coordinated (one Step speaks for all corrupted parties). Neither
+// power distributes, so the TCP substrate hosts the whole corrupted set on
+// one endpoint and reconstructs the global view from two sources: mirror
+// frames (honest traffic, granted by the honest nodes to the observer) and
+// the corrupted parties' own inboxes.
+type hostConfig struct {
+	corrupted []sim.PartyID // ascending, deduplicated
+	n         int
+	maxRounds int
+	adv       sim.Adversary
+	ep        *endpoint
+}
+
+// hostResult is the corrupted side's share of a sim.Result.
+type hostResult struct {
+	termRound int
+	msgs      []int // adversary messages per executed round, counted at send
+	bytes     []int
+}
+
+// runAdversaryHost mirrors the engine's adversary path round by round:
+// wait until the observer holds all honest round-r traffic (mirrors are
+// complete once each honest eor(r) arrives) and every corrupted inbox for
+// round r-1 is complete, rebuild honestOut and corruptInbox exactly as the
+// engine lays them out, run one Adversary.Step, and route the returned
+// messages through the corrupted parties' authenticated links. Corrupted
+// parties always flag done in their barriers, so honest termination is
+// untouched by the adversary's presence.
+func runAdversaryHost(cfg hostConfig) (*hostResult, error) {
+	e := cfg.ep
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	defer e.shutdown(false)
+
+	observer := cfg.corrupted[0]
+	isCorrupted := make(map[sim.PartyID]bool, len(cfg.corrupted))
+	for _, c := range cfg.corrupted {
+		isCorrupted[c] = true
+	}
+	honest := make([]sim.PartyID, 0, cfg.n-len(cfg.corrupted))
+	for p := sim.PartyID(0); int(p) < cfg.n; p++ {
+		if !isCorrupted[p] {
+			honest = append(honest, p)
+		}
+	}
+	if len(honest) == 0 {
+		return nil, fmt.Errorf("transport: no honest parties to host an adversary against")
+	}
+
+	h := &hostState{
+		cfg:      cfg,
+		observer: observer,
+		honest:   honest,
+		states:   make(map[sim.PartyID]*roundState, len(cfg.corrupted)),
+		mirrors:  make(map[int]map[sim.PartyID][]sim.Message),
+	}
+	for _, c := range cfg.corrupted {
+		h.states[c] = newRoundState(cfg.n)
+	}
+	res := &hostResult{}
+	corruptInbox := make(map[sim.PartyID][]sim.Message, len(cfg.corrupted))
+
+	for r := 1; r <= cfg.maxRounds; r++ {
+		if err := h.await(r); err != nil {
+			return nil, err
+		}
+
+		// honestOut: expanded honest traffic concatenated by ascending
+		// sender, each sender's messages in emission order — the mirror
+		// stream preserves exactly the engine's honestOut layout.
+		var honestOut []sim.Message
+		for _, p := range honest {
+			honestOut = append(honestOut, h.mirrors[r][p]...)
+		}
+		for _, c := range cfg.corrupted {
+			corruptInbox[c] = h.states[c].inbox(r - 1)
+		}
+
+		msgs, more := cfg.adv.Step(r, honestOut, corruptInbox)
+		if len(more) > 0 {
+			return nil, fmt.Errorf("transport: adversary corrupted %v adaptively at round %d; "+
+				"adaptive corruption cannot retract messages already on the wire — use the in-process transport", more, r)
+		}
+
+		roundMsgs, roundBytes := 0, 0
+		for _, raw := range msgs {
+			if !isCorrupted[raw.From] {
+				return nil, fmt.Errorf("%w: message from party %d at round %d", sim.ErrForgedSender, raw.From, r)
+			}
+			if raw.To != sim.Broadcast && (raw.To < 0 || int(raw.To) >= cfg.n) {
+				return nil, fmt.Errorf("transport: adversary recipient %d out of range [0, %d)", raw.To, cfg.n)
+			}
+			body, err := wire.Encode(raw.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("transport: adversary round %d: %w", r, err)
+			}
+			first, last := raw.To, raw.To
+			if raw.To == sim.Broadcast {
+				first, last = 0, sim.PartyID(cfg.n-1)
+			}
+			for to := first; to <= last; to++ {
+				roundMsgs++
+				roundBytes += len(body)
+				if isCorrupted[to] {
+					// Intra-host delivery: corrupted parties share the
+					// process, so their pairwise links never leave it.
+					h.states[to].addMail(sim.Message{From: raw.From, To: to, Round: r, Payload: raw.Payload})
+				} else {
+					e.send(raw.From, to, encodeMsg(frameMsg, r, to, body))
+				}
+			}
+		}
+		res.msgs = append(res.msgs, roundMsgs)
+		res.bytes = append(res.bytes, roundBytes)
+
+		eor := encodeEOR(r, true)
+		for _, c := range cfg.corrupted {
+			for _, p := range honest {
+				e.send(c, p, eor)
+			}
+		}
+		for r2 := range h.mirrors {
+			if r2 <= r {
+				delete(h.mirrors, r2)
+			}
+		}
+		for _, c := range cfg.corrupted {
+			h.states[c].drop(r - 1)
+		}
+
+		if h.states[observer].peersDone(r, honest) {
+			res.termRound = r
+			e.shutdown(true)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: adversary host after %d rounds", sim.ErrNotDone, cfg.maxRounds)
+}
+
+// hostState is the event-filing side of the adversary host.
+type hostState struct {
+	cfg      hostConfig
+	observer sim.PartyID
+	honest   []sim.PartyID
+	states   map[sim.PartyID]*roundState           // per corrupted party
+	mirrors  map[int]map[sim.PartyID][]sim.Message // round → honest sender → expanded traffic
+}
+
+// ready reports whether the adversary can step round r: the observer holds
+// eor(r) from every honest party (so round r's mirrors are complete) and
+// every corrupted inbox for round r-1 is complete (eor(r-1) from every
+// honest peer; intra-host deliveries are synchronous and need no barrier).
+func (h *hostState) ready(r int) bool {
+	if !h.states[h.observer].barrierDone(r, h.honest) {
+		return false
+	}
+	if r == 1 {
+		return true
+	}
+	for _, c := range h.cfg.corrupted {
+		if !h.states[c].barrierDone(r-1, h.honest) {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *hostState) await(r int) error {
+	e := h.cfg.ep
+	timeout := time.NewTimer(e.opts.RoundTimeout)
+	defer timeout.Stop()
+	for !h.ready(r) {
+		select {
+		case ev := <-e.events:
+			if err := h.handle(ev); err != nil {
+				return err
+			}
+			if err := h.states[h.observer].checkStalled(r, h.honest); err != nil {
+				return fmt.Errorf("transport: adversary host waiting on round %d: %w", r, err)
+			}
+		case <-timeout.C:
+			return fmt.Errorf("transport: adversary host: round %d barrier timed out after %v", r, e.opts.RoundTimeout)
+		}
+	}
+	return nil
+}
+
+func (h *hostState) handle(ev event) error {
+	if ev.err != nil {
+		for _, st := range h.states {
+			if _, seen := st.fail[ev.from]; !seen {
+				st.fail[ev.from] = ev.err
+			}
+		}
+		return nil
+	}
+	switch ev.f.typ {
+	case frameMsg:
+		h.states[ev.owner].addMail(sim.Message{From: ev.from, To: ev.owner, Round: ev.f.round, Payload: ev.f.payload})
+		return nil
+	case frameMirror:
+		if ev.owner != h.observer {
+			return fmt.Errorf("transport: mirror frame addressed to party %d, observer is %d", ev.owner, h.observer)
+		}
+		box := h.mirrors[ev.f.round]
+		if box == nil {
+			box = make(map[sim.PartyID][]sim.Message, len(h.honest))
+			h.mirrors[ev.f.round] = box
+		}
+		box[ev.from] = append(box[ev.from], sim.Message{From: ev.from, To: ev.f.to, Round: ev.f.round, Payload: ev.f.payload})
+		return nil
+	case frameEOR:
+		return h.states[ev.owner].addEOR(ev.f.round, ev.from, ev.f.done)
+	default:
+		return fmt.Errorf("transport: unexpected frame type 0x%02x from party %d", ev.f.typ, ev.from)
+	}
+}

@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+
+	"treeaa/internal/sim"
+)
+
+// LocalCluster executes machines under cfg as a real networked system: one
+// TCP endpoint per honest party plus one adversary host co-hosting the
+// corrupted set, all on 127.0.0.1 loopback ports. For any deterministic
+// configuration it accepts, its Result — outputs, rounds, message and byte
+// counts, trace — is byte-for-byte the Result of sim.Run on the same
+// inputs; the equivalence test in this package pins that against seeds and
+// adversaries. Three engine features cannot be distributed and are rejected
+// up front with an explanation: adaptive corruption (messages on the wire
+// cannot be retracted), omission filtering and per-party rate limits (both
+// require a global arbiter between send and delivery).
+func LocalCluster(cfg sim.Config, machines []sim.Machine, opts Options) (*sim.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(machines) != cfg.N {
+		return nil, fmt.Errorf("sim: %d machines for N = %d", len(machines), cfg.N)
+	}
+	if cfg.MaxMessagesPerParty != 0 {
+		return nil, fmt.Errorf("transport: MaxMessagesPerParty requires a global rate arbiter; " +
+			"the tcp transport has none — use the in-process transport")
+	}
+	if _, ok := cfg.Adversary.(sim.OutboxFilter); ok {
+		return nil, fmt.Errorf("transport: omission filtering intercepts sends after expansion; " +
+			"the tcp transport cannot — use the in-process transport")
+	}
+	opts = opts.withDefaults()
+
+	corrupted, err := initialCorruptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	isCorrupted := make(map[sim.PartyID]bool, len(corrupted))
+	for _, c := range corrupted {
+		isCorrupted[c] = true
+	}
+	observer := sim.PartyID(-1)
+	if len(corrupted) > 0 {
+		observer = corrupted[0]
+	}
+
+	// Bind every party's listener first: addresses must be known before any
+	// endpoint dials, and a bind failure should abort before goroutines
+	// exist.
+	listeners := make([]net.Listener, cfg.N)
+	addrs := make([]string, cfg.N)
+	for p := 0; p < cfg.N; p++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:p] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("transport: binding party %d: %w", p, err)
+		}
+		listeners[p] = ln
+		addrs[p] = ln.Addr().String()
+	}
+	session := newSession()
+
+	endpoints := make([]*endpoint, 0, cfg.N)
+	nodeCh := make(chan nodeOutcome, cfg.N)
+	launched := 0
+	for p := sim.PartyID(0); int(p) < cfg.N; p++ {
+		if isCorrupted[p] {
+			continue
+		}
+		ep := newEndpoint([]sim.PartyID{p}, cfg.N, addrs, session,
+			map[sim.PartyID]net.Listener{p: listeners[p]}, opts)
+		endpoints = append(endpoints, ep)
+		nc := nodeConfig{id: p, n: cfg.N, maxRounds: cfg.MaxRounds,
+			observer: observer, machine: machines[p], ep: ep}
+		go func() {
+			res, err := runNode(nc)
+			nodeCh <- nodeOutcome{id: nc.id, res: res, err: err}
+		}()
+		launched++
+	}
+	var hostCh chan hostOutcome
+	if len(corrupted) > 0 {
+		hostLns := make(map[sim.PartyID]net.Listener, len(corrupted))
+		for _, c := range corrupted {
+			hostLns[c] = listeners[c]
+		}
+		ep := newEndpoint(corrupted, cfg.N, addrs, session, hostLns, opts)
+		endpoints = append(endpoints, ep)
+		hc := hostConfig{corrupted: corrupted, n: cfg.N, maxRounds: cfg.MaxRounds,
+			adv: cfg.Adversary, ep: ep}
+		hostCh = make(chan hostOutcome, 1)
+		go func() {
+			res, err := runAdversaryHost(hc)
+			hostCh <- hostOutcome{res: res, err: err}
+		}()
+	}
+	// From here every listener is owned by an endpoint and every endpoint is
+	// shut down on exit, which also unblocks any party stuck on a failing
+	// peer.
+	defer func() {
+		for _, ep := range endpoints {
+			ep.shutdown(false)
+		}
+	}()
+
+	var (
+		nodes []nodeOutcome
+		errs  []error
+	)
+	for i := 0; i < launched; i++ {
+		out := <-nodeCh
+		nodes = append(nodes, out)
+		if out.err != nil {
+			errs = append(errs, out.err)
+			abort(endpoints)
+		}
+	}
+	var host hostOutcome
+	if hostCh != nil {
+		host = <-hostCh
+		if host.err != nil {
+			errs = append(errs, host.err)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return mergeResults(cfg, corrupted, nodes, host.res)
+}
+
+type nodeOutcome struct {
+	id  sim.PartyID
+	res *nodeResult
+	err error
+}
+
+type hostOutcome struct {
+	res *hostResult
+	err error
+}
+
+// abort tears every endpoint down so parties blocked on a failed peer's
+// barrier return promptly instead of riding out RoundTimeout.
+func abort(endpoints []*endpoint) {
+	for _, ep := range endpoints {
+		ep.shutdown(false)
+	}
+}
+
+// initialCorruptions validates and normalizes the adversary's initial set:
+// ascending, deduplicated (Compose repeats its strategies' shared ids, just
+// as the engine's corruption map absorbs duplicates), within budget.
+func initialCorruptions(cfg sim.Config) ([]sim.PartyID, error) {
+	if cfg.Adversary == nil {
+		return nil, nil
+	}
+	seen := make(map[sim.PartyID]bool)
+	var out []sim.PartyID
+	for _, p := range cfg.Adversary.Initial() {
+		if p < 0 || int(p) >= cfg.N {
+			return nil, fmt.Errorf("sim: corrupted party %d out of range [0, %d)", p, cfg.N)
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	if len(out) > cfg.MaxCorrupt {
+		return nil, fmt.Errorf("%w: %d initial corruptions, budget %d",
+			sim.ErrBudgetExceeded, len(out), cfg.MaxCorrupt)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("transport: adversary with no initially corrupted parties; " +
+			"a rushing observer needs a corrupted seat — use the in-process transport or Adversary = nil")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// newSession draws a random session id; hellos carrying another session are
+// rejected, so two clusters on one machine can never cross-connect even if
+// ports are recycled between runs.
+func newSession() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere too; a fixed
+		// session only weakens stray-connection detection, not correctness.
+		return 0x7472656561610001
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// mergeResults folds the per-party results into the sim.Result the engine
+// would have produced, checking on the way that every party observed the
+// same termination round — they must, since all decide from the same done
+// flags, so a mismatch is a transport bug, not a protocol property.
+func mergeResults(cfg sim.Config, corrupted []sim.PartyID, nodes []nodeOutcome, host *hostResult) (*sim.Result, error) {
+	res := &sim.Result{
+		Outputs:   make(map[sim.PartyID]any, len(nodes)),
+		Corrupted: make(map[sim.PartyID]bool, len(corrupted)),
+	}
+	for _, c := range corrupted {
+		res.Corrupted[c] = true
+	}
+	term := 0
+	for _, out := range nodes {
+		if term == 0 {
+			term = out.res.termRound
+		} else if out.res.termRound != term {
+			return nil, fmt.Errorf("transport: party %d terminated at round %d, others at %d",
+				out.id, out.res.termRound, term)
+		}
+	}
+	if host != nil && host.termRound != term {
+		return nil, fmt.Errorf("transport: adversary host terminated at round %d, parties at %d",
+			host.termRound, term)
+	}
+	res.Rounds = term
+
+	msgs := make([]int, term+1)
+	bytes := make([]int, term+1)
+	doneAt := make(map[int][]sim.PartyID)
+	for _, out := range nodes {
+		for i := 0; i < term && i < len(out.res.msgs); i++ {
+			msgs[i+1] += out.res.msgs[i]
+			bytes[i+1] += out.res.bytes[i]
+		}
+		res.Outputs[out.id] = out.res.output
+		doneAt[out.res.doneRound] = append(doneAt[out.res.doneRound], out.id)
+	}
+	if host != nil {
+		for i := 0; i < term && i < len(host.msgs); i++ {
+			msgs[i+1] += host.msgs[i]
+			bytes[i+1] += host.bytes[i]
+		}
+	}
+	for r := 1; r <= term; r++ {
+		res.Messages += msgs[r]
+		res.Bytes += bytes[r]
+	}
+	if cfg.Trace != nil {
+		for r := 1; r <= term; r++ {
+			newlyDone := doneAt[r]
+			sort.Slice(newlyDone, func(i, j int) bool { return newlyDone[i] < newlyDone[j] })
+			cfg.Trace.Rounds = append(cfg.Trace.Rounds, sim.TraceRound{
+				Round: r, Messages: msgs[r], Bytes: bytes[r], NewlyDone: newlyDone,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"treeaa/internal/adversary"
+	"treeaa/internal/core"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// buildMachines constructs the n TreeAA machines for one run. Machines hold
+// state, so each driver gets a fresh set.
+func buildMachines(t *testing.T, tr *tree.Tree, n, tcorrupt int, inputs []tree.VertexID) []sim.Machine {
+	t.Helper()
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.NewMachine(core.Config{Tree: tr, N: n, T: tcorrupt, ID: sim.PartyID(i), Input: inputs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+	}
+	return machines
+}
+
+// splitVote composes the per-phase SplitVote strategies the way cmd/treeaa
+// does. Strategies hold per-iteration state, so each driver gets fresh ones.
+func splitVote(tr *tree.Tree, n, tcorrupt int) sim.Adversary {
+	ids := adversary.FirstParties(n, tcorrupt)
+	var parts []sim.Adversary
+	for _, p := range core.PhaseTags(tr) {
+		parts = append(parts, &adversary.SplitVote{
+			IDs: ids, N: n, T: tcorrupt, Tag: p.Tag, StartRound: p.StartRound, PerIteration: 1,
+		})
+	}
+	return &adversary.Compose{Strategies: parts}
+}
+
+func spreadInputs(tr *tree.Tree, n, seed int) []tree.VertexID {
+	inputs := make([]tree.VertexID, n)
+	for i := range inputs {
+		// Seed-dependent rotation so different seeds exercise different
+		// input placements without leaving the vertex range.
+		inputs[i] = tree.VertexID((i*(tr.NumVertices()-1)/(n-1) + seed) % tr.NumVertices())
+	}
+	return inputs
+}
+
+// TestClusterMatchesSimSplitVote is the subsystem's correctness anchor: for
+// seeds 1..5 on the paper's path:40 topology with the splitvote adversary,
+// the TCP loopback cluster must reproduce the sequential engine's Result —
+// outputs, rounds, message count, byte count and per-round trace — exactly.
+func TestClusterMatchesSimSplitVote(t *testing.T) {
+	tr := tree.NewPath(40)
+	const n, tc = 7, 2
+	for seed := 1; seed <= 5; seed++ {
+		inputs := spreadInputs(tr, n, seed)
+
+		var simTrace sim.Trace
+		simCfg := sim.Config{N: n, MaxCorrupt: tc, MaxRounds: core.Rounds(tr) + 2,
+			Adversary: splitVote(tr, n, tc), Trace: &simTrace}
+		want, err := sim.Run(simCfg, buildMachines(t, tr, n, tc, inputs))
+		if err != nil {
+			t.Fatalf("seed %d: sim.Run: %v", seed, err)
+		}
+
+		var tcpTrace sim.Trace
+		tcpCfg := sim.Config{N: n, MaxCorrupt: tc, MaxRounds: core.Rounds(tr) + 2,
+			Adversary: splitVote(tr, n, tc), Trace: &tcpTrace}
+		got, err := LocalCluster(tcpCfg, buildMachines(t, tr, n, tc, inputs), Options{})
+		if err != nil {
+			t.Fatalf("seed %d: LocalCluster: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: results diverge\n tcp: %+v\n sim: %+v", seed, got, want)
+		}
+		if !reflect.DeepEqual(tcpTrace, simTrace) {
+			t.Errorf("seed %d: traces diverge\n tcp: %+v\n sim: %+v", seed, tcpTrace, simTrace)
+		}
+	}
+}
+
+// TestClusterMatchesSimNoAdversary covers the honest-only path (no mirrors,
+// no adversary host) on a non-path topology.
+func TestClusterMatchesSimNoAdversary(t *testing.T) {
+	tr := tree.NewSpider(3, 5)
+	const n = 5
+	inputs := spreadInputs(tr, n, 2)
+
+	var simTrace sim.Trace
+	simCfg := sim.Config{N: n, MaxCorrupt: 1, MaxRounds: core.Rounds(tr) + 2, Trace: &simTrace}
+	want, err := sim.Run(simCfg, buildMachines(t, tr, n, 1, inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tcpTrace sim.Trace
+	tcpCfg := sim.Config{N: n, MaxCorrupt: 1, MaxRounds: core.Rounds(tr) + 2, Trace: &tcpTrace}
+	got, err := LocalCluster(tcpCfg, buildMachines(t, tr, n, 1, inputs), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("results diverge\n tcp: %+v\n sim: %+v", got, want)
+	}
+	if !reflect.DeepEqual(tcpTrace, simTrace) {
+		t.Errorf("traces diverge\n tcp: %+v\n sim: %+v", tcpTrace, simTrace)
+	}
+}
+
+// TestTransportRegistry pins the flag-name → implementation mapping.
+func TestTransportRegistry(t *testing.T) {
+	for _, name := range Names() {
+		tr, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if tr.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, tr.Name())
+		}
+	}
+	if _, err := New("carrier-pigeon"); err == nil {
+		t.Error("New accepted an unknown transport")
+	}
+}
+
+// TestMemTransportMatchesSim: the Mem transport is sim.Run behind the
+// interface, nothing more.
+func TestMemTransportMatchesSim(t *testing.T) {
+	tr := tree.NewPath(12)
+	const n, tc = 4, 1
+	inputs := spreadInputs(tr, n, 1)
+	cfgOf := func() sim.Config {
+		return sim.Config{N: n, MaxCorrupt: tc, MaxRounds: core.Rounds(tr) + 2,
+			Adversary: splitVote(tr, n, tc)}
+	}
+	want, err := sim.Run(cfgOf(), buildMachines(t, tr, n, tc, inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mem{}.Run(cfgOf(), buildMachines(t, tr, n, tc, inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Mem result diverges from sim.Run\n mem: %+v\n sim: %+v", got, want)
+	}
+}
+
+// TestClusterRejectsUndistributableFeatures: the three engine features with
+// no distributed counterpart fail fast with explanatory errors.
+func TestClusterRejectsUndistributableFeatures(t *testing.T) {
+	tr := tree.NewPath(8)
+	const n = 4
+	inputs := spreadInputs(tr, n, 1)
+	base := sim.Config{N: n, MaxCorrupt: 1, MaxRounds: core.Rounds(tr) + 2}
+
+	rateLimited := base
+	rateLimited.MaxMessagesPerParty = 10
+	if _, err := LocalCluster(rateLimited, buildMachines(t, tr, n, 1, inputs), Options{}); err == nil {
+		t.Error("accepted MaxMessagesPerParty")
+	}
+
+	adaptive := base
+	adaptive.Adversary = &adversary.CrashAt{IDs: []sim.PartyID{3}, Rounds: []int{2}}
+	if _, err := LocalCluster(adaptive, buildMachines(t, tr, n, 1, inputs), Options{}); err == nil {
+		t.Error("accepted an adversary with no initial corruptions (adaptive-only)")
+	}
+
+	budget := base
+	budget.Adversary = &adversary.Silent{IDs: []sim.PartyID{2, 3}}
+	if _, err := LocalCluster(budget, buildMachines(t, tr, n, 1, inputs), Options{}); !errors.Is(err, sim.ErrBudgetExceeded) {
+		t.Errorf("budget overrun: got %v, want ErrBudgetExceeded", err)
+	}
+}

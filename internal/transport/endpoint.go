@@ -1,0 +1,385 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"treeaa/internal/metrics"
+	"treeaa/internal/sim"
+)
+
+// Options tunes the TCP substrate. The zero value gets sane defaults.
+type Options struct {
+	// SetupTimeout bounds mesh construction: every dial (with retry and
+	// backoff) and every expected inbound handshake must complete within it.
+	// Default 10s.
+	SetupTimeout time.Duration
+	// RoundTimeout bounds how long a party waits for the traffic of one
+	// round (reads, writes and barrier waits). A peer that stalls longer is
+	// treated as failed. Default 60s — generous, because the lock-step
+	// barrier makes the slowest party set the pace for everyone.
+	RoundTimeout time.Duration
+	// Stats, when non-nil, receives transport-level frame and byte counts
+	// (protocol payloads plus hello/mirror/eor overhead).
+	Stats *metrics.WireStats
+}
+
+func (o Options) withDefaults() Options {
+	if o.SetupTimeout <= 0 {
+		o.SetupTimeout = 10 * time.Second
+	}
+	if o.RoundTimeout <= 0 {
+		o.RoundTimeout = 60 * time.Second
+	}
+	if o.Stats == nil {
+		o.Stats = &metrics.WireStats{}
+	}
+	return o
+}
+
+// event is one item of an endpoint's merged receive stream: a parsed frame
+// attributed to its authenticated sender, or a connection-level failure.
+type event struct {
+	owner sim.PartyID // local party the frame was addressed to
+	from  sim.PartyID // authenticated sender (fixed by the hello)
+	f     frame
+	err   error
+}
+
+// sender owns the write side of one ordered pair (from → to): a queue and a
+// goroutine, so the round loop never blocks on TCP backpressure (the peer's
+// reader always drains, which is what makes the full mesh deadlock-free).
+type sender struct {
+	from, to sim.PartyID
+	conn     net.Conn
+	ch       chan []byte
+	done     chan struct{}
+}
+
+// endpoint hosts one or more local parties on a shared event stream: one
+// party for an honest node, all corrupted parties for the adversary host.
+// It owns the full-mesh edges touching its parties — an outgoing connection
+// per (local, remote) ordered pair and an expected incoming connection per
+// (remote, local) pair. Pairs between two local parties stay in-process.
+type endpoint struct {
+	n       int
+	ids     []sim.PartyID
+	local   map[sim.PartyID]bool
+	addrs   []string
+	session uint64
+	opts    Options
+
+	events    chan event
+	quit      chan struct{}
+	closeOnce sync.Once
+	drainOnce sync.Once
+
+	listeners map[sim.PartyID]net.Listener
+	senders   map[sim.PartyID]map[sim.PartyID]*sender // [local from][remote to]
+
+	mu          sync.Mutex
+	conns       []net.Conn
+	inbound     map[sim.PartyID]map[sim.PartyID]bool // [local owner][remote from]
+	inboundLeft int
+	inboundDone chan struct{}
+	failed      error
+}
+
+// newEndpoint prepares (but does not start) an endpoint for the given local
+// parties. listeners must hold a bound listener per local id; the endpoint
+// takes ownership and closes them.
+func newEndpoint(ids []sim.PartyID, n int, addrs []string, session uint64,
+	listeners map[sim.PartyID]net.Listener, opts Options) *endpoint {
+	e := &endpoint{
+		n:           n,
+		ids:         ids,
+		local:       make(map[sim.PartyID]bool, len(ids)),
+		addrs:       addrs,
+		session:     session,
+		opts:        opts.withDefaults(),
+		events:      make(chan event, 64*n+256),
+		quit:        make(chan struct{}),
+		listeners:   listeners,
+		senders:     make(map[sim.PartyID]map[sim.PartyID]*sender, len(ids)),
+		inbound:     make(map[sim.PartyID]map[sim.PartyID]bool, len(ids)),
+		inboundDone: make(chan struct{}),
+	}
+	for _, id := range ids {
+		e.local[id] = true
+	}
+	remotes := n - len(ids)
+	e.inboundLeft = remotes * len(ids)
+	if e.inboundLeft == 0 {
+		close(e.inboundDone)
+	}
+	for _, id := range ids {
+		e.senders[id] = make(map[sim.PartyID]*sender, remotes)
+		e.inbound[id] = make(map[sim.PartyID]bool, remotes)
+	}
+	return e
+}
+
+// start builds the endpoint's side of the mesh: accept loops for inbound
+// handshakes, dials (with retry) for every outgoing ordered pair, then a
+// barrier until every expected inbound connection has identified itself.
+// start must run concurrently across endpoints — each one's dials are
+// another's inbound handshakes.
+func (e *endpoint) start() error {
+	deadline := time.Now().Add(e.opts.SetupTimeout)
+	for id, ln := range e.listeners {
+		go e.acceptLoop(id, ln)
+	}
+	for _, from := range e.ids {
+		for to := sim.PartyID(0); int(to) < e.n; to++ {
+			if e.local[to] {
+				continue
+			}
+			conn, err := dialRetry(e.addrs[to], deadline)
+			if err != nil {
+				return fmt.Errorf("transport: party %d dialing party %d at %s: %w", from, to, e.addrs[to], err)
+			}
+			e.track(conn)
+			hb := encodeHello(hello{session: e.session, from: from, to: to, n: e.n})
+			conn.SetWriteDeadline(deadline)
+			if _, err := conn.Write(hb); err != nil {
+				return fmt.Errorf("transport: party %d handshake to party %d: %w", from, to, err)
+			}
+			e.opts.Stats.AddSent(len(hb))
+			conn.SetWriteDeadline(time.Time{})
+			s := &sender{from: from, to: to, conn: conn, ch: make(chan []byte, 256), done: make(chan struct{})}
+			e.senders[from][to] = s
+			go e.writeLoop(s)
+		}
+	}
+	select {
+	case <-e.inboundDone:
+	case <-e.quit:
+		return fmt.Errorf("transport: endpoint closed during setup")
+	case <-time.After(time.Until(deadline)):
+		e.mu.Lock()
+		left, failed := e.inboundLeft, e.failed
+		e.mu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		return fmt.Errorf("transport: setup timed out with %d peer connections outstanding", left)
+	}
+	return nil
+}
+
+// dialRetry dials with exponential backoff until the deadline; peers come
+// up in arbitrary order, so early connection refusals are expected.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		timeout := time.Until(deadline)
+		if timeout <= 0 {
+			return nil, fmt.Errorf("dial deadline exceeded")
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+	}
+}
+
+func (e *endpoint) track(conn net.Conn) {
+	e.mu.Lock()
+	e.conns = append(e.conns, conn)
+	e.mu.Unlock()
+}
+
+func (e *endpoint) acceptLoop(owner sim.PartyID, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		e.track(conn)
+		go e.handshakeIn(owner, conn)
+	}
+}
+
+// handshakeIn validates a connection's hello and, on success, registers it
+// as the unique authenticated link from its claimed sender and starts
+// reading frames. Anything invalid is dropped; the dialer notices via the
+// setup barrier on its own side.
+func (e *endpoint) handshakeIn(owner sim.PartyID, conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(e.opts.SetupTimeout))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	body, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	e.opts.Stats.AddRecv(len(body))
+	h, err := parseHello(body)
+	if err != nil {
+		e.fail(fmt.Errorf("transport: party %d rejected inbound connection: %w", owner, err))
+		conn.Close()
+		return
+	}
+	switch {
+	case h.session != e.session:
+		err = fmt.Errorf("session %#x, want %#x", h.session, e.session)
+	case h.to != owner:
+		err = fmt.Errorf("addressed to party %d", h.to)
+	case h.n != e.n:
+		err = fmt.Errorf("peer configured for n = %d, want %d", h.n, e.n)
+	case int(h.from) >= e.n:
+		err = fmt.Errorf("sender %d out of range", h.from)
+	case e.local[h.from]:
+		err = fmt.Errorf("sender %d is local", h.from)
+	}
+	if err != nil {
+		e.fail(fmt.Errorf("transport: party %d rejected hello: %w", owner, err))
+		conn.Close()
+		return
+	}
+	e.mu.Lock()
+	if e.inbound[owner][h.from] {
+		e.mu.Unlock()
+		e.fail(fmt.Errorf("transport: duplicate connection from party %d to party %d", h.from, owner))
+		conn.Close()
+		return
+	}
+	e.inbound[owner][h.from] = true
+	e.inboundLeft--
+	if e.inboundLeft == 0 {
+		close(e.inboundDone)
+	}
+	e.mu.Unlock()
+	conn.SetReadDeadline(time.Time{})
+	e.readLoop(owner, h.from, conn, br)
+}
+
+// fail records the first setup-phase failure so the barrier can report a
+// cause instead of a bare timeout.
+func (e *endpoint) fail(err error) {
+	e.mu.Lock()
+	if e.failed == nil {
+		e.failed = err
+	}
+	e.mu.Unlock()
+}
+
+// readLoop turns one authenticated connection into events. It exits on any
+// read or parse error; the error is surfaced as an event unless the
+// endpoint is already shutting down.
+func (e *endpoint) readLoop(owner, from sim.PartyID, conn net.Conn, br *bufio.Reader) {
+	for {
+		conn.SetReadDeadline(time.Now().Add(e.opts.RoundTimeout))
+		body, err := readFrame(br)
+		if err != nil {
+			e.emit(event{owner: owner, from: from,
+				err: fmt.Errorf("transport: link %d→%d: %w", from, owner, err)})
+			return
+		}
+		e.opts.Stats.AddRecv(len(body))
+		f, err := parseFrame(body)
+		if err != nil {
+			e.emit(event{owner: owner, from: from,
+				err: fmt.Errorf("transport: link %d→%d: %w", from, owner, err)})
+			return
+		}
+		e.emit(event{owner: owner, from: from, f: f})
+	}
+}
+
+func (e *endpoint) emit(ev event) {
+	select {
+	case e.events <- ev:
+	case <-e.quit:
+	}
+}
+
+// writeLoop drains a sender queue onto its connection. Frames are written
+// unbuffered — they are small and loopback-cheap, and skipping bufio means
+// a closed queue is fully flushed the moment the goroutine exits. On a
+// write error it keeps draining so the round loop never blocks.
+func (e *endpoint) writeLoop(s *sender) {
+	defer close(s.done)
+	for {
+		select {
+		case b, ok := <-s.ch:
+			if !ok {
+				return
+			}
+			s.conn.SetWriteDeadline(time.Now().Add(e.opts.RoundTimeout))
+			if _, err := s.conn.Write(b); err != nil {
+				e.emit(event{owner: s.from, from: s.to,
+					err: fmt.Errorf("transport: link %d→%d: %w", s.from, s.to, err)})
+				for {
+					select {
+					case _, ok := <-s.ch:
+						if !ok {
+							return
+						}
+					case <-e.quit:
+						return
+					}
+				}
+			}
+			e.opts.Stats.AddSent(len(b))
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// send enqueues an encoded frame on the (from → to) link. Only the round
+// loop calls it, so enqueues never race with shutdown's channel close.
+func (e *endpoint) send(from, to sim.PartyID, b []byte) {
+	select {
+	case e.senders[from][to].ch <- b:
+	case <-e.quit:
+	}
+}
+
+// shutdown ends the endpoint. When graceful, queued frames are flushed
+// first (each writer drains its closed queue before its connection dies),
+// which is how a terminating party guarantees its final eor reaches every
+// peer before the FIN does.
+func (e *endpoint) shutdown(graceful bool) {
+	if graceful {
+		e.drainOnce.Do(func() {
+			for _, peers := range e.senders {
+				for _, s := range peers {
+					close(s.ch)
+				}
+			}
+			flushed := time.After(e.opts.RoundTimeout)
+			for _, peers := range e.senders {
+				for _, s := range peers {
+					select {
+					case <-s.done:
+					case <-flushed:
+					}
+				}
+			}
+		})
+	}
+	e.closeOnce.Do(func() {
+		close(e.quit)
+		for _, ln := range e.listeners {
+			ln.Close()
+		}
+		e.mu.Lock()
+		conns := e.conns
+		e.conns = nil
+		e.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+}

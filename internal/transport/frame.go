@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/wire"
+)
+
+// Stream framing. Every frame on a connection is
+//
+//	uvarint(length) | type(1) | fields...
+//
+// and the first frame of every connection must be a hello. The payload
+// bodies inside msg and mirror frames are internal/wire encodings, so the
+// transport adds exactly one type byte, a round number and an explicit
+// recipient on top of the canonical codec.
+//
+//	hello:  magic(4) | transport version(1) | uvarint(session) |
+//	        u32(from) | u32(to) | u32(n)
+//	msg:    uvarint(round) | u32(to) | wire body
+//	mirror: uvarint(round) | u32(real recipient) | wire body
+//	eor:    uvarint(round) | flags(1)        (bit 0: sender's machine is done)
+//
+// The hello emulates the model's authenticated links: a connection speaks
+// for exactly one ordered pair (from, to) within one session, and the
+// receiver attributes every subsequent frame on it to that sender. The
+// end-of-round (eor) frame is the synchronization barrier of the lock-step
+// round structure: a party that holds eor(r) from every peer knows its
+// round-r inbox is complete, because each connection delivers its frames in
+// order and eor(r) is the last frame a peer emits for round r.
+const (
+	frameHello  byte = 0x01
+	frameMsg    byte = 0x02
+	frameMirror byte = 0x03
+	frameEOR    byte = 0x04
+
+	// transportVersion is independent of wire.Version: framing and payload
+	// codec can evolve separately.
+	transportVersion byte = 1
+
+	// maxFrameSize bounds a frame body; a malformed length prefix can never
+	// force a large allocation.
+	maxFrameSize = 1 << 24
+
+	// eorDoneFlag marks the sending party's machine as terminated.
+	eorDoneFlag byte = 0x01
+)
+
+// helloMagic opens every connection; it doubles as a cheap port-collision
+// detector (a stray client speaking another protocol fails immediately).
+var helloMagic = [4]byte{'T', 'A', 'A', '1'}
+
+// frame is one parsed non-hello frame.
+type frame struct {
+	typ     byte
+	round   int
+	to      sim.PartyID // msg: recipient (the owner); mirror: real recipient
+	done    bool        // eor only
+	payload any         // msg/mirror: decoded wire payload
+}
+
+// hello is the parsed first frame of a connection.
+type hello struct {
+	session  uint64
+	from, to sim.PartyID
+	n        int
+}
+
+// appendFrame wraps body (type byte included) with its length prefix.
+func appendFrame(dst, body []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+func encodeHello(h hello) []byte {
+	body := make([]byte, 0, 24)
+	body = append(body, frameHello)
+	body = append(body, helloMagic[:]...)
+	body = append(body, transportVersion)
+	body = wire.AppendUvarint(body, h.session)
+	body = wire.AppendU32(body, uint32(h.from))
+	body = wire.AppendU32(body, uint32(h.to))
+	body = wire.AppendU32(body, uint32(h.n))
+	return appendFrame(nil, body)
+}
+
+// encodeMsg builds a msg or mirror frame around an already-encoded wire
+// body. The body is shared by every recipient of a broadcast; only the
+// envelope differs.
+func encodeMsg(typ byte, round int, to sim.PartyID, body []byte) []byte {
+	env := make([]byte, 0, 16+len(body))
+	env = append(env, typ)
+	env = wire.AppendUvarint(env, uint64(round))
+	env = wire.AppendU32(env, uint32(to))
+	env = append(env, body...)
+	return appendFrame(nil, env)
+}
+
+func encodeEOR(round int, done bool) []byte {
+	env := make([]byte, 0, 8)
+	env = append(env, frameEOR)
+	env = wire.AppendUvarint(env, uint64(round))
+	var flags byte
+	if done {
+		flags |= eorDoneFlag
+	}
+	env = append(env, flags)
+	return appendFrame(nil, env)
+}
+
+// readFrame reads one length-prefixed frame body from the stream.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, fmt.Errorf("transport: truncated frame: %w", err)
+	}
+	return body, nil
+}
+
+// parseHello validates a connection's opening frame.
+func parseHello(body []byte) (hello, error) {
+	var h hello
+	if len(body) < 1 || body[0] != frameHello {
+		return h, fmt.Errorf("transport: connection did not open with hello")
+	}
+	b := body[1:]
+	if len(b) < 5 || [4]byte(b[:4]) != helloMagic {
+		return h, fmt.Errorf("transport: bad hello magic")
+	}
+	if b[4] != transportVersion {
+		return h, fmt.Errorf("transport: peer speaks framing version %d, want %d", b[4], transportVersion)
+	}
+	b = b[5:]
+	session, b, err := wire.ConsumeUvarint(b)
+	if err != nil {
+		return h, fmt.Errorf("transport: bad hello session: %w", err)
+	}
+	from, b, err := consumePartyID(b)
+	if err != nil {
+		return h, fmt.Errorf("transport: bad hello sender: %w", err)
+	}
+	to, b, err := consumePartyID(b)
+	if err != nil {
+		return h, fmt.Errorf("transport: bad hello target: %w", err)
+	}
+	nv, b, err := wire.ConsumeU32(b)
+	if err != nil || len(b) != 0 {
+		return h, fmt.Errorf("transport: malformed hello tail")
+	}
+	return hello{session: session, from: from, to: to, n: int(nv)}, nil
+}
+
+// parseFrame decodes a non-hello frame body, including its wire payload.
+func parseFrame(body []byte) (frame, error) {
+	var f frame
+	f.typ = body[0]
+	b := body[1:]
+	switch f.typ {
+	case frameMsg, frameMirror:
+		round, rest, err := consumeRound(b)
+		if err != nil {
+			return f, err
+		}
+		to, rest, err := consumePartyID(rest)
+		if err != nil {
+			return f, err
+		}
+		payload, err := wire.Decode(rest)
+		if err != nil {
+			return f, fmt.Errorf("transport: bad payload body: %w", err)
+		}
+		f.round, f.to, f.payload = round, to, payload
+		return f, nil
+	case frameEOR:
+		round, rest, err := consumeRound(b)
+		if err != nil {
+			return f, err
+		}
+		if len(rest) != 1 {
+			return f, fmt.Errorf("transport: malformed eor frame")
+		}
+		f.round, f.done = round, rest[0]&eorDoneFlag != 0
+		return f, nil
+	case frameHello:
+		return f, fmt.Errorf("transport: unexpected second hello")
+	default:
+		return f, fmt.Errorf("transport: unknown frame type 0x%02x", f.typ)
+	}
+}
+
+func consumeRound(b []byte) (int, []byte, error) {
+	r, rest, err := wire.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: bad round: %w", err)
+	}
+	if r == 0 || r > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("transport: round %d out of range", r)
+	}
+	return int(r), rest, nil
+}
+
+func consumePartyID(b []byte) (sim.PartyID, []byte, error) {
+	x, rest, err := wire.ConsumeU32(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if x > wire.MaxIDValue {
+		return 0, nil, fmt.Errorf("transport: party id %d out of range", x)
+	}
+	return sim.PartyID(x), rest, nil
+}

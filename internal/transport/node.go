@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/wire"
+)
+
+// nodeConfig drives one honest party over an endpoint.
+type nodeConfig struct {
+	id        sim.PartyID
+	n         int
+	maxRounds int
+	// observer, when ≥ 0, is the corrupted party every expanded send is
+	// mirrored to. It emulates the model's *rushing* adversary, which sees
+	// all honest round-r traffic before choosing its own: on a real network
+	// nobody gets that view for free, so the honest nodes grant it
+	// explicitly to the adversary host's observer party.
+	observer sim.PartyID
+	machine  sim.Machine
+	ep       *endpoint
+}
+
+// nodeResult is one honest party's share of a sim.Result.
+type nodeResult struct {
+	id        sim.PartyID
+	output    any
+	done      bool
+	doneRound int   // round the machine terminated in (0 if never)
+	termRound int   // round the whole execution stopped in
+	msgs      []int // per executed round, counted at send like the engine
+	bytes     []int
+}
+
+// runNode executes one honest machine in lock step with its peers:
+//
+//	step → send (msg + mirror frames) → eor(r, done) → barrier → decide
+//
+// The barrier is complete when eor(r) has arrived from all n-1 peers; the
+// per-connection FIFO guarantees the round-r mailbox is then complete too.
+// The execution terminates in the first round whose barrier shows every
+// party done — corrupted parties always flag done, so the rule reduces to
+// sim's "all honest machines produced output".
+func runNode(cfg nodeConfig) (*nodeResult, error) {
+	e := cfg.ep
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	defer e.shutdown(false)
+
+	st := newRoundState(cfg.n)
+	peers := make([]sim.PartyID, 0, cfg.n-1)
+	for p := sim.PartyID(0); int(p) < cfg.n; p++ {
+		if p != cfg.id {
+			peers = append(peers, p)
+		}
+	}
+	res := &nodeResult{id: cfg.id}
+	m := cfg.machine
+
+	for r := 1; r <= cfg.maxRounds; r++ {
+		out := m.Step(r, st.inbox(r-1))
+		st.drop(r - 1)
+		if !res.done {
+			if v, ok := m.Output(); ok {
+				res.output, res.done, res.doneRound = v, true, r
+			}
+		}
+
+		roundMsgs, roundBytes := 0, 0
+		for _, raw := range out {
+			if raw.To != sim.Broadcast && (raw.To < 0 || int(raw.To) >= cfg.n) {
+				return nil, fmt.Errorf("transport: party %d: recipient %d out of range [0, %d)", cfg.id, raw.To, cfg.n)
+			}
+			body, err := wire.Encode(raw.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("transport: party %d round %d: %w", cfg.id, r, err)
+			}
+			first, last := raw.To, raw.To
+			if raw.To == sim.Broadcast {
+				first, last = 0, sim.PartyID(cfg.n-1)
+			}
+			for to := first; to <= last; to++ {
+				roundMsgs++
+				roundBytes += len(body)
+				if to == cfg.id {
+					st.addMail(sim.Message{From: cfg.id, To: to, Round: r, Payload: raw.Payload})
+				} else {
+					e.send(cfg.id, to, encodeMsg(frameMsg, r, to, body))
+				}
+				if cfg.observer >= 0 {
+					e.send(cfg.id, cfg.observer, encodeMsg(frameMirror, r, to, body))
+				}
+			}
+		}
+		res.msgs = append(res.msgs, roundMsgs)
+		res.bytes = append(res.bytes, roundBytes)
+
+		eor := encodeEOR(r, res.done)
+		for _, p := range peers {
+			e.send(cfg.id, p, eor)
+		}
+		if err := awaitBarrier(e, st, cfg.id, r, peers); err != nil {
+			return nil, err
+		}
+		if res.done && st.peersDone(r, peers) {
+			res.termRound = r
+			e.shutdown(true)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: party %d after %d rounds", sim.ErrNotDone, cfg.id, cfg.maxRounds)
+}
+
+// awaitBarrier consumes events until eor(r) has arrived from every peer,
+// filing message frames into their rounds as they pass by. Mirror frames
+// are rejected — only the adversary host's observer accepts them.
+func awaitBarrier(e *endpoint, st *roundState, self sim.PartyID, r int, peers []sim.PartyID) error {
+	timeout := time.NewTimer(e.opts.RoundTimeout)
+	defer timeout.Stop()
+	for !st.barrierDone(r, peers) {
+		select {
+		case ev := <-e.events:
+			if err := handleNodeEvent(st, ev); err != nil {
+				return fmt.Errorf("party %d: %w", self, err)
+			}
+			if err := st.checkStalled(r, peers); err != nil {
+				return fmt.Errorf("transport: party %d waiting on round %d: %w", self, r, err)
+			}
+		case <-timeout.C:
+			return fmt.Errorf("transport: party %d: round %d barrier timed out after %v", self, r, e.opts.RoundTimeout)
+		}
+	}
+	return nil
+}
+
+func handleNodeEvent(st *roundState, ev event) error {
+	if ev.err != nil {
+		if _, seen := st.fail[ev.from]; !seen {
+			st.fail[ev.from] = ev.err
+		}
+		return nil
+	}
+	switch ev.f.typ {
+	case frameMsg:
+		st.addMail(sim.Message{From: ev.from, To: ev.owner, Round: ev.f.round, Payload: ev.f.payload})
+		return nil
+	case frameEOR:
+		return st.addEOR(ev.f.round, ev.from, ev.f.done)
+	case frameMirror:
+		return fmt.Errorf("transport: unexpected mirror frame from party %d (not an observer)", ev.from)
+	default:
+		return fmt.Errorf("transport: unexpected frame type 0x%02x from party %d", ev.f.typ, ev.from)
+	}
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"fmt"
+
+	"treeaa/internal/sim"
+)
+
+// roundState is one local party's view of the lock-step structure: the
+// mailboxes being filled for each round and the end-of-round barriers. Keys
+// are *sending* rounds, matching sim.Message.Round — a message stored under
+// round r is consumed by Step(r+1), exactly the engine's double-buffered
+// mailbox rotation, generalized to the slightly ragged arrival order of a
+// real network.
+type roundState struct {
+	n    int
+	mail map[int]map[sim.PartyID][]sim.Message // sending round → sender → messages
+	eor  map[int]map[sim.PartyID]bool          // round → sender → done flag
+	fail map[sim.PartyID]error                 // first connection failure per peer
+}
+
+func newRoundState(n int) *roundState {
+	return &roundState{
+		n:    n,
+		mail: make(map[int]map[sim.PartyID][]sim.Message),
+		eor:  make(map[int]map[sim.PartyID]bool),
+		fail: make(map[sim.PartyID]error),
+	}
+}
+
+func (s *roundState) addMail(m sim.Message) {
+	box := s.mail[m.Round]
+	if box == nil {
+		box = make(map[sim.PartyID][]sim.Message, s.n)
+		s.mail[m.Round] = box
+	}
+	box[m.From] = append(box[m.From], m)
+}
+
+// addEOR records a peer's end-of-round barrier; a duplicate for the same
+// (round, sender) pair means a confused or Byzantine-framing peer.
+func (s *roundState) addEOR(r int, from sim.PartyID, done bool) error {
+	flags := s.eor[r]
+	if flags == nil {
+		flags = make(map[sim.PartyID]bool, s.n)
+		s.eor[r] = flags
+	}
+	if _, dup := flags[from]; dup {
+		return fmt.Errorf("transport: duplicate eor(%d) from party %d", r, from)
+	}
+	flags[from] = done
+	return nil
+}
+
+func (s *roundState) haveEOR(r int, from sim.PartyID) bool {
+	_, ok := s.eor[r][from]
+	return ok
+}
+
+// barrierDone reports whether eor(r) has arrived from every listed peer.
+func (s *roundState) barrierDone(r int, peers []sim.PartyID) bool {
+	flags := s.eor[r]
+	if len(flags) < len(peers) {
+		return false
+	}
+	for _, p := range peers {
+		if _, ok := flags[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// peersDone reports whether every listed peer flagged done in its eor(r).
+func (s *roundState) peersDone(r int, peers []sim.PartyID) bool {
+	flags := s.eor[r]
+	for _, p := range peers {
+		if !flags[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// inbox concatenates round r's mailbox in ascending sender order, each
+// sender's messages in emission order — the delivery order sim's counting
+// sort produces, reconstructed here from the per-sender FIFO streams.
+func (s *roundState) inbox(r int) []sim.Message {
+	box := s.mail[r]
+	if len(box) == 0 {
+		return nil
+	}
+	total := 0
+	for _, ms := range box {
+		total += len(ms)
+	}
+	out := make([]sim.Message, 0, total)
+	for p := sim.PartyID(0); int(p) < s.n; p++ {
+		out = append(out, box[p]...)
+	}
+	return out
+}
+
+// drop releases a consumed round's state.
+func (s *roundState) drop(r int) {
+	delete(s.mail, r)
+	delete(s.eor, r)
+}
+
+// checkStalled returns a stored connection failure for any peer that still
+// owes eor(r). Failures of peers that already delivered their barrier are
+// benign — a terminated peer closes its connections while slower parties
+// are still deciding.
+func (s *roundState) checkStalled(r int, peers []sim.PartyID) error {
+	for _, p := range peers {
+		if err := s.fail[p]; err != nil && !s.haveEOR(r, p) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package transport runs the paper's protocol machines over interchangeable
+// substrates. The sim package defines what a round *is*; this package
+// decides where the messages travel: through the in-process zero-allocation
+// engine (Mem), or encoded with internal/wire and framed onto real TCP
+// sockets between endpoint processes (TCP, LocalCluster, and the cmd/node
+// daemon). The contract is strict: for any configuration both substrates
+// accept, they produce byte-for-byte identical Results — the TCP transport
+// is the engine's semantics made distributed, not a reinterpretation.
+package transport
+
+import (
+	"fmt"
+
+	"treeaa/internal/sim"
+)
+
+// Transport executes machines under a sim configuration on some substrate.
+type Transport interface {
+	// Name is the identifier used by the -transport command-line flags.
+	Name() string
+	// Run executes the machines and reports the merged result. It follows
+	// sim.Run's error contract (invalid configs, adversary overreach,
+	// ErrNotDone at MaxRounds) plus substrate-specific failures.
+	Run(cfg sim.Config, machines []sim.Machine) (*sim.Result, error)
+}
+
+// Mem is the in-process substrate: sim.Run's sequential lock-step driver,
+// or the round-barrier goroutine driver when Concurrent is set. It adds
+// nothing on top — the zero-allocation engine path is untouched.
+type Mem struct {
+	Concurrent bool
+}
+
+// Name implements Transport.
+func (m Mem) Name() string {
+	if m.Concurrent {
+		return "mem-concurrent"
+	}
+	return "mem"
+}
+
+// Run implements Transport.
+func (m Mem) Run(cfg sim.Config, machines []sim.Machine) (*sim.Result, error) {
+	if m.Concurrent {
+		return sim.RunConcurrent(cfg, machines)
+	}
+	return sim.Run(cfg, machines)
+}
+
+// TCP is the loopback-cluster substrate: every party a networked endpoint,
+// every message a wire-encoded frame on a real socket.
+type TCP struct {
+	Opts Options
+}
+
+// Name implements Transport.
+func (t TCP) Name() string { return "tcp" }
+
+// Run implements Transport.
+func (t TCP) Run(cfg sim.Config, machines []sim.Machine) (*sim.Result, error) {
+	return LocalCluster(cfg, machines, t.Opts)
+}
+
+// Names lists the selectable transports for flag help text.
+func Names() []string { return []string{"mem", "mem-concurrent", "tcp"} }
+
+// New resolves a -transport flag value.
+func New(name string) (Transport, error) {
+	switch name {
+	case "mem":
+		return Mem{}, nil
+	case "mem-concurrent":
+		return Mem{Concurrent: true}, nil
+	case "tcp":
+		return TCP{}, nil
+	default:
+		return nil, fmt.Errorf("unknown transport %q (have mem, mem-concurrent, tcp)", name)
+	}
+}

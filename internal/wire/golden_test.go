@@ -1,0 +1,91 @@
+package wire
+
+// Golden wire frames: one committed .bin per payload type pins the byte
+// format. Any codec change — even one that still round-trips — fails this
+// test, so format drift has to be reviewed and shipped deliberately with a
+// Version bump:
+//
+//	go test -run TestGoldenFrames -update ./internal/wire/
+//
+// The same files seed the FuzzDecode corpus.
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treeaa/internal/baseline"
+	"treeaa/internal/crashaa"
+	"treeaa/internal/exactaa"
+	"treeaa/internal/gradecast"
+	"treeaa/internal/realaa"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+var update = flag.Bool("update", false, "rewrite golden wire frames")
+
+// goldenDir is the repo-root testdata/wire directory (this package lives at
+// internal/wire).
+const goldenDir = "../../testdata/wire"
+
+// goldenPayloads fixes one representative frame per payload type. Values
+// are chosen to exercise multi-byte varints and non-trivial float bits.
+func goldenPayloads() map[string]any {
+	return map[string]any{
+		"gradecast_send": gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5},
+		"gradecast_echo": gradecast.EchoMsg{Tag: "treeaa/proj", Iter: 2, Vals: map[sim.PartyID]float64{
+			0: 1.5, 3: -2.25, 7: 4096, 51: float64(1 << 52),
+		}},
+		"gradecast_vote": gradecast.VoteMsg{Tag: "treeaa/path", Iter: 200, Vals: map[sim.PartyID]float64{
+			1: 0, 6: math.Pi,
+		}},
+		"dlpsw_value":     realaa.DLPSWMsg{Tag: "dlpsw", Iter: 4, Val: -1e9},
+		"crash_value":     crashaa.ValueMsg{Tag: "crash", Iter: 7, Val: 0.125},
+		"baseline_vertex": baseline.VertexMsg{Tag: "baseline", Iter: 5, V: tree.VertexID(39)},
+		"exact_chain": exactaa.ChainMsg{Tag: "exact", Sender: 2, V: 11,
+			Signer: []sim.PartyID{2, 0},
+			Sigs:   [][]byte{bytes.Repeat([]byte{0xAB}, 64), {0x01, 0x02}},
+		},
+	}
+}
+
+func TestGoldenFrames(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, p := range goldenPayloads() {
+		enc, err := Encode(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join(goldenDir, name+".bin")
+		if *update {
+			if err := os.WriteFile(path, enc, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", path, len(enc))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden frame (regenerate with -update): %v", name, err)
+		}
+		if !bytes.Equal(enc, want) {
+			t.Errorf("%s: wire format drifted (bump Version and regenerate with -update if intentional)\n got %x\nwant %x",
+				name, enc, want)
+		}
+		// The committed frame must also decode back to the fixed payload.
+		dec, err := Decode(want)
+		if err != nil {
+			t.Errorf("%s: golden frame no longer decodes: %v", name, err)
+		} else if re, err := Encode(dec); err != nil || !bytes.Equal(re, want) {
+			t.Errorf("%s: golden frame not canonical under decode/encode", name)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"treeaa/internal/baseline"
+	"treeaa/internal/crashaa"
+	"treeaa/internal/exactaa"
+	"treeaa/internal/gradecast"
+	"treeaa/internal/realaa"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// samplePayloads covers every codec type with representative values,
+// including the edge shapes (empty tag, empty map, NaN and ±Inf values,
+// zero-length signatures).
+func samplePayloads() []any {
+	return []any{
+		gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5},
+		gradecast.SendMsg{Tag: "", Iter: 0, Val: math.Inf(-1)},
+		gradecast.SendMsg{Tag: "treeaa/pf/acc", Iter: 300, Val: float64(1 << 52)},
+		gradecast.EchoMsg{Tag: "treeaa/proj", Iter: 2, Vals: map[sim.PartyID]float64{
+			0: 1.5, 3: -2.25, 7: 4096, 51: math.NaN(),
+		}},
+		gradecast.EchoMsg{Tag: "x", Iter: 1, Vals: map[sim.PartyID]float64{}},
+		gradecast.VoteMsg{Tag: "treeaa/path", Iter: 9, Vals: map[sim.PartyID]float64{
+			1: 0, 2: math.Copysign(0, -1), 130: 1e-300,
+		}},
+		realaa.DLPSWMsg{Tag: "dlpsw", Iter: 4, Val: -1e9},
+		crashaa.ValueMsg{Tag: "crash", Iter: 7, Val: 0.125},
+		baseline.VertexMsg{Tag: "baseline", Iter: 5, V: tree.VertexID(39)},
+		exactaa.ChainMsg{Tag: "exact", Sender: 2, V: 11,
+			Signer: []sim.PartyID{2, 0, 5},
+			Sigs:   [][]byte{bytes.Repeat([]byte{0xAB}, 64), {}, {0x01, 0x02}},
+		},
+		exactaa.ChainMsg{Tag: "", Sender: 0, V: 0},
+	}
+}
+
+// equalPayload compares payloads treating NaN map values as equal when
+// their bit patterns match (reflect.DeepEqual treats NaN != NaN).
+func equalPayload(a, b any) bool {
+	switch av := a.(type) {
+	case gradecast.EchoMsg:
+		bv, ok := b.(gradecast.EchoMsg)
+		return ok && av.Tag == bv.Tag && av.Iter == bv.Iter && equalVals(av.Vals, bv.Vals)
+	case gradecast.VoteMsg:
+		bv, ok := b.(gradecast.VoteMsg)
+		return ok && av.Tag == bv.Tag && av.Iter == bv.Iter && equalVals(av.Vals, bv.Vals)
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func equalVals(a, b map[sim.PartyID]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || math.Float64bits(av) != math.Float64bits(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, p := range samplePayloads() {
+		enc, err := Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", p, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%#v)): %v", p, err)
+		}
+		if !equalPayload(p, normalizeEmpty(dec, p)) {
+			t.Errorf("round trip changed payload:\n in: %#v\nout: %#v", p, dec)
+		}
+		re, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("re-Encode: %v", err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Errorf("encoding not canonical for %#v", p)
+		}
+	}
+}
+
+// normalizeEmpty maps decoded nil/empty collections onto the original's
+// empty form: the codec cannot (and need not) distinguish nil from empty.
+func normalizeEmpty(dec, orig any) any {
+	switch d := dec.(type) {
+	case gradecast.EchoMsg:
+		if o, ok := orig.(gradecast.EchoMsg); ok && len(d.Vals) == 0 && len(o.Vals) == 0 {
+			d.Vals = o.Vals
+			return d
+		}
+	case exactaa.ChainMsg:
+		if o, ok := orig.(exactaa.ChainMsg); ok {
+			if len(d.Signer) == 0 && len(o.Signer) == 0 {
+				d.Signer = o.Signer
+			}
+			if len(d.Sigs) == 0 && len(o.Sigs) == 0 {
+				d.Sigs = o.Sigs
+			}
+			for i := range d.Sigs {
+				if len(d.Sigs[i]) == 0 && i < len(o.Sigs) && len(o.Sigs[i]) == 0 {
+					d.Sigs[i] = o.Sigs[i]
+				}
+			}
+			return d
+		}
+	}
+	return dec
+}
+
+// TestSizerMatchesEncoding pins the three size quantities to each other for
+// every payload type: the type's sim.Sizer arithmetic, EncodedSize, and the
+// actual encoded length. The protocol packages cannot import wire (wire
+// imports them), so their Size() methods mirror the codec by hand — this
+// test is what keeps the mirrors honest.
+func TestSizerMatchesEncoding(t *testing.T) {
+	check := func(p any) {
+		t.Helper()
+		enc, err := Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", p, err)
+		}
+		want := p.(sim.Sizer).Size()
+		if len(enc) != want {
+			t.Errorf("%T: Size() = %d, encoded length = %d", p, want, len(enc))
+		}
+		if sz, err := EncodedSize(p); err != nil || sz != len(enc) {
+			t.Errorf("%T: EncodedSize = %d (%v), encoded length = %d", p, sz, err, len(enc))
+		}
+	}
+	for _, p := range samplePayloads() {
+		check(p)
+	}
+	// Randomized shapes: long tags (multi-byte length prefix), large
+	// iteration counts and map sizes.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		tag := strings.Repeat("t", rng.Intn(300))
+		iter := rng.Intn(1 << 16)
+		vals := make(map[sim.PartyID]float64)
+		for j := rng.Intn(200); j > 0; j-- {
+			vals[sim.PartyID(rng.Intn(1<<20))] = rng.NormFloat64()
+		}
+		check(gradecast.SendMsg{Tag: tag, Iter: iter, Val: rng.NormFloat64()})
+		check(gradecast.EchoMsg{Tag: tag, Iter: iter, Vals: vals})
+		check(gradecast.VoteMsg{Tag: tag, Iter: iter, Vals: vals})
+		check(realaa.DLPSWMsg{Tag: tag, Iter: iter, Val: rng.NormFloat64()})
+		check(crashaa.ValueMsg{Tag: tag, Iter: iter, Val: rng.NormFloat64()})
+		check(baseline.VertexMsg{Tag: tag, Iter: iter, V: tree.VertexID(rng.Intn(1 << 20))})
+		sigs := make([][]byte, rng.Intn(5))
+		signers := make([]sim.PartyID, len(sigs))
+		for j := range sigs {
+			sigs[j] = make([]byte, rng.Intn(200))
+			signers[j] = sim.PartyID(rng.Intn(1 << 10))
+		}
+		check(exactaa.ChainMsg{Tag: tag, Sender: sim.PartyID(rng.Intn(1 << 10)),
+			V: tree.VertexID(rng.Intn(1 << 10)), Signer: signers, Sigs: sigs})
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := Encode(gradecast.EchoMsg{Tag: "t", Iter: 1,
+		Vals: map[sim.PartyID]float64{1: 1, 2: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"header only":       {Version},
+		"bad version":       {99, TypeGradecastSend},
+		"unknown type":      {Version, 0x7F},
+		"truncated body":    valid[:len(valid)-3],
+		"trailing bytes":    append(append([]byte{}, valid...), 0),
+		"huge string":       {Version, TypeGradecastSend, 0xFF, 0xFF, 0xFF, 0xFF, 0x07},
+		"huge vec count":    {Version, TypeGradecastEcho, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x07},
+		"nonminimal varint": {Version, TypeGradecastSend, 0x80, 0x00},
+	}
+	// Unsorted map keys: swap the two 12-byte entries of the valid frame.
+	unsorted := append([]byte{}, valid...)
+	entries := unsorted[len(unsorted)-24:]
+	swapped := append(append([]byte{}, entries[12:]...), entries[:12]...)
+	copy(entries, swapped)
+	cases["unsorted keys"] = unsorted
+	// Duplicate keys: make both entries key 1.
+	dup := append([]byte{}, valid...)
+	copy(dup[len(dup)-12:len(dup)-8], dup[len(dup)-24:len(dup)-20])
+	cases["duplicate keys"] = dup
+
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: Decode accepted %x", name, b)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cases := []any{
+		struct{ X int }{1}, // unknown type
+		gradecast.SendMsg{Tag: "t", Iter: -1},
+		gradecast.EchoMsg{Tag: "t", Iter: 1, Vals: map[sim.PartyID]float64{-1: 0}},
+		baseline.VertexMsg{Tag: "t", Iter: 1, V: -2},
+		exactaa.ChainMsg{Tag: "t", Sender: -1},
+	}
+	for _, p := range cases {
+		if enc, err := Encode(p); err == nil {
+			t.Errorf("Encode(%#v) accepted: %x", p, enc)
+		}
+	}
+}
+
+// TestPayloadSizeAgreement: the sim accounting helper charges exactly the
+// encoded length for codec payloads, so in-process Result.Bytes equals the
+// bytes a TCP execution puts on the wire.
+func TestPayloadSizeAgreement(t *testing.T) {
+	for _, p := range samplePayloads() {
+		enc, err := Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sim.PayloadSize(p); got != len(enc) {
+			t.Errorf("%T: sim.PayloadSize = %d, wire length = %d", p, got, len(enc))
+		}
+	}
+}
