@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke cover bench bench-sim fuzz examples experiments clean
+.PHONY: all build test race race-sim node-smoke chaos-soak cover bench bench-sim fuzz examples experiments clean
 
-all: build test race-sim node-smoke
+all: build test race-sim node-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,18 @@ race-sim:
 node-smoke:
 	$(GO) run ./cmd/node -cluster 3 -tree path:16
 	$(GO) run ./cmd/node -cluster 7 -t 2 -tree path:40 -adversary splitvote
+
+# Chaos safety soak (~30s): the race-instrumented chaos/transport suites
+# (reconnect-resend, crash-restart byte-identity, golden fault schedules),
+# then a real fault sweep — seeds × {latency, stall, drop, crash,
+# partition, combined} plans × adversaries over the TCP substrate, every
+# cell checked for honest-hull validity, 1-agreement, and byte-identity
+# with the sequential sim.Run oracle. Exits non-zero on any violation.
+chaos-soak:
+	$(GO) test -race -count=1 ./internal/chaos/... ./internal/transport/...
+	$(GO) run ./cmd/chaos -seeds 1-2 -trees path:16
+	$(GO) run ./cmd/node -cluster 4 -t 1 -tree path:16 -adversary splitvote \
+		-chaos 'lat:500µs±500µs,crash:p1@r2'
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -17,6 +17,13 @@
 //
 //	node -cluster 3 -tree path:16
 //	node -cluster 7 -t 2 -tree path:40 -adversary splitvote
+//
+// A -chaos plan (see internal/chaos) injects seeded faults at every seat:
+// per-link latency and stalls, one-shot connection drops, healing
+// partitions, and honest crash-restarts. All seats must be launched with
+// the same plan — it is part of the session handshake.
+//
+//	node -cluster 4 -tree path:16 -chaos 'lat:1ms±1ms,crash:p1@r2'
 package main
 
 import (
@@ -29,8 +36,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"treeaa/internal/adversary"
+	"treeaa/internal/chaos"
 	"treeaa/internal/cli"
 	"treeaa/internal/core"
 	"treeaa/internal/metrics"
@@ -47,15 +56,18 @@ func main() {
 		treeSpec  = flag.String("tree", "path:40", "input space tree spec (as in cmd/treeaa)")
 		inputSpec = flag.String("inputs", "", "comma-separated input vertex labels (default: spread)")
 		advName   = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
-		seed      = flag.Int64("seed", 1, "seed for random trees / noise adversaries")
+		seed      = flag.Int64("seed", 1, "seed for random trees / noise adversaries / chaos")
 		cluster   = flag.Int("cluster", 0, "spawn an n-party loopback cluster of this binary and check agreement")
+		chaosSpec = flag.String("chaos", "", "chaos plan (see internal/chaos); must match across all seats")
+		setupTO   = flag.Duration("setup-timeout", 10*time.Second, "mesh construction budget")
+		roundTO   = flag.Duration("round-timeout", 30*time.Second, "per-round traffic budget (also the reconnect budget)")
 	)
 	flag.Parse()
 	var err error
 	if *cluster > 0 {
-		err = runCluster(*cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed)
+		err = runCluster(*cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
 	} else {
-		err = runSeat(*id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed)
+		err = runSeat(*id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "node:", err)
@@ -64,7 +76,8 @@ func main() {
 }
 
 // runSeat runs one party (or the adversary host seat) of a deployment.
-func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName string, seed int64) error {
+func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName string, seed int64,
+	chaosSpec string, setupTO, roundTO time.Duration) error {
 	if peersFile == "" {
 		return fmt.Errorf("-peers is required (or use -cluster)")
 	}
@@ -96,14 +109,33 @@ func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName strin
 	if adv != nil {
 		corrupted = adversary.FirstParties(n, t)
 	}
+	plan, err := chaos.Parse(chaosSpec)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(n); err != nil {
+		return err
+	}
+	for p := range plan.Crashes {
+		if corruptSet[p] {
+			return fmt.Errorf("chaos plan crashes party %d, which the adversary corrupts", p)
+		}
+	}
 
 	stats := &metrics.WireStats{}
+	chaosStats := &metrics.ChaosStats{}
+	opts := transport.Options{Stats: stats, SetupTimeout: setupTO, RoundTimeout: roundTO}
+	opts = chaos.NewInjector(plan, seed, chaosStats).Apply(opts)
+	// The chaos spec and timeouts join the session hash: a deployment where
+	// seats disagree on the fault plan fails the handshake instead of
+	// producing a half-faulted mesh.
 	pcfg := transport.ProcessConfig{
 		ID: sim.PartyID(id), N: n, Addrs: addrs,
 		Corrupted: corrupted, MaxRounds: core.Rounds(tr) + 2,
 		Session: transport.DeriveSession(append([]string{treeSpec, inputSpec, advName,
-			fmt.Sprint(n), fmt.Sprint(t), fmt.Sprint(seed)}, addrs...)...),
-		Opts: transport.Options{Stats: stats},
+			fmt.Sprint(n), fmt.Sprint(t), fmt.Sprint(seed),
+			chaosSpec, setupTO.String(), roundTO.String()}, addrs...)...),
+		Opts: opts,
 	}
 	role := "party"
 	if corruptSet[sim.PartyID(id)] {
@@ -115,6 +147,9 @@ func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName strin
 			return err
 		}
 		pcfg.Machine = m
+		pcfg.Opts.Restart = func(p sim.PartyID) (sim.Machine, error) {
+			return core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: p, Input: inputs[p]})
+		}
 	}
 
 	fmt.Printf("node %d: %s, n=%d t=%d tree=%s adversary=%s, listening on %s\n",
@@ -126,6 +161,9 @@ func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName strin
 	fmt.Printf("node %d: execution %d rounds, sent %d protocol msgs / %d bytes\n",
 		id, res.Rounds, res.Messages, res.Bytes)
 	fmt.Printf("node %d: wire: %s\n", id, stats)
+	if !plan.Empty() {
+		fmt.Printf("node %d: chaos: %s\n", id, chaosStats)
+	}
 	if role == "party" {
 		v := res.Output.(tree.VertexID)
 		fmt.Printf("node %d: output %s (done round %d)\n", id, tr.Label(v), res.DoneRound)
@@ -138,7 +176,8 @@ func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName strin
 
 // runCluster spawns a whole deployment of this binary on loopback ports and
 // checks the protocol's guarantees across the collected outputs.
-func runCluster(n, t int, treeSpec, inputSpec, advName string, seed int64) error {
+func runCluster(n, t int, treeSpec, inputSpec, advName string, seed int64,
+	chaosSpec string, setupTO, roundTO time.Duration) error {
 	if t < 0 || (t > 0 && n <= 3*t) {
 		return fmt.Errorf("need n > 3t, got n=%d t=%d", n, t)
 	}
@@ -152,6 +191,13 @@ func runCluster(n, t int, treeSpec, inputSpec, advName string, seed int64) error
 	}
 	_, corruptSet, err := cli.BuildAdversary(advName, tr, n, t, seed)
 	if err != nil {
+		return err
+	}
+	// Fail fast on a bad chaos plan before spawning n children (each child
+	// re-validates against its own flags anyway).
+	if plan, err := chaos.Parse(chaosSpec); err != nil {
+		return err
+	} else if err := plan.Validate(n); err != nil {
 		return err
 	}
 
@@ -208,7 +254,9 @@ func runCluster(n, t int, treeSpec, inputSpec, advName string, seed int64) error
 			defer wg.Done()
 			cmd := exec.Command(self, "-id", fmt.Sprint(seat), "-peers", peersFile,
 				"-t", fmt.Sprint(t), "-tree", treeSpec, "-inputs", inputSpec,
-				"-adversary", advName, "-seed", fmt.Sprint(seed))
+				"-adversary", advName, "-seed", fmt.Sprint(seed),
+				"-chaos", chaosSpec, "-setup-timeout", setupTO.String(),
+				"-round-timeout", roundTO.String())
 			out, err := cmd.CombinedOutput()
 			mu.Lock()
 			defer mu.Unlock()

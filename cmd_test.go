@@ -50,6 +50,28 @@ func TestCommandsRun(t *testing.T) {
 			wants: []string{"role=adversary", "1-agreement: true"},
 		},
 		{
+			name: "node cluster under chaos",
+			args: []string{"run", "./cmd/node", "-cluster", "4", "-t", "1", "-tree", "path:16",
+				"-adversary", "splitvote", "-chaos", "lat:200µs±200µs,crash:p1@r2"},
+			wants: []string{"chaos:", "1 crashes", "1-agreement: true"},
+		},
+		{
+			name: "chaos soak tiny matrix",
+			args: []string{"run", "./cmd/chaos", "-seeds", "1", "-plans", "lat:200µs±200µs;drop:p0-p2@r2",
+				"-adversaries", "none", "-trees", "path:12"},
+			wants: []string{"oracle", "pass", "2 cells, 0 failed"},
+		},
+		{
+			name:  "chaos help exits zero",
+			args:  []string{"run", "./cmd/chaos", "-help"},
+			wants: []string{"Usage", "-plans"},
+		},
+		{
+			name:  "chaos schedule print",
+			args:  []string{"run", "./cmd/chaos", "-schedule", "-plans", "lat:1ms±1ms,crash:p1@r2", "-seeds", "7"},
+			wants: []string{"chaos plan", "seed 7", "crash p1 at round 2"},
+		},
+		{
 			name:  "bench-rounds",
 			args:  []string{"run", "./cmd/bench-rounds", "-sizes", "64,256", "-family", "caterpillar"},
 			wants: []string{"treeaa_norm", "caterpillar"},

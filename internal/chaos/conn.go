@@ -1,0 +1,194 @@
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"treeaa/internal/metrics"
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+)
+
+// Injector materializes a plan's network faults at the net.Conn boundary.
+// It plugs into transport.Options.WrapConn: every ordered link has exactly
+// one dialing side, so wrapping outgoing connections puts the injector on
+// the write path of all of the link's traffic — initial dials and
+// reconnect dials alike, with per-link fault state (PRNG stream, frame
+// counter, fired drops) surviving connection replacement.
+//
+// Latency, stalls and partition holds are sleeps before the write: they
+// preserve per-connection FIFO order and lose nothing, which is why a run
+// that stays under the transport's timeout budget remains byte-identical
+// to the sim.Run oracle. A drop closes the connection instead, forcing the
+// transport through its reconnect-with-resume path.
+type Injector struct {
+	plan  *Plan
+	seed  int64
+	stats *metrics.ChaosStats
+
+	mu    sync.Mutex
+	links map[linkKey]*linkChaos
+	parts []*partitionGate
+}
+
+type linkKey struct {
+	from, to sim.PartyID
+}
+
+// linkChaos is the persistent fault state of one ordered link.
+type linkChaos struct {
+	in       *Injector
+	from, to sim.PartyID
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	dropped []bool // per plan.Drops clause: already fired on this link
+}
+
+// partitionGate is the runtime state of one partition clause: the heal
+// deadline, set when the first in-window frame hits the cut.
+type partitionGate struct {
+	p  Partition
+	mu sync.Mutex
+	at time.Time // zero until triggered
+}
+
+// NewInjector builds the injector for one run. The same (plan, seed) pair
+// always produces the same fault schedule; stats receives the
+// injected-fault counters (nil gets a private sink).
+func NewInjector(plan *Plan, seed int64, stats *metrics.ChaosStats) *Injector {
+	if stats == nil {
+		stats = &metrics.ChaosStats{}
+	}
+	in := &Injector{plan: plan, seed: seed, stats: stats,
+		links: make(map[linkKey]*linkChaos)}
+	for _, part := range plan.Partitions {
+		in.parts = append(in.parts, &partitionGate{p: part})
+	}
+	return in
+}
+
+// WrapConn is the transport.Options.WrapConn hook.
+func (in *Injector) WrapConn(from, to sim.PartyID, conn net.Conn) net.Conn {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := linkKey{from, to}
+	l := in.links[key]
+	if l == nil {
+		l = &linkChaos{in: in, from: from, to: to,
+			rng:     linkRNG(in.seed, from, to),
+			dropped: make([]bool, len(in.plan.Drops))}
+		in.links[key] = l
+	}
+	return &chaosConn{Conn: conn, link: l}
+}
+
+// Apply installs the injector into transport options: the conn wrapper, the
+// stats sink, the crash plan, and the recovery mode the plan requires.
+// Options.Restart must be set by the caller when the plan crashes parties —
+// only it knows how to rebuild a machine.
+func (in *Injector) Apply(opts transport.Options) transport.Options {
+	opts.WrapConn = in.WrapConn
+	opts.Chaos = in.stats
+	if in.plan.NeedsReconnect() {
+		opts.Reconnect = true
+	}
+	if len(in.plan.Crashes) > 0 {
+		opts.CrashPlan = in.plan.Crashes
+	}
+	return opts
+}
+
+// chaosConn wraps one connection of a link. Only Write is intercepted: the
+// transport hands it exactly one encoded frame per call, and the frame's
+// round keys every fault window.
+type chaosConn struct {
+	net.Conn
+	link *linkChaos
+}
+
+func (c *chaosConn) Write(b []byte) (int, error) {
+	round, control, ok := transport.FrameInfo(b)
+	if !ok || control {
+		// Handshake frames (and anything unrecognizable) pass untouched:
+		// chaos windows are round-scoped, and delaying the hello would only
+		// shift setup time, not protocol traffic.
+		return c.Conn.Write(b)
+	}
+	l := c.link
+	in := l.in
+
+	l.mu.Lock()
+	var delay time.Duration
+	if in.plan.Latency != nil {
+		delay = delayFor(in.plan.Latency, l.rng)
+	}
+	drop := false
+	for i, d := range in.plan.Drops {
+		if l.dropped[i] || d.From != l.from || d.Round != round {
+			continue
+		}
+		if d.To != AllLinks && d.To != l.to {
+			continue
+		}
+		l.dropped[i] = true
+		drop = true
+	}
+	l.mu.Unlock()
+
+	if delay > 0 {
+		in.stats.Delays.Add(1)
+		time.Sleep(delay)
+	}
+	for _, s := range in.plan.Stalls {
+		if s.Party == l.from && s.FromRound <= round && round <= s.ToRound {
+			in.stats.Stalls.Add(1)
+			time.Sleep(s.Dur)
+		}
+	}
+	for _, g := range in.parts {
+		if g.p.FromRound <= round && round <= g.p.ToRound && g.cuts(l.from, l.to) {
+			if hold := g.trigger(); hold > 0 {
+				in.stats.Partitions.Add(1)
+				time.Sleep(hold)
+			}
+		}
+	}
+	if drop {
+		// Cut the connection under the frame: the write below fails, the
+		// frame stays in the transport's resend buffer, and the reconnect
+		// path replays it over a fresh (re-wrapped) connection.
+		in.stats.Drops.Add(1)
+		c.Conn.Close()
+	}
+	return c.Conn.Write(b)
+}
+
+// cuts reports whether the ordered link crosses the partition's cut.
+func (g *partitionGate) cuts(from, to sim.PartyID) bool {
+	return (contains(g.p.SideA, from) && contains(g.p.SideB, to)) ||
+		(contains(g.p.SideB, from) && contains(g.p.SideA, to))
+}
+
+// trigger arms the heal deadline on first contact and returns how long the
+// calling frame must be held.
+func (g *partitionGate) trigger() time.Duration {
+	g.mu.Lock()
+	if g.at.IsZero() {
+		g.at = time.Now().Add(g.p.Heal)
+	}
+	hold := time.Until(g.at)
+	g.mu.Unlock()
+	return hold
+}
+
+func contains(side []sim.PartyID, id sim.PartyID) bool {
+	for _, x := range side {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -5,12 +5,15 @@
 package metrics
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WireStats counts transport-level traffic: every frame the TCP substrate
@@ -46,6 +49,56 @@ func (w *WireStats) String() string {
 		w.FramesSent.Load(), w.BytesSent.Load(), w.FramesRecv.Load(), w.BytesRecv.Load())
 }
 
+// ChaosStats counts what the chaos layer did to a run and what the
+// transport did to survive it: injected faults on one side (delays, stalls,
+// drops, partition holds), recovery work on the other (reconnects, resent
+// frames), plus a per-round latency sample for p50/p99 reporting. The
+// counters are atomic and the latency sample is mutex-guarded, so one
+// ChaosStats may be shared by every endpoint, sender and chaos conn of a
+// cluster.
+type ChaosStats struct {
+	// Injected faults (recorded by internal/chaos at the net.Conn boundary).
+	Delays     atomic.Int64 // frames delayed by per-link latency/jitter
+	Stalls     atomic.Int64 // frames held by a stall clause
+	Drops      atomic.Int64 // connections torn down by a drop clause
+	Partitions atomic.Int64 // frames held across an active partition cut
+	Crashes    atomic.Int64 // honest-process crashes injected
+
+	// Recovery work (recorded by internal/transport's reconnect path).
+	Reconnects   atomic.Int64 // successful dial-with-resume handshakes
+	FramesSkip   atomic.Int64 // regenerated frames suppressed as already delivered
+	FramesResent atomic.Int64
+	BytesResent  atomic.Int64
+
+	mu       sync.Mutex
+	roundLat []float64 // nanoseconds per completed round, across parties
+}
+
+// AddRoundLatency records one party's wall-clock duration for one round.
+func (c *ChaosStats) AddRoundLatency(d time.Duration) {
+	c.mu.Lock()
+	c.roundLat = append(c.roundLat, float64(d.Nanoseconds()))
+	c.mu.Unlock()
+}
+
+// RoundLatency summarizes the recorded per-round durations (nanoseconds).
+func (c *ChaosStats) RoundLatency() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Summarize(c.roundLat)
+}
+
+// String renders the counters for logs and the cmd/chaos report.
+func (c *ChaosStats) String() string {
+	lat := c.RoundLatency()
+	return fmt.Sprintf("injected %d delays / %d stalls / %d drops / %d partition holds / %d crashes; "+
+		"recovered with %d reconnects, %d frames resent (%d bytes), %d suppressed; "+
+		"round latency p50 %v p99 %v",
+		c.Delays.Load(), c.Stalls.Load(), c.Drops.Load(), c.Partitions.Load(), c.Crashes.Load(),
+		c.Reconnects.Load(), c.FramesResent.Load(), c.BytesResent.Load(), c.FramesSkip.Load(),
+		time.Duration(lat.P50), time.Duration(lat.P99))
+}
+
 // Summary holds order statistics of a sample.
 type Summary struct {
 	N              int
@@ -55,24 +108,29 @@ type Summary struct {
 }
 
 // Summarize computes order statistics. An empty sample yields a zero
-// Summary.
+// Summary. Variance is computed in two passes (sum of squared deviations
+// from the mean) rather than the one-pass sumSq/n − mean² identity: the
+// one-pass form cancels catastrophically when the mean dwarfs the spread —
+// e.g. nanosecond-scale latency timestamps around 1e9 with unit jitter —
+// and can even go negative. TestSummarizeLargeMagnitude pins this.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	sum, sumSq := 0.0, 0.0
+	sum := 0.0
 	for _, x := range s {
 		sum += x
-		sumSq += x * x
 	}
 	n := float64(len(s))
 	mean := sum / n
-	variance := sumSq/n - mean*mean
-	if variance < 0 {
-		variance = 0
+	variance := 0.0
+	for _, x := range s {
+		d := x - mean
+		variance += d * d
 	}
+	variance /= n
 	return Summary{
 		N:      len(s),
 		Min:    s[0],
@@ -263,7 +321,15 @@ func RenderASCII(width, height int, series ...Series) string {
 		for _, p := range s.Points {
 			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
 			row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
-			grid[row][col] = m
+			// A cell already claimed by a *different* series becomes the
+			// collision marker, so crossing curves stay visible instead of
+			// the later series silently overwriting the earlier one.
+			switch cur := grid[row][col]; {
+			case cur == ' ' || cur == m:
+				grid[row][col] = m
+			default:
+				grid[row][col] = collisionMarker
+			}
 		}
 	}
 	var sb strings.Builder
@@ -281,6 +347,16 @@ func RenderASCII(width, height int, series ...Series) string {
 		}
 		fmt.Fprintf(&sb, "%c=%s", markers[si%len(markers)], s.Name)
 	}
+	for _, line := range grid {
+		if bytes.ContainsRune(line, rune(collisionMarker)) {
+			fmt.Fprintf(&sb, "  %c=overlap", collisionMarker)
+			break
+		}
+	}
 	sb.WriteByte('\n')
 	return sb.String()
 }
+
+// collisionMarker flags a plot cell claimed by more than one series. It is
+// deliberately outside the series marker alphabet.
+const collisionMarker byte = '%'

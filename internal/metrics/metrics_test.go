@@ -35,6 +35,23 @@ func TestSummarizeSingle(t *testing.T) {
 	}
 }
 
+// TestSummarizeLargeMagnitude is the regression test for the variance
+// computation: the old one-pass sumSq/n − mean² identity loses every
+// significant digit when the mean is ~1e9 and the spread is ~1 (float64
+// keeps ~15-16 digits; x² needs ~19), collapsing the variance to 0 (after
+// clamping). The two-pass form is exact here: variance of {x, x+1, x+2} is
+// 2/3 regardless of x.
+func TestSummarizeLargeMagnitude(t *testing.T) {
+	s := Summarize([]float64{1e9, 1e9 + 1, 1e9 + 2})
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Errorf("stddev of {1e9, 1e9+1, 1e9+2} = %v, want %v", s.StdDev, want)
+	}
+	if s.Mean != 1e9+1 {
+		t.Errorf("mean = %v, want 1e9+1", s.Mean)
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if q := quantile(sorted, 0.9); q != 9 {
@@ -104,6 +121,62 @@ func TestRenderASCII(t *testing.T) {
 	}
 	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
 		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+// TestRenderASCIICollision: two series landing on the same cell render the
+// dedicated collision marker instead of the later series overwriting the
+// earlier one, and the legend explains it.
+func TestRenderASCIICollision(t *testing.T) {
+	var a, b Series
+	a.Name = "a"
+	b.Name = "b"
+	// Identical midpoints collide; distinct endpoints keep both series visible.
+	a.Add(0, 0)
+	a.Add(5, 5)
+	a.Add(10, 0)
+	b.Add(0, 10)
+	b.Add(5, 5)
+	b.Add(10, 10)
+	out := RenderASCII(21, 11, a, b)
+	if !strings.ContainsRune(out, rune(collisionMarker)) {
+		t.Errorf("no collision marker in:\n%s", out)
+	}
+	if !strings.Contains(out, "%=overlap") {
+		t.Errorf("legend missing overlap entry:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("series markers missing:\n%s", out)
+	}
+}
+
+// TestRenderASCIISameSeriesNoCollision: a series overwriting its own marker
+// is not a collision.
+func TestRenderASCIISameSeriesNoCollision(t *testing.T) {
+	var a Series
+	a.Name = "a"
+	a.Add(0, 0)
+	a.Add(0, 0)
+	a.Add(10, 10)
+	if out := RenderASCII(20, 8, a); strings.ContainsRune(out, rune(collisionMarker)) {
+		t.Errorf("self-overlap rendered as collision:\n%s", out)
+	}
+}
+
+func TestChaosStats(t *testing.T) {
+	var c ChaosStats
+	c.Delays.Add(3)
+	c.Reconnects.Add(1)
+	c.AddRoundLatency(2e6)
+	c.AddRoundLatency(4e6)
+	if lat := c.RoundLatency(); lat.N != 2 || lat.P50 != 2e6 {
+		t.Errorf("round latency summary = %+v", lat)
+	}
+	s := c.String()
+	for _, want := range []string{"3 delays", "1 reconnects", "p50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ChaosStats.String() missing %q: %s", want, s)
+		}
 	}
 }
 

@@ -120,7 +120,7 @@ func runAdversaryHost(cfg hostConfig) (*hostResult, error) {
 					// process, so their pairwise links never leave it.
 					h.states[to].addMail(sim.Message{From: raw.From, To: to, Round: r, Payload: raw.Payload})
 				} else {
-					e.send(raw.From, to, encodeMsg(frameMsg, r, to, body))
+					e.send(raw.From, to, r, encodeMsg(frameMsg, r, to, body))
 				}
 			}
 		}
@@ -130,7 +130,7 @@ func runAdversaryHost(cfg hostConfig) (*hostResult, error) {
 		eor := encodeEOR(r, true)
 		for _, c := range cfg.corrupted {
 			for _, p := range honest {
-				e.send(c, p, eor)
+				e.send(c, p, r, eor)
 			}
 		}
 		for r2 := range h.mirrors {

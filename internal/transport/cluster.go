@@ -46,6 +46,17 @@ func LocalCluster(cfg sim.Config, machines []sim.Machine, opts Options) (*sim.Re
 	for _, c := range corrupted {
 		isCorrupted[c] = true
 	}
+	for p, r := range opts.CrashPlan {
+		if p < 0 || int(p) >= cfg.N || isCorrupted[p] {
+			return nil, fmt.Errorf("transport: crash plan names party %d, which is not an honest party", p)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("transport: crash plan round %d for party %d, want > 0", r, p)
+		}
+		if opts.Restart == nil {
+			return nil, fmt.Errorf("transport: crash plan requires Options.Restart to rebuild machines")
+		}
+	}
 	observer := sim.PartyID(-1)
 	if len(corrupted) > 0 {
 		observer = corrupted[0]
@@ -70,21 +81,37 @@ func LocalCluster(cfg sim.Config, machines []sim.Machine, opts Options) (*sim.Re
 	session := newSession()
 
 	endpoints := make([]*endpoint, 0, cfg.N)
+	var hosts []*acceptHost
 	nodeCh := make(chan nodeOutcome, cfg.N)
 	launched := 0
 	for p := sim.PartyID(0); int(p) < cfg.N; p++ {
 		if isCorrupted[p] {
 			continue
 		}
-		ep := newEndpoint([]sim.PartyID{p}, cfg.N, addrs, session,
-			map[sim.PartyID]net.Listener{p: listeners[p]}, opts)
-		endpoints = append(endpoints, ep)
 		nc := nodeConfig{id: p, n: cfg.N, maxRounds: cfg.MaxRounds,
-			observer: observer, machine: machines[p], ep: ep}
-		go func() {
-			res, err := runNode(nc)
-			nodeCh <- nodeOutcome{id: nc.id, res: res, err: err}
-		}()
+			observer: observer, machine: machines[p]}
+		if crashRound, supervised := opts.CrashPlan[p]; supervised {
+			// The listener must outlive the party's first incarnation, so
+			// it belongs to an acceptHost rather than the endpoint.
+			host := newAcceptHost(p, listeners[p])
+			hosts = append(hosts, host)
+			ep := newEndpoint([]sim.PartyID{p}, cfg.N, addrs, session, nil, opts)
+			host.swap(ep)
+			nc.ep, nc.crashRound = ep, crashRound
+			go func() {
+				res, err := superviseNode(nc, host, opts)
+				nodeCh <- nodeOutcome{id: nc.id, res: res, err: err}
+			}()
+		} else {
+			ep := newEndpoint([]sim.PartyID{p}, cfg.N, addrs, session,
+				map[sim.PartyID]net.Listener{p: listeners[p]}, opts)
+			endpoints = append(endpoints, ep)
+			nc.ep = ep
+			go func() {
+				res, err := runNode(nc)
+				nodeCh <- nodeOutcome{id: nc.id, res: res, err: err}
+			}()
+		}
 		launched++
 	}
 	var hostCh chan hostOutcome
@@ -103,12 +130,16 @@ func LocalCluster(cfg sim.Config, machines []sim.Machine, opts Options) (*sim.Re
 			hostCh <- hostOutcome{res: res, err: err}
 		}()
 	}
-	// From here every listener is owned by an endpoint and every endpoint is
-	// shut down on exit, which also unblocks any party stuck on a failing
-	// peer.
+	// From here every listener is owned by an endpoint (or an acceptHost)
+	// and every endpoint is shut down on exit, which also unblocks any
+	// party stuck on a failing peer. Supervised endpoints clean themselves
+	// up inside runNode; only their accept hosts need closing here.
 	defer func() {
 		for _, ep := range endpoints {
 			ep.shutdown(false)
+		}
+		for _, h := range hosts {
+			h.close()
 		}
 	}()
 

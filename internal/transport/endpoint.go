@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treeaa/internal/metrics"
@@ -20,11 +21,52 @@ type Options struct {
 	// RoundTimeout bounds how long a party waits for the traffic of one
 	// round (reads, writes and barrier waits). A peer that stalls longer is
 	// treated as failed. Default 60s — generous, because the lock-step
-	// barrier makes the slowest party set the pace for everyone.
+	// barrier makes the slowest party set the pace for everyone. It is also
+	// the budget for repairing a dropped connection when Reconnect is set.
 	RoundTimeout time.Duration
 	// Stats, when non-nil, receives transport-level frame and byte counts
 	// (protocol payloads plus hello/mirror/eor overhead).
 	Stats *metrics.WireStats
+
+	// Dialer establishes outgoing connections; nil means dialRetry
+	// (net.DialTimeout with exponential backoff until the deadline). The
+	// chaos layer substitutes a dialer to delay or refuse connection
+	// establishment.
+	Dialer func(addr string, deadline time.Time) (net.Conn, error)
+	// WrapConn, when non-nil, wraps every *outgoing* connection of an
+	// ordered link (from → to) right after it is dialed — initial dials and
+	// reconnects alike. Every link has exactly one dialing side, so a write
+	// wrapper here observes all of the link's traffic; internal/chaos uses
+	// it to inject latency, stalls, partitions and drops at the net.Conn
+	// boundary.
+	WrapConn func(from, to sim.PartyID, conn net.Conn) net.Conn
+	// Reconnect enables the recovery path: a sender whose connection dies
+	// redials with exponential backoff, identifies itself with a resume
+	// hello, learns from the peer's hello-ack how many frames were
+	// delivered, and replays the rest from its resend buffer. Read-side
+	// link failures become non-fatal (the dialing side repairs the link; a
+	// genuinely dead peer surfaces as a barrier timeout).
+	Reconnect bool
+	// RetainAll keeps every frame ever sent in the resend buffers instead
+	// of pruning them at the EOR barrier. Required for crash recovery: a
+	// restarted party rejoins by replaying its peers' full frame history.
+	RetainAll bool
+	// Chaos, when non-nil, receives recovery counters (reconnects, resent
+	// and suppressed frames) and per-round latency samples.
+	Chaos *metrics.ChaosStats
+
+	// CrashPlan schedules honest-party crash injection: party → round. When
+	// the party reaches that round it dies abruptly mid-round — after its
+	// protocol sends, before its end-of-round barrier — and the cluster
+	// supervisor restarts it with a fresh machine from Restart. The
+	// restarted party replays its peers' resend buffers to rebuild every
+	// inbox, re-steps its deterministic machine from round 1, and suppresses
+	// the regenerated frames its peers already hold. Implies Reconnect and
+	// RetainAll.
+	CrashPlan map[sim.PartyID]int
+	// Restart builds a fresh machine for a crash-restarted party; required
+	// when CrashPlan is non-empty.
+	Restart func(p sim.PartyID) (sim.Machine, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -37,7 +79,22 @@ func (o Options) withDefaults() Options {
 	if o.Stats == nil {
 		o.Stats = &metrics.WireStats{}
 	}
+	if o.Dialer == nil {
+		o.Dialer = dialRetry
+	}
+	if len(o.CrashPlan) > 0 {
+		o.Reconnect = true
+		o.RetainAll = true
+	}
 	return o
+}
+
+// wrap applies the WrapConn hook, when configured.
+func (o Options) wrap(from, to sim.PartyID, conn net.Conn) net.Conn {
+	if o.WrapConn == nil {
+		return conn
+	}
+	return o.WrapConn(from, to, conn)
 }
 
 // event is one item of an endpoint's merged receive stream: a parsed frame
@@ -49,14 +106,51 @@ type event struct {
 	err   error
 }
 
+// outFrame is one frame queued on a sender: the encoded bytes plus the
+// round they belong to, which keys the resend buffer's EOR-barrier pruning.
+type outFrame struct {
+	round int
+	b     []byte
+}
+
+// bufFrame is one unacknowledged frame in a sender's resend buffer.
+type bufFrame struct {
+	seq   uint64
+	round int
+	b     []byte
+}
+
 // sender owns the write side of one ordered pair (from → to): a queue and a
 // goroutine, so the round loop never blocks on TCP backpressure (the peer's
 // reader always drains, which is what makes the full mesh deadlock-free).
+// With Reconnect enabled it also owns the link's recovery state: a resend
+// buffer of unacknowledged frames, the count of frames the peer is known to
+// hold, and a sentinel goroutine that detects connection death promptly.
 type sender struct {
+	e        *endpoint
 	from, to sim.PartyID
-	conn     net.Conn
-	ch       chan []byte
+	ch       chan outFrame
+	redial   chan net.Conn // sentinel → writeLoop, carrying the dead conn
 	done     chan struct{}
+
+	conn net.Conn // owned by start until writeLoop spawns, then by writeLoop
+	seq  uint64   // frames pushed through deliver, in emission order
+
+	mu    sync.Mutex
+	acked uint64     // frames the peer is known to have received
+	buf   []bufFrame // unacknowledged frames, ascending seq
+}
+
+// linkState is the receive-side bookkeeping of one inbound link
+// (remote from → local owner), surviving connection replacement: how many
+// frames have been received and processed (the resume hello-ack value), and
+// a generation counter that fences a superseded connection's read loop. The
+// mutex spans count-and-emit so that after a generation bump no stale frame
+// can slip into the event stream behind the replacement's replay.
+type linkState struct {
+	mu   sync.Mutex
+	gen  int
+	rcvd uint64
 }
 
 // endpoint hosts one or more local parties on a shared event stream: one
@@ -71,18 +165,23 @@ type endpoint struct {
 	addrs   []string
 	session uint64
 	opts    Options
+	// resumed marks a crash-restarted endpoint: its initial dials carry the
+	// resume flag, so peers ack their receive counts and the endpoint can
+	// suppress regenerated frames they already hold.
+	resumed bool
 
 	events    chan event
 	quit      chan struct{}
 	closeOnce sync.Once
 	drainOnce sync.Once
+	draining  atomic.Bool
 
 	listeners map[sim.PartyID]net.Listener
 	senders   map[sim.PartyID]map[sim.PartyID]*sender // [local from][remote to]
 
 	mu          sync.Mutex
 	conns       []net.Conn
-	inbound     map[sim.PartyID]map[sim.PartyID]bool // [local owner][remote from]
+	inbound     map[sim.PartyID]map[sim.PartyID]*linkState // [local owner][remote from]
 	inboundLeft int
 	inboundDone chan struct{}
 	failed      error
@@ -90,7 +189,9 @@ type endpoint struct {
 
 // newEndpoint prepares (but does not start) an endpoint for the given local
 // parties. listeners must hold a bound listener per local id; the endpoint
-// takes ownership and closes them.
+// takes ownership and closes them. A supervised (crash-restartable) party
+// passes no listeners and is fed accepted connections by an acceptHost
+// instead.
 func newEndpoint(ids []sim.PartyID, n int, addrs []string, session uint64,
 	listeners map[sim.PartyID]net.Listener, opts Options) *endpoint {
 	e := &endpoint{
@@ -104,7 +205,7 @@ func newEndpoint(ids []sim.PartyID, n int, addrs []string, session uint64,
 		quit:        make(chan struct{}),
 		listeners:   listeners,
 		senders:     make(map[sim.PartyID]map[sim.PartyID]*sender, len(ids)),
-		inbound:     make(map[sim.PartyID]map[sim.PartyID]bool, len(ids)),
+		inbound:     make(map[sim.PartyID]map[sim.PartyID]*linkState, len(ids)),
 		inboundDone: make(chan struct{}),
 	}
 	for _, id := range ids {
@@ -115,9 +216,19 @@ func newEndpoint(ids []sim.PartyID, n int, addrs []string, session uint64,
 	if e.inboundLeft == 0 {
 		close(e.inboundDone)
 	}
+	// The sender and inbound maps are fully shaped here and never mutated
+	// again (only the structs they point to are), so accept-side read loops
+	// may consult them without locking while start() is still dialing.
 	for _, id := range ids {
 		e.senders[id] = make(map[sim.PartyID]*sender, remotes)
-		e.inbound[id] = make(map[sim.PartyID]bool, remotes)
+		e.inbound[id] = make(map[sim.PartyID]*linkState, remotes)
+		for to := sim.PartyID(0); int(to) < n; to++ {
+			if e.local[to] {
+				continue
+			}
+			e.senders[id][to] = &sender{e: e, from: id, to: to,
+				ch: make(chan outFrame, 256), redial: make(chan net.Conn, 1), done: make(chan struct{})}
+		}
 	}
 	return e
 }
@@ -137,20 +248,35 @@ func (e *endpoint) start() error {
 			if e.local[to] {
 				continue
 			}
-			conn, err := dialRetry(e.addrs[to], deadline)
+			conn, err := e.opts.Dialer(e.addrs[to], deadline)
 			if err != nil {
 				return fmt.Errorf("transport: party %d dialing party %d at %s: %w", from, to, e.addrs[to], err)
 			}
+			conn = e.opts.wrap(from, to, conn)
 			e.track(conn)
-			hb := encodeHello(hello{session: e.session, from: from, to: to, n: e.n})
+			hb := encodeHello(hello{session: e.session, from: from, to: to, n: e.n, resume: e.resumed})
 			conn.SetWriteDeadline(deadline)
 			if _, err := conn.Write(hb); err != nil {
 				return fmt.Errorf("transport: party %d handshake to party %d: %w", from, to, err)
 			}
 			e.opts.Stats.AddSent(len(hb))
 			conn.SetWriteDeadline(time.Time{})
-			s := &sender{from: from, to: to, conn: conn, ch: make(chan []byte, 256), done: make(chan struct{})}
-			e.senders[from][to] = s
+			s := e.senders[from][to]
+			s.conn = conn
+			if e.resumed {
+				// The peer survived our crash: its ack tells us how many of
+				// the frames we are about to regenerate it already holds.
+				acked, err := readHelloAck(conn, deadline, e.opts.Stats)
+				if err != nil {
+					return fmt.Errorf("transport: party %d resuming to party %d: %w", from, to, err)
+				}
+				s.mu.Lock()
+				s.acked = acked
+				s.mu.Unlock()
+			}
+			if e.opts.Reconnect {
+				go s.sentinel(conn)
+			}
 			go e.writeLoop(s)
 		}
 	}
@@ -199,6 +325,15 @@ func (e *endpoint) track(conn net.Conn) {
 	e.mu.Unlock()
 }
 
+func (e *endpoint) closed() bool {
+	select {
+	case <-e.quit:
+		return true
+	default:
+		return false
+	}
+}
+
 func (e *endpoint) acceptLoop(owner sim.PartyID, ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
@@ -212,8 +347,11 @@ func (e *endpoint) acceptLoop(owner sim.PartyID, ln net.Listener) {
 
 // handshakeIn validates a connection's hello and, on success, registers it
 // as the unique authenticated link from its claimed sender and starts
-// reading frames. Anything invalid is dropped; the dialer notices via the
-// setup barrier on its own side.
+// reading frames. A resume hello may replace an existing link's dead
+// connection: the old read loop is fenced off by a generation bump, the
+// receive count is acknowledged back to the dialer, and reading continues
+// on the new connection. Anything invalid is dropped; the dialer notices
+// via the setup barrier (or its reconnect retry loop) on its own side.
 func (e *endpoint) handshakeIn(owner sim.PartyID, conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(e.opts.SetupTimeout))
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -240,6 +378,8 @@ func (e *endpoint) handshakeIn(owner sim.PartyID, conn net.Conn) {
 		err = fmt.Errorf("sender %d out of range", h.from)
 	case e.local[h.from]:
 		err = fmt.Errorf("sender %d is local", h.from)
+	case h.resume && !e.opts.Reconnect:
+		err = fmt.Errorf("resume hello without reconnect support")
 	}
 	if err != nil {
 		e.fail(fmt.Errorf("transport: party %d rejected hello: %w", owner, err))
@@ -247,20 +387,41 @@ func (e *endpoint) handshakeIn(owner sim.PartyID, conn net.Conn) {
 		return
 	}
 	e.mu.Lock()
-	if e.inbound[owner][h.from] {
-		e.mu.Unlock()
+	ls := e.inbound[owner][h.from]
+	fresh := ls == nil
+	if fresh {
+		ls = &linkState{}
+		e.inbound[owner][h.from] = ls
+		e.inboundLeft--
+		if e.inboundLeft == 0 {
+			close(e.inboundDone)
+		}
+	}
+	e.mu.Unlock()
+	if !fresh && !h.resume {
 		e.fail(fmt.Errorf("transport: duplicate connection from party %d to party %d", h.from, owner))
 		conn.Close()
 		return
 	}
-	e.inbound[owner][h.from] = true
-	e.inboundLeft--
-	if e.inboundLeft == 0 {
-		close(e.inboundDone)
+	// Fence off any read loop still attached to the replaced connection,
+	// then tell the dialer exactly how many frames made it through before
+	// the link died, so its replay starts at the first missing one.
+	ls.mu.Lock()
+	ls.gen++
+	gen, rcvd := ls.gen, ls.rcvd
+	ls.mu.Unlock()
+	if h.resume {
+		ack := encodeHelloAck(rcvd)
+		conn.SetWriteDeadline(time.Now().Add(e.opts.SetupTimeout))
+		if _, err := conn.Write(ack); err != nil {
+			conn.Close()
+			return
+		}
+		e.opts.Stats.AddSent(len(ack))
+		conn.SetWriteDeadline(time.Time{})
 	}
-	e.mu.Unlock()
 	conn.SetReadDeadline(time.Time{})
-	e.readLoop(owner, h.from, conn, br)
+	e.readLoop(owner, h.from, conn, br, ls, gen)
 }
 
 // fail records the first setup-phase failure so the barrier can report a
@@ -274,26 +435,68 @@ func (e *endpoint) fail(err error) {
 }
 
 // readLoop turns one authenticated connection into events. It exits on any
-// read or parse error; the error is surfaced as an event unless the
-// endpoint is already shutting down.
-func (e *endpoint) readLoop(owner, from sim.PartyID, conn net.Conn, br *bufio.Reader) {
+// read or parse error, or when a resume handshake supersedes its
+// connection. Counting a frame and emitting it happen under the link lock,
+// so the resume ack can never under-report and a stale loop can never emit
+// behind a replacement's replay.
+func (e *endpoint) readLoop(owner, from sim.PartyID, conn net.Conn, br *bufio.Reader, ls *linkState, gen int) {
 	for {
 		conn.SetReadDeadline(time.Now().Add(e.opts.RoundTimeout))
 		body, err := readFrame(br)
 		if err != nil {
-			e.emit(event{owner: owner, from: from,
-				err: fmt.Errorf("transport: link %d→%d: %w", from, owner, err)})
+			e.linkDown(owner, from, fmt.Errorf("transport: link %d→%d: %w", from, owner, err))
 			return
 		}
 		e.opts.Stats.AddRecv(len(body))
 		f, err := parseFrame(body)
 		if err != nil {
-			e.emit(event{owner: owner, from: from,
-				err: fmt.Errorf("transport: link %d→%d: %w", from, owner, err)})
+			e.linkDown(owner, from, fmt.Errorf("transport: link %d→%d: %w", from, owner, err))
 			return
 		}
+		ls.mu.Lock()
+		if ls.gen != gen {
+			ls.mu.Unlock()
+			return // superseded by a resume handshake; the new conn replays
+		}
+		ls.rcvd++
+		if e.opts.Reconnect && !e.opts.RetainAll && f.typ == frameEOR {
+			// eor(r) proves the peer finished its round-(r-1) barrier, which
+			// needed every round-≤(r-1) frame of ours: ack them implicitly.
+			e.pruneSender(owner, from, f.round-1)
+		}
 		e.emit(event{owner: owner, from: from, f: f})
+		ls.mu.Unlock()
 	}
+}
+
+// linkDown handles a read-side connection failure. Without Reconnect it is
+// surfaced as an event (checkStalled turns it into a prompt error when the
+// peer still owes a barrier). With Reconnect it is swallowed: repairing the
+// link is the dialing side's job, and a peer that never comes back is
+// caught by the round timeout.
+func (e *endpoint) linkDown(owner, from sim.PartyID, err error) {
+	if e.opts.Reconnect {
+		return
+	}
+	e.emit(event{owner: owner, from: from, err: err})
+}
+
+// pruneSender drops resend-buffer frames of rounds ≤ upto on the reverse
+// link (owner → from): the peer provably received them.
+func (e *endpoint) pruneSender(owner, from sim.PartyID, upto int) {
+	s := e.senders[owner][from]
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	i := 0
+	for i < len(s.buf) && s.buf[i].round <= upto {
+		i++
+	}
+	if i > 0 {
+		s.buf = append(s.buf[:0:0], s.buf[i:]...)
+	}
+	s.mu.Unlock()
 }
 
 func (e *endpoint) emit(ev event) {
@@ -306,44 +509,120 @@ func (e *endpoint) emit(ev event) {
 // writeLoop drains a sender queue onto its connection. Frames are written
 // unbuffered — they are small and loopback-cheap, and skipping bufio means
 // a closed queue is fully flushed the moment the goroutine exits. On a
-// write error it keeps draining so the round loop never blocks.
+// write error it reconnects (when enabled) or reports the link dead and
+// keeps draining so the round loop never blocks.
 func (e *endpoint) writeLoop(s *sender) {
 	defer close(s.done)
+	failed := false
 	for {
 		select {
-		case b, ok := <-s.ch:
+		case f, ok := <-s.ch:
 			if !ok {
 				return
 			}
-			s.conn.SetWriteDeadline(time.Now().Add(e.opts.RoundTimeout))
-			if _, err := s.conn.Write(b); err != nil {
-				e.emit(event{owner: s.from, from: s.to,
-					err: fmt.Errorf("transport: link %d→%d: %w", s.from, s.to, err)})
-				for {
-					select {
-					case _, ok := <-s.ch:
-						if !ok {
-							return
-						}
-					case <-e.quit:
-						return
-					}
-				}
+			if failed {
+				continue
 			}
-			e.opts.Stats.AddSent(len(b))
+			if !s.deliver(f) {
+				failed = true
+			}
+		case c := <-s.redial:
+			// A sentinel noticed the connection die before the next write
+			// would have. Reconnect eagerly so the peer's missing frames
+			// (and ours) are replayed without waiting for traffic — unless
+			// the endpoint is draining, in which case the peer is
+			// terminating and the link is done.
+			if failed || c != s.conn || e.draining.Load() || e.closed() {
+				continue
+			}
+			if !s.reconnect() {
+				s.linkFailed(fmt.Errorf("transport: link %d→%d: reconnect failed", s.from, s.to))
+				failed = true
+			}
 		case <-e.quit:
 			return
 		}
 	}
 }
 
-// send enqueues an encoded frame on the (from → to) link. Only the round
-// loop calls it, so enqueues never race with shutdown's channel close.
-func (e *endpoint) send(from, to sim.PartyID, b []byte) {
+// deliver pushes one frame through the link: assign its sequence number,
+// suppress it if the peer already holds it (crash-restart replay), buffer
+// it for resend, write it, and on failure run the reconnect path.
+func (s *sender) deliver(f outFrame) bool {
+	e := s.e
+	s.seq++
+	if e.opts.Reconnect {
+		if s.seq <= s.ackedNow() {
+			// The peer received this frame from our pre-crash incarnation;
+			// the regenerated copy must not be delivered twice.
+			if e.opts.Chaos != nil {
+				e.opts.Chaos.FramesSkip.Add(1)
+			}
+			return true
+		}
+		s.mu.Lock()
+		s.buf = append(s.buf, bufFrame{seq: s.seq, round: f.round, b: f.b})
+		s.mu.Unlock()
+	}
+	if err := s.write(f.b); err == nil {
+		return true
+	} else if !e.opts.Reconnect || e.draining.Load() {
+		s.linkFailed(fmt.Errorf("transport: link %d→%d: %w", s.from, s.to, err))
+		return false
+	}
+	if !s.reconnect() {
+		s.linkFailed(fmt.Errorf("transport: link %d→%d: reconnect failed", s.from, s.to))
+		return false
+	}
+	return true
+}
+
+func (s *sender) ackedNow() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// linkFailed reports an unrecoverable write-side failure; the round loop
+// sees it via checkStalled or, at worst, the barrier timeout.
+func (s *sender) linkFailed(err error) {
+	s.e.emit(event{owner: s.from, from: s.to, err: err})
+}
+
+func (s *sender) write(b []byte) error {
+	s.conn.SetWriteDeadline(time.Now().Add(s.e.opts.RoundTimeout))
+	if _, err := s.conn.Write(b); err != nil {
+		return err
+	}
+	s.e.opts.Stats.AddSent(len(b))
+	return nil
+}
+
+// send enqueues an encoded frame of the given round on the (from → to)
+// link. Only the round loop calls it, so enqueues never race with
+// shutdown's channel close.
+func (e *endpoint) send(from, to sim.PartyID, round int, b []byte) {
 	select {
-	case e.senders[from][to].ch <- b:
+	case e.senders[from][to].ch <- outFrame{round: round, b: b}:
 	case <-e.quit:
 	}
+}
+
+// crash kills the endpoint the way a process death would: connections cut
+// mid-stream, nothing flushed, no goodbye. Listeners are untouched — a
+// supervised party's listener belongs to its acceptHost and must survive
+// the restart.
+func (e *endpoint) crash() {
+	e.closeOnce.Do(func() {
+		close(e.quit)
+		e.mu.Lock()
+		conns := e.conns
+		e.conns = nil
+		e.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
 }
 
 // shutdown ends the endpoint. When graceful, queued frames are flushed
@@ -353,6 +632,7 @@ func (e *endpoint) send(from, to sim.PartyID, b []byte) {
 func (e *endpoint) shutdown(graceful bool) {
 	if graceful {
 		e.drainOnce.Do(func() {
+			e.draining.Store(true)
 			for _, peers := range e.senders {
 				for _, s := range peers {
 					close(s.ch)

@@ -21,7 +21,8 @@ import (
 // recipient on top of the canonical codec.
 //
 //	hello:  magic(4) | transport version(1) | uvarint(session) |
-//	        u32(from) | u32(to) | u32(n)
+//	        u32(from) | u32(to) | u32(n) | flags(1)   (bit 0: resume)
+//	ack:    uvarint(frames received on this link)
 //	msg:    uvarint(round) | u32(to) | wire body
 //	mirror: uvarint(round) | u32(real recipient) | wire body
 //	eor:    uvarint(round) | flags(1)        (bit 0: sender's machine is done)
@@ -33,15 +34,24 @@ import (
 // round structure: a party that holds eor(r) from every peer knows its
 // round-r inbox is complete, because each connection delivers its frames in
 // order and eor(r) is the last frame a peer emits for round r.
+//
+// A hello with the resume flag re-establishes a link whose connection died
+// (version 2 of the framing, added with the chaos subsystem): the receiver
+// answers with a hello-ack carrying how many post-hello frames it has
+// received and processed on that link, and the dialer replays everything
+// after that point from its resend buffer. The ack is the only frame that
+// ever travels "backwards" on a connection.
 const (
-	frameHello  byte = 0x01
-	frameMsg    byte = 0x02
-	frameMirror byte = 0x03
-	frameEOR    byte = 0x04
+	frameHello    byte = 0x01
+	frameMsg      byte = 0x02
+	frameMirror   byte = 0x03
+	frameEOR      byte = 0x04
+	frameHelloAck byte = 0x05
 
 	// transportVersion is independent of wire.Version: framing and payload
-	// codec can evolve separately.
-	transportVersion byte = 1
+	// codec can evolve separately. Version 2 added the hello flags byte and
+	// the hello-ack frame for the reconnect path.
+	transportVersion byte = 2
 
 	// maxFrameSize bounds a frame body; a malformed length prefix can never
 	// force a large allocation.
@@ -49,6 +59,9 @@ const (
 
 	// eorDoneFlag marks the sending party's machine as terminated.
 	eorDoneFlag byte = 0x01
+
+	// helloResumeFlag marks a hello as re-establishing an existing link.
+	helloResumeFlag byte = 0x01
 )
 
 // helloMagic opens every connection; it doubles as a cheap port-collision
@@ -69,6 +82,7 @@ type hello struct {
 	session  uint64
 	from, to sim.PartyID
 	n        int
+	resume   bool
 }
 
 // appendFrame wraps body (type byte included) with its length prefix.
@@ -86,7 +100,34 @@ func encodeHello(h hello) []byte {
 	body = wire.AppendU32(body, uint32(h.from))
 	body = wire.AppendU32(body, uint32(h.to))
 	body = wire.AppendU32(body, uint32(h.n))
+	var flags byte
+	if h.resume {
+		flags |= helloResumeFlag
+	}
+	body = append(body, flags)
 	return appendFrame(nil, body)
+}
+
+// encodeHelloAck builds the receiver's answer to a resume hello: how many
+// post-hello frames it holds on the link, so the dialer's replay starts at
+// the first missing frame.
+func encodeHelloAck(rcvd uint64) []byte {
+	body := make([]byte, 0, 12)
+	body = append(body, frameHelloAck)
+	body = wire.AppendUvarint(body, rcvd)
+	return appendFrame(nil, body)
+}
+
+// parseHelloAck decodes a hello-ack frame body.
+func parseHelloAck(body []byte) (uint64, error) {
+	if len(body) < 1 || body[0] != frameHelloAck {
+		return 0, fmt.Errorf("transport: expected hello-ack frame")
+	}
+	rcvd, rest, err := wire.ConsumeUvarint(body[1:])
+	if err != nil || len(rest) != 0 {
+		return 0, fmt.Errorf("transport: malformed hello-ack")
+	}
+	return rcvd, nil
 }
 
 // encodeMsg builds a msg or mirror frame around an already-encoded wire
@@ -156,10 +197,15 @@ func parseHello(body []byte) (hello, error) {
 		return h, fmt.Errorf("transport: bad hello target: %w", err)
 	}
 	nv, b, err := wire.ConsumeU32(b)
-	if err != nil || len(b) != 0 {
+	if err != nil || len(b) != 1 {
 		return h, fmt.Errorf("transport: malformed hello tail")
 	}
-	return hello{session: session, from: from, to: to, n: int(nv)}, nil
+	flags := b[0]
+	if flags&^helloResumeFlag != 0 {
+		return h, fmt.Errorf("transport: unknown hello flags %#x", flags)
+	}
+	return hello{session: session, from: from, to: to, n: int(nv),
+		resume: flags&helloResumeFlag != 0}, nil
 }
 
 // parseFrame decodes a non-hello frame body, including its wire payload.
@@ -195,8 +241,35 @@ func parseFrame(body []byte) (frame, error) {
 		return f, nil
 	case frameHello:
 		return f, fmt.Errorf("transport: unexpected second hello")
+	case frameHelloAck:
+		return f, fmt.Errorf("transport: unexpected hello-ack on the read side")
 	default:
 		return f, fmt.Errorf("transport: unknown frame type 0x%02x", f.typ)
+	}
+}
+
+// FrameInfo peeks at one encoded frame as the transport hands it to
+// conn.Write: the round it belongs to, and whether it is a handshake
+// control frame (hello / hello-ack) that carries no round. It exists for
+// the chaos injector, which wraps connections at the net.Conn boundary and
+// keys its fault windows on rounds without re-implementing the framing.
+// ok is false when b is not a single well-formed frame.
+func FrameInfo(b []byte) (round int, control bool, ok bool) {
+	n, body, err := wire.ConsumeUvarint(b)
+	if err != nil || uint64(len(body)) != n || n == 0 {
+		return 0, false, false
+	}
+	switch body[0] {
+	case frameHello, frameHelloAck:
+		return 0, true, true
+	case frameMsg, frameMirror, frameEOR:
+		r, _, err := consumeRound(body[1:])
+		if err != nil {
+			return 0, false, false
+		}
+		return r, false, true
+	default:
+		return 0, false, false
 	}
 }
 

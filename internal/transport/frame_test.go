@@ -31,20 +31,66 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloResumeRoundTrip(t *testing.T) {
+	want := hello{session: 0x1234, from: 2, to: 0, n: 4, resume: true}
+	got, err := parseHello(readOne(t, encodeHello(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("resume hello round trip: got %+v, want %+v", got, want)
+	}
+}
+
 func TestHelloRejections(t *testing.T) {
 	valid := readOne(t, encodeHello(hello{session: 1, from: 0, to: 1, n: 3}))
+	unknownFlags := append([]byte{}, valid...)
+	unknownFlags[len(unknownFlags)-1] = 0x80
 	cases := map[string][]byte{
-		"empty":       {},
-		"not hello":   {frameEOR, 1, 0},
-		"bad magic":   append([]byte{frameHello, 'X', 'X', 'X', 'X'}, valid[5:]...),
-		"bad version": append([]byte{frameHello, 'T', 'A', 'A', '1', 99}, valid[6:]...),
-		"trailing":    append(append([]byte{}, valid...), 0),
-		"truncated":   valid[:len(valid)-2],
+		"empty":         {},
+		"not hello":     {frameEOR, 1, 0},
+		"bad magic":     append([]byte{frameHello, 'X', 'X', 'X', 'X'}, valid[5:]...),
+		"bad version":   append([]byte{frameHello, 'T', 'A', 'A', '1', 99}, valid[6:]...),
+		"trailing":      append(append([]byte{}, valid...), 0),
+		"truncated":     valid[:len(valid)-2],
+		"no flags":      valid[:len(valid)-1],
+		"unknown flags": unknownFlags,
 	}
 	for name, b := range cases {
 		if _, err := parseHello(b); err == nil {
 			t.Errorf("%s: parseHello accepted %x", name, b)
 		}
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	for _, rcvd := range []uint64{0, 1, 127, 1 << 40} {
+		got, err := parseHelloAck(readOne(t, encodeHelloAck(rcvd)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rcvd {
+			t.Errorf("hello-ack round trip: got %d, want %d", got, rcvd)
+		}
+	}
+}
+
+func TestHelloAckRejections(t *testing.T) {
+	valid := readOne(t, encodeHelloAck(42))
+	cases := map[string][]byte{
+		"empty":      {},
+		"wrong type": {frameEOR, 42},
+		"no count":   valid[:1],
+		"trailing":   append(append([]byte{}, valid...), 0),
+	}
+	for name, b := range cases {
+		if _, err := parseHelloAck(b); err == nil {
+			t.Errorf("%s: parseHelloAck accepted %x", name, b)
+		}
+	}
+	// A hello-ack must never appear in the forward frame stream.
+	if _, err := parseFrame(valid); err == nil {
+		t.Error("parseFrame accepted a hello-ack on the read side")
 	}
 }
 

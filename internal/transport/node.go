@@ -21,6 +21,10 @@ type nodeConfig struct {
 	observer sim.PartyID
 	machine  sim.Machine
 	ep       *endpoint
+	// crashRound, when > 0, injects a crash: the node dies abruptly in that
+	// round, after its protocol sends but before its barrier, and returns
+	// errCrashed for superviseNode to catch.
+	crashRound int
 }
 
 // nodeResult is one honest party's share of a sim.Result.
@@ -61,6 +65,7 @@ func runNode(cfg nodeConfig) (*nodeResult, error) {
 	m := cfg.machine
 
 	for r := 1; r <= cfg.maxRounds; r++ {
+		roundStart := time.Now()
 		out := m.Step(r, st.inbox(r-1))
 		st.drop(r - 1)
 		if !res.done {
@@ -88,22 +93,33 @@ func runNode(cfg nodeConfig) (*nodeResult, error) {
 				if to == cfg.id {
 					st.addMail(sim.Message{From: cfg.id, To: to, Round: r, Payload: raw.Payload})
 				} else {
-					e.send(cfg.id, to, encodeMsg(frameMsg, r, to, body))
+					e.send(cfg.id, to, r, encodeMsg(frameMsg, r, to, body))
 				}
 				if cfg.observer >= 0 {
-					e.send(cfg.id, cfg.observer, encodeMsg(frameMirror, r, to, body))
+					e.send(cfg.id, cfg.observer, r, encodeMsg(frameMirror, r, to, body))
 				}
 			}
 		}
 		res.msgs = append(res.msgs, roundMsgs)
 		res.bytes = append(res.bytes, roundBytes)
 
+		if r == cfg.crashRound {
+			// Injected crash: die mid-round, protocol sends out (possibly
+			// partially flushed) but the eor barrier never sent. Peers stall
+			// at their round-r barriers until the supervisor restarts us.
+			e.crash()
+			return nil, fmt.Errorf("%w: party %d at round %d", errCrashed, cfg.id, r)
+		}
+
 		eor := encodeEOR(r, res.done)
 		for _, p := range peers {
-			e.send(cfg.id, p, eor)
+			e.send(cfg.id, p, r, eor)
 		}
 		if err := awaitBarrier(e, st, cfg.id, r, peers); err != nil {
 			return nil, err
+		}
+		if c := e.opts.Chaos; c != nil {
+			c.AddRoundLatency(time.Since(roundStart))
 		}
 		if res.done && st.peersDone(r, peers) {
 			res.termRound = r

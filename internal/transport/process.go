@@ -94,15 +94,38 @@ func RunProcess(cfg ProcessConfig) (*ProcessResult, error) {
 		if cfg.Machine == nil {
 			return nil, fmt.Errorf("transport: honest party %d needs a machine", cfg.ID)
 		}
+		opts := cfg.Opts.withDefaults()
 		ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
 		if err != nil {
 			return nil, fmt.Errorf("transport: party %d listening on %s: %w", cfg.ID, cfg.Addrs[cfg.ID], err)
 		}
+		nc := nodeConfig{id: cfg.ID, n: cfg.N, maxRounds: cfg.MaxRounds,
+			observer: observer, machine: cfg.Machine}
+		if crashRound, supervised := opts.CrashPlan[cfg.ID]; supervised {
+			// Crash-restart within the process: the seat dies and rejoins
+			// without giving up its listen address (real deployments would
+			// respawn the binary; the supervisor emulates that in-process,
+			// keeping the peers-file address stable).
+			if opts.Restart == nil {
+				return nil, fmt.Errorf("transport: crash plan requires Options.Restart to rebuild machines")
+			}
+			host := newAcceptHost(cfg.ID, ln)
+			defer host.close()
+			ep := newEndpoint([]sim.PartyID{cfg.ID}, cfg.N, cfg.Addrs, cfg.Session, nil, opts)
+			host.swap(ep)
+			nc.ep, nc.crashRound = ep, crashRound
+			res, err := superviseNode(nc, host, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &ProcessResult{Output: res.output, DoneRound: res.doneRound,
+				Rounds: res.termRound, Messages: sum(res.msgs), Bytes: sum(res.bytes)}, nil
+		}
 		ep := newEndpoint([]sim.PartyID{cfg.ID}, cfg.N, cfg.Addrs, cfg.Session,
-			map[sim.PartyID]net.Listener{cfg.ID: ln}, cfg.Opts)
+			map[sim.PartyID]net.Listener{cfg.ID: ln}, opts)
 		defer ep.shutdown(false)
-		res, err := runNode(nodeConfig{id: cfg.ID, n: cfg.N, maxRounds: cfg.MaxRounds,
-			observer: observer, machine: cfg.Machine, ep: ep})
+		nc.ep = ep
+		res, err := runNode(nc)
 		if err != nil {
 			return nil, err
 		}
