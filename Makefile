@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke chaos-soak cover bench bench-sim fuzz examples experiments clean
+.PHONY: all build test race race-sim node-smoke chaos-soak cover bench bench-sim fuzz fuzz-short prop check examples experiments clean
 
 all: build test race-sim node-smoke chaos-soak
 
@@ -63,6 +63,29 @@ fuzz:
 	$(GO) test -run FuzzPruefer -fuzz FuzzPruefer -fuzztime 30s ./internal/tree/
 	$(GO) test -run FuzzEulerList -fuzz FuzzEulerList -fuzztime 30s ./internal/tree/
 	$(GO) test -run FuzzConvexHullSafeArea -fuzz FuzzConvexHullSafeArea -fuzztime 30s ./internal/tree/
+
+# Quick fuzz pass: the same targets as `fuzz` at 10s each, for use as a
+# pre-commit gate. FuzzDecode starts from the committed corpus under
+# testdata/wire/corpus/ so even the short budget begins at deep decoder
+# states.
+fuzz-short:
+	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime 10s ./internal/tree/
+	$(GO) test -run FuzzPruefer -fuzz FuzzPruefer -fuzztime 10s ./internal/tree/
+	$(GO) test -run FuzzEulerList -fuzz FuzzEulerList -fuzztime 10s ./internal/tree/
+	$(GO) test -run FuzzConvexHullSafeArea -fuzz FuzzConvexHullSafeArea -fuzztime 10s ./internal/tree/
+
+# Property-based protocol checking (deterministic): a bounded random
+# exploration of (tree, inputs, adversary) cells with per-round invariant
+# evaluation, plus the fixed differential matrix under the race detector.
+# Any violation prints a shrunk one-line repro spec and fails the target.
+prop:
+	$(GO) test -race -count=1 -run Differential ./internal/check/
+	$(GO) run ./cmd/check -budget 100 -seeds 1-3
+
+# Tier-1-adjacent gate: build + vet + tests, then the property and short
+# fuzz passes.
+check: build test prop fuzz-short
 
 examples:
 	$(GO) run ./examples/quickstart

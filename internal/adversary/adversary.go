@@ -272,6 +272,52 @@ func (a *Compose) Step(r int, honestOut []sim.Message, inbox map[sim.PartyID][]s
 	return msgs, more
 }
 
+// ComposeOmission is Compose for strategy mixes that include send-omission
+// members: it forwards the sim.OutboxFilter extension to every member that
+// implements it, scoped to that member's own omission parties. It is a
+// distinct type (rather than methods on Compose) so that purely Byzantine
+// compositions do not present an OutboxFilter interface — the TCP transport
+// rejects omission configs, and must keep accepting filterless Composes.
+type ComposeOmission struct {
+	Compose
+}
+
+var _ sim.OutboxFilter = (*ComposeOmission)(nil)
+
+// OmissionParties implements sim.OutboxFilter: the union of the members'
+// omission sets.
+func (a *ComposeOmission) OmissionParties() []sim.PartyID {
+	var all []sim.PartyID
+	for _, s := range a.Strategies {
+		if f, ok := s.(sim.OutboxFilter); ok {
+			all = append(all, f.OmissionParties()...)
+		}
+	}
+	return all
+}
+
+// FilterOutbox implements sim.OutboxFilter, delegating p's outbox to the
+// members that claim p.
+func (a *ComposeOmission) FilterOutbox(r int, p sim.PartyID, msgs []sim.Message) []sim.Message {
+	for _, s := range a.Strategies {
+		f, ok := s.(sim.OutboxFilter)
+		if !ok {
+			continue
+		}
+		mine := false
+		for _, q := range f.OmissionParties() {
+			if q == p {
+				mine = true
+				break
+			}
+		}
+		if mine {
+			msgs = f.FilterOutbox(r, p, msgs)
+		}
+	}
+	return msgs
+}
+
 // FirstParties returns the canonical corrupted set {n-t, ..., n-1}, the
 // highest t identities; experiments corrupt the tail so that honest parties
 // keep low, stable IDs.

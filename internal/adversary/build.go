@@ -1,0 +1,93 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"treeaa/internal/sim"
+)
+
+// Params parameterizes the strategies for programmatic construction: the
+// property checker's randomized adversary search (internal/check) and the
+// cmd/ flag plumbing both build strategies through Build instead of naming
+// struct literals, so every knob a strategy exposes is reachable from a
+// seed or a spec string. Fields irrelevant to a strategy are ignored; zero
+// values select each strategy's documented defaults.
+type Params struct {
+	// IDs is the corrupted (or, for "omit", omission-faulty) set.
+	IDs []sim.PartyID
+	// N and T are the network parameters the protocol-aware strategies
+	// need to stage gradecast thresholds.
+	N, T int
+	// Tag and StartRound scope tag-aware strategies to one protocol phase
+	// (core.PhaseTags enumerates the attackable phases of a TreeAA run).
+	Tag        string
+	StartRound int
+	// Seed drives every randomized strategy deterministically.
+	Seed int64
+
+	// PerIteration is SplitVote's leaders-spent-per-iteration knob.
+	PerIteration int
+	// Delay is Replay's capture-to-replay distance in rounds.
+	Delay int
+	// Lo and Hi are GradecastEquivocator's two worlds.
+	Lo, Hi float64
+	// MaxVal bounds RandomNoise values.
+	MaxVal int
+	// Rounds are CrashAt's per-party crash rounds (aligned with IDs).
+	Rounds []int
+	// Drop and Halves parameterize SendOmitter.
+	Drop   float64
+	Halves bool
+	// Fake is FrameHonest's fabricated value.
+	Fake float64
+}
+
+// Names lists the strategy names Build accepts, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builders = map[string]func(p Params) sim.Adversary{
+	"silent": func(p Params) sim.Adversary { return &Silent{IDs: p.IDs} },
+	"crash":  func(p Params) sim.Adversary { return &CrashAt{IDs: p.IDs, Rounds: p.Rounds} },
+	"equivocator": func(p Params) sim.Adversary {
+		return &GradecastEquivocator{IDs: p.IDs, N: p.N, Tag: p.Tag, StartRound: p.StartRound, Lo: p.Lo, Hi: p.Hi}
+	},
+	"splitvote": func(p Params) sim.Adversary {
+		return &SplitVote{IDs: p.IDs, N: p.N, T: p.T, Tag: p.Tag, StartRound: p.StartRound, PerIteration: p.PerIteration}
+	},
+	"halfburn": func(p Params) sim.Adversary {
+		return &HalfBurn{IDs: p.IDs, N: p.N, T: p.T, Tag: p.Tag, StartRound: p.StartRound}
+	},
+	"noise": func(p Params) sim.Adversary {
+		return &RandomNoise{IDs: p.IDs, N: p.N, Tag: p.Tag, StartRound: p.StartRound, Seed: p.Seed, MaxVal: p.MaxVal}
+	},
+	"replay": func(p Params) sim.Adversary { return &Replay{IDs: p.IDs, Delay: p.Delay} },
+	"frame": func(p Params) sim.Adversary {
+		return &FrameHonest{IDs: p.IDs, N: p.N, Tag: p.Tag, Fake: p.Fake}
+	},
+	"omit": func(p Params) sim.Adversary {
+		return &SendOmitter{IDs: p.IDs, N: p.N, Drop: p.Drop, Halves: p.Halves, Seed: p.Seed}
+	},
+}
+
+// Build constructs one instance of the named strategy. Tag-scoped
+// strategies (equivocator, splitvote, halfburn, noise, frame) attack a
+// single protocol phase; callers targeting a multi-phase execution compose
+// one instance per phase (see Compose and core.PhaseTags).
+func Build(name string, p Params) (sim.Adversary, error) {
+	mk, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("adversary: unknown strategy %q (have %v)", name, Names())
+	}
+	if name == "crash" && len(p.Rounds) != len(p.IDs) {
+		return nil, fmt.Errorf("adversary: crash wants one round per party: %d rounds for %d ids", len(p.Rounds), len(p.IDs))
+	}
+	return mk(p), nil
+}

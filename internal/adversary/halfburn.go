@@ -185,11 +185,18 @@ func (a *HalfBurn) echoBoost(iter int) []sim.Message {
 			add(to, leader)
 		}
 	}
+	// Iterate recipients in sorted order: emission order must be
+	// deterministic for the engine's repeat-identical-execution promise.
+	tos := make([]sim.PartyID, 0, len(perTo))
+	for to := range perTo {
+		tos = append(tos, to)
+	}
+	sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
 	var msgs []sim.Message
 	for _, from := range a.IDs {
-		for to, vec := range perTo {
+		for _, to := range tos {
 			msgs = append(msgs, sim.Message{From: from, To: to,
-				Payload: gradecast.EchoMsg{Tag: a.Tag, Iter: iter, Vals: gradecast.CopyVals(vec)}})
+				Payload: gradecast.EchoMsg{Tag: a.Tag, Iter: iter, Vals: gradecast.CopyVals(perTo[to])}})
 		}
 	}
 	return msgs

@@ -1,0 +1,123 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"treeaa/internal/cli"
+	"treeaa/internal/core"
+	"treeaa/internal/tree"
+)
+
+// byzPool is the model-sound Byzantine clause pool the generator draws from.
+// The out-of-model "evil" tamperer is deliberately absent: it exists only to
+// exercise the checker's own violation-and-shrink machinery via explicit
+// injection (cmd/check -inject-bad).
+var byzPool = []string{"silent", "crash", "equivocator", "splitvote", "halfburn", "noise", "replay", "frame"}
+
+// Generate draws one random cell: a small tree, party parameters, an input
+// placement and a composed adversary. Everything derives from rng, and the
+// produced cell always compiles.
+func Generate(rng *rand.Rand) *Cell {
+	for {
+		c := generate(rng)
+		if _, err := compile(c); err == nil {
+			return c
+		}
+	}
+}
+
+func generate(rng *rand.Rand) *Cell {
+	c := &Cell{Seed: rng.Int63n(1 << 31)}
+	c.TreeSpec = genTreeSpec(rng)
+	tr, err := cli.ParseTreeSpec(c.TreeSpec, c.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("check: generator produced bad tree spec %q: %v", c.TreeSpec, err))
+	}
+	c.N = 4 + rng.Intn(6)           // 4..9
+	c.T = rng.Intn((c.N-1)/3 + 1)   // 0..floor((n-1)/3)
+	if rng.Intn(2) == 0 {           // half spread, half random placement
+		c.Inputs = make([]tree.VertexID, c.N)
+		for i := range c.Inputs {
+			c.Inputs[i] = tree.VertexID(rng.Intn(tr.NumVertices()))
+		}
+	}
+	if c.T == 0 {
+		return c
+	}
+
+	hasOmit := c.T >= 2 && rng.Intn(4) == 0
+	nByz := rng.Intn(2) + 1 // 1..2 Byzantine clauses
+	if hasOmit {
+		nByz = rng.Intn(2) // 0..1 alongside omission
+	}
+	byzIDCount := c.T
+	if hasOmit && nByz > 0 {
+		byzIDCount = c.T - c.T/2
+	}
+	perm := rng.Perm(len(byzPool))
+	for _, pi := range perm[:nByz] {
+		c.Clauses = append(c.Clauses, genByzClause(rng, byzPool[pi], tr, byzIDCount))
+	}
+	if hasOmit {
+		c.Clauses = append(c.Clauses, Clause{Name: "omit", Args: map[string]string{
+			"drop":   strconv.Itoa(200 + rng.Intn(600)),
+			"halves": strconv.Itoa(rng.Intn(2)),
+		}})
+	}
+	if nByz > 0 && rng.Intn(4) == 0 {
+		c.Clauses = append(c.Clauses, Clause{Name: "mutate", Args: map[string]string{
+			"rate": strconv.Itoa(50 + rng.Intn(400)),
+		}})
+	}
+	return c
+}
+
+func genTreeSpec(rng *rand.Rand) string {
+	switch rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("path:%d", 2+rng.Intn(9))
+	case 1:
+		return fmt.Sprintf("star:%d", 3+rng.Intn(7))
+	case 2:
+		return fmt.Sprintf("caterpillar:%d:%d", 2+rng.Intn(3), 1+rng.Intn(2))
+	case 3:
+		return fmt.Sprintf("spider:%d:%d", 2+rng.Intn(2), 1+rng.Intn(3))
+	case 4:
+		return fmt.Sprintf("kary:2:%d", 1+rng.Intn(2))
+	case 5:
+		return fmt.Sprintf("random:%d", 4+rng.Intn(6))
+	default:
+		return "figure3"
+	}
+}
+
+func genByzClause(rng *rand.Rand, name string, tr *tree.Tree, byzIDCount int) Clause {
+	cl := Clause{Name: name, Args: map[string]string{}}
+	switch name {
+	case "crash":
+		maxRound := core.Rounds(tr) + 1
+		rounds := make([]string, byzIDCount)
+		for i := range rounds {
+			rounds[i] = strconv.Itoa(1 + rng.Intn(maxRound))
+		}
+		cl.Args["rounds"] = strings.Join(rounds, ".")
+	case "equivocator":
+		cl.Args["lo"] = strconv.Itoa(-rng.Intn(200))
+		cl.Args["hi"] = strconv.Itoa(100 + rng.Intn(10000))
+	case "splitvote":
+		cl.Args["per"] = strconv.Itoa(1 + rng.Intn(2))
+	case "noise":
+		cl.Args["maxval"] = strconv.Itoa(tr.NumVertices() + rng.Intn(3*tr.NumVertices()))
+	case "replay":
+		cl.Args["delay"] = strconv.Itoa(1 + rng.Intn(5))
+	case "frame":
+		cl.Args["fake"] = strconv.Itoa(rng.Intn(2 * tr.NumVertices()))
+	}
+	if len(cl.Args) == 0 {
+		cl.Args = nil
+	}
+	return cl
+}

@@ -1,0 +1,64 @@
+package check
+
+import (
+	"treeaa/internal/core"
+	"treeaa/internal/realaa"
+	"treeaa/internal/sim"
+)
+
+// Phase keys for probe snapshots: one per RealAA instance a TreeAA machine
+// may run.
+const (
+	phaseShortcut   = "short" // Section 4 path shortcut
+	phasePathsFind  = "pf"    // PathsFinder's inner RealAA
+	phaseProjection = "proj"  // projection-phase RealAA
+)
+
+// probeSets is one RealAA instance's detection state at the end of a round.
+type probeSets struct {
+	suspected map[sim.PartyID]bool
+	ignored   map[sim.PartyID]bool
+}
+
+// probeRec is one party's probe snapshot for one round.
+type probeRec struct {
+	round int
+	sets  map[string]probeSets // phase key → detection state
+}
+
+// probeMachine wraps a TreeAA machine and snapshots the suspicion and
+// exclusion sets of every active RealAA sub-execution after each round, so
+// the checker can evaluate per-round monotonicity ("once burned, always
+// burned") without changing the machine's behavior. It is driven only by the
+// sequential oracle run — the concurrent and TCP differential runs use bare
+// machines, keeping the probes free of cross-goroutine access.
+type probeMachine struct {
+	inner *core.Machine
+	recs  []probeRec
+}
+
+var _ sim.Machine = (*probeMachine)(nil)
+
+// Step implements sim.Machine: advance the wrapped machine, then snapshot.
+func (p *probeMachine) Step(r int, inbox []sim.Message) []sim.Message {
+	out := p.inner.Step(r, inbox)
+	rec := probeRec{round: r, sets: map[string]probeSets{}}
+	snapshot := func(key string, m *realaa.Machine) {
+		if m == nil {
+			return
+		}
+		rec.sets[key] = probeSets{suspected: m.Suspected(), ignored: m.Ignored()}
+	}
+	if sc := p.inner.ShortcutMachine(); sc != nil {
+		snapshot(phaseShortcut, sc.RealAA())
+	}
+	if pf := p.inner.PathsFinderMachine(); pf != nil {
+		snapshot(phasePathsFind, pf.RealAA())
+	}
+	snapshot(phaseProjection, p.inner.ProjectionMachine())
+	p.recs = append(p.recs, rec)
+	return out
+}
+
+// Output implements sim.Machine.
+func (p *probeMachine) Output() (any, bool) { return p.inner.Output() }

@@ -1,0 +1,222 @@
+// Package check is the property-based protocol checker: it generates random
+// execution cells — a tree, an input placement and a composed randomized
+// adversary — runs TreeAA through the internal/sim engine, and evaluates the
+// paper's invariants per round. Violating cells are minimized by a greedy
+// shrinker to a one-line repro spec that cmd/check replays deterministically.
+//
+// A cell spec is a single line in the spirit of the chaos plan language:
+//
+//	s=3;tree=caterpillar:4:2;n=7;t=2;in=spread;adv=splitvote(per=1)+noise(maxval=24)
+//
+// Fields are semicolon-separated: the seed, the tree spec (cli.ParseTreeSpec
+// syntax), the party count n, the fault budget t, the input placement
+// ("spread" or dot-separated vertex ids, one per party) and the adversary as
+// +-joined clauses name(key=value,...). Integer lists inside clause args are
+// dot-separated (crash rounds: rounds=2.5.9). Everything randomized in a
+// cell derives from the seed, so a spec reproduces its execution exactly.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"treeaa/internal/tree"
+)
+
+// Clause is one adversary component of a cell: a strategy name plus its
+// arguments. Recognized names are the adversary.Build registry (silent,
+// crash, equivocator, splitvote, halfburn, noise, replay, frame, omit) plus
+// the two delivery-seam tamperers: "mutate" (byte-level payload mutation of
+// corrupted senders' traffic — model-sound) and "evil" (rewrites every
+// party's gradecast sends to a fixed value, honest senders included —
+// deliberately out of model; never generated, only injected to exercise the
+// checker itself).
+type Clause struct {
+	Name string
+	Args map[string]string
+}
+
+// Int returns the named integer argument, or def when absent.
+func (cl Clause) Int(key string, def int) (int, error) {
+	s, ok := cl.Args[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("check: clause %s: arg %s=%q: want integer", cl.Name, key, s)
+	}
+	return v, nil
+}
+
+// IntList returns the named dot-separated integer list argument.
+func (cl Clause) IntList(key string) ([]int, error) {
+	s, ok := cl.Args[key]
+	if !ok {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("check: clause %s: arg %s=%q: want dot-separated integers", cl.Name, key, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// String renders the clause canonically (args sorted by key).
+func (cl Clause) String() string {
+	if len(cl.Args) == 0 {
+		return cl.Name
+	}
+	keys := make([]string, 0, len(cl.Args))
+	for k := range cl.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(cl.Name)
+	b.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, cl.Args[k])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Cell is one point of the checker's search space.
+type Cell struct {
+	// Seed drives every randomized component (tree generation for
+	// random:K specs, input placement, noise and mutation PRNGs).
+	Seed int64
+	// TreeSpec is the input space in cli.ParseTreeSpec syntax.
+	TreeSpec string
+	// N is the party count, T the fault budget (3T < N).
+	N, T int
+	// Inputs is the explicit input placement (one vertex per party);
+	// nil means cli.SpreadInputs.
+	Inputs []tree.VertexID
+	// Clauses compose the adversary; empty means no adversary.
+	Clauses []Clause
+}
+
+// String renders the cell as its canonical one-line spec.
+func (c *Cell) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s=%d;tree=%s;n=%d;t=%d;in=", c.Seed, c.TreeSpec, c.N, c.T)
+	if c.Inputs == nil {
+		b.WriteString("spread")
+	} else {
+		for i, v := range c.Inputs {
+			if i > 0 {
+				b.WriteByte('.')
+			}
+			fmt.Fprintf(&b, "%d", int(v))
+		}
+	}
+	if len(c.Clauses) > 0 {
+		b.WriteString(";adv=")
+		for i, cl := range c.Clauses {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(cl.String())
+		}
+	}
+	return b.String()
+}
+
+// Parse decodes a one-line cell spec (the inverse of Cell.String).
+func Parse(spec string) (*Cell, error) {
+	c := &Cell{Seed: -1, N: -1, T: -1}
+	sawIn := false
+	for _, field := range strings.Split(strings.TrimSpace(spec), ";") {
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return nil, fmt.Errorf("check: field %q: want key=value", field)
+		}
+		var err error
+		switch key {
+		case "s":
+			c.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "tree":
+			c.TreeSpec = val
+		case "n":
+			c.N, err = strconv.Atoi(val)
+		case "t":
+			c.T, err = strconv.Atoi(val)
+		case "in":
+			sawIn = true
+			if val != "spread" {
+				for _, p := range strings.Split(val, ".") {
+					v, verr := strconv.Atoi(p)
+					if verr != nil || v < 0 {
+						return nil, fmt.Errorf("check: input %q: want vertex id", p)
+					}
+					c.Inputs = append(c.Inputs, tree.VertexID(v))
+				}
+			}
+		case "adv":
+			if val == "none" {
+				break
+			}
+			for _, part := range strings.Split(val, "+") {
+				cl, cerr := parseClause(part)
+				if cerr != nil {
+					return nil, cerr
+				}
+				c.Clauses = append(c.Clauses, cl)
+			}
+		default:
+			return nil, fmt.Errorf("check: unknown field %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("check: field %q: %v", field, err)
+		}
+	}
+	if c.Seed < 0 || c.TreeSpec == "" || c.N < 0 || c.T < 0 || !sawIn {
+		return nil, fmt.Errorf("check: spec %q: want all of s, tree, n, t, in", spec)
+	}
+	return c, nil
+}
+
+// MustParse is Parse for compile-time-constant specs in tests.
+func MustParse(spec string) *Cell {
+	c, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func parseClause(s string) (Clause, error) {
+	name, rest, hasArgs := strings.Cut(s, "(")
+	cl := Clause{Name: name}
+	if !hasArgs {
+		return cl, nil
+	}
+	if !strings.HasSuffix(rest, ")") {
+		return cl, fmt.Errorf("check: clause %q: unbalanced parentheses", s)
+	}
+	cl.Args = map[string]string{}
+	body := strings.TrimSuffix(rest, ")")
+	if body == "" {
+		return cl, nil
+	}
+	for _, arg := range strings.Split(body, ",") {
+		k, v, found := strings.Cut(arg, "=")
+		if !found || k == "" || v == "" {
+			return cl, fmt.Errorf("check: clause %q: arg %q: want key=value", s, arg)
+		}
+		cl.Args[k] = v
+	}
+	return cl, nil
+}

@@ -155,40 +155,62 @@ func BuildAdversary(name string, tr *tree.Tree, n, t int, seed int64) (sim.Adver
 		corrupt[id] = true
 	}
 	phases := core.PhaseTags(tr)
-	perPhase := func(mk func(p core.PhaseTag, k int) sim.Adversary) sim.Adversary {
+	perPhase := func(strategy string, mk func(p core.PhaseTag, k int) adversary.Params) (sim.Adversary, error) {
 		var parts []sim.Adversary
 		for k, p := range phases {
-			parts = append(parts, mk(p, k))
+			part, err := adversary.Build(strategy, mk(p, k))
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, part)
 		}
-		return &adversary.Compose{Strategies: parts}
+		return &adversary.Compose{Strategies: parts}, nil
 	}
+	base := adversary.Params{IDs: ids, N: n, T: t, Seed: seed}
+	var adv sim.Adversary
+	var err error
 	switch name {
 	case "silent":
-		return &adversary.Silent{IDs: ids}, corrupt, nil
+		adv, err = adversary.Build("silent", base)
 	case "crash":
 		rounds := make([]int, len(ids))
 		rng := rand.New(rand.NewSource(seed))
 		for i := range rounds {
 			rounds[i] = 1 + rng.Intn(core.Rounds(tr)+1)
 		}
-		return &adversary.CrashAt{IDs: ids, Rounds: rounds}, corrupt, nil
+		crash := base
+		crash.Rounds = rounds
+		adv, err = adversary.Build("crash", crash)
 	case "equivocator":
-		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
-			return &adversary.GradecastEquivocator{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Lo: -100, Hi: 1e6}
-		}), corrupt, nil
+		adv, err = perPhase("equivocator", func(p core.PhaseTag, _ int) adversary.Params {
+			eq := base
+			eq.Tag, eq.StartRound, eq.Lo, eq.Hi = p.Tag, p.StartRound, -100, 1e6
+			return eq
+		})
 	case "splitvote":
-		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
-			return &adversary.SplitVote{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound, PerIteration: 1}
-		}), corrupt, nil
+		adv, err = perPhase("splitvote", func(p core.PhaseTag, _ int) adversary.Params {
+			sv := base
+			sv.Tag, sv.StartRound, sv.PerIteration = p.Tag, p.StartRound, 1
+			return sv
+		})
 	case "halfburn":
-		return perPhase(func(p core.PhaseTag, _ int) sim.Adversary {
-			return &adversary.HalfBurn{IDs: ids, N: n, T: t, Tag: p.Tag, StartRound: p.StartRound}
-		}), corrupt, nil
+		adv, err = perPhase("halfburn", func(p core.PhaseTag, _ int) adversary.Params {
+			hb := base
+			hb.Tag, hb.StartRound = p.Tag, p.StartRound
+			return hb
+		})
 	case "noise":
-		return perPhase(func(p core.PhaseTag, k int) sim.Adversary {
-			return &adversary.RandomNoise{IDs: ids, N: n, Tag: p.Tag, StartRound: p.StartRound, Seed: seed + int64(1000*k), MaxVal: 2 * tr.NumVertices()}
-		}), corrupt, nil
+		adv, err = perPhase("noise", func(p core.PhaseTag, k int) adversary.Params {
+			no := base
+			no.Tag, no.StartRound = p.Tag, p.StartRound
+			no.Seed, no.MaxVal = seed+int64(1000*k), 2*tr.NumVertices()
+			return no
+		})
 	default:
 		return nil, nil, fmt.Errorf("unknown adversary %q", name)
 	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return adv, corrupt, nil
 }

@@ -202,6 +202,21 @@ func (m *Machine) Path() []tree.VertexID {
 	return out
 }
 
+// PathsFinderMachine exposes the PathsFinder sub-execution (nil for path
+// input spaces and trivial trees) for invariant probes; treat it as
+// read-only.
+func (m *Machine) PathsFinderMachine() *pathsfinder.Machine { return m.pf }
+
+// ProjectionMachine exposes the projection-phase RealAA(1) (nil until
+// PathsFinder completes, and always nil in shortcut or trivial mode) for
+// invariant probes; treat it as read-only.
+func (m *Machine) ProjectionMachine() *realaa.Machine { return m.proj }
+
+// ShortcutMachine exposes the Section 4 path-shortcut sub-execution (non-nil
+// exactly when the input space is a nontrivial path) for invariant probes;
+// treat it as read-only.
+func (m *Machine) ShortcutMachine() *pathaa.Machine { return m.shortcut }
+
 // Step implements sim.Machine.
 func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
 	if m.done {
@@ -255,22 +270,29 @@ func (m *Machine) newProjection() (*realaa.Machine, error) {
 	})
 }
 
-// decide applies the paper's line 6: output v_closestInt(j), falling back to
-// the path's last vertex when closestInt(j) exceeds the (possibly shorter)
-// own path.
-func (m *Machine) decide(j float64) {
-	k := len(m.path)
+// DecideVertex applies the paper's line 6 to a RealAA output j on a path of
+// k vertices: output v_closestInt(j), falling back to the path's last vertex
+// when closestInt(j) > k — the party holds the shorter of the two honest
+// paths (Figure 5) and cannot tell which neighbor extends the longer one.
+// fellBack reports that case. Exported so tests can drive the fallback and
+// the defensive pos < 1 clamp directly with out-of-range positions.
+func DecideVertex(path []tree.VertexID, j float64) (out tree.VertexID, fellBack bool) {
+	k := len(path)
 	pos := realaa.ClosestInt(j)
 	switch {
 	case pos > k:
-		m.out = m.path[k-1]
-		m.fellBack = true
+		return path[k-1], true
 	case pos < 1:
 		// Remark 1 rules this out against <= t faults; defensive only.
-		m.out = m.path[0]
+		return path[0], false
 	default:
-		m.out = m.path[pos-1]
+		return path[pos-1], false
 	}
+}
+
+// decide applies DecideVertex to this party's own path and terminates.
+func (m *Machine) decide(j float64) {
+	m.out, m.fellBack = DecideVertex(m.path, j)
 	m.done = true
 }
 

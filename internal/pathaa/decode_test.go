@@ -1,0 +1,41 @@
+package pathaa
+
+import (
+	"testing"
+
+	"treeaa/internal/tree"
+)
+
+// TestVertexAtEdges drives the position decode directly with out-of-range
+// RealAA outputs: values past either path end clamp to that end instead of
+// indexing out of bounds.
+func TestVertexAtEdges(t *testing.T) {
+	path := []tree.VertexID{20, 21, 22, 23} // k = 4
+	for _, tc := range []struct {
+		name string
+		j    float64
+		want tree.VertexID
+	}{
+		{"interior", 2.0, 21},
+		{"rounds up", 2.5, 22},
+		{"rounds down", 2.49, 21},
+		{"last in range", 4.49, 23},
+		{"past the end", 4.5, 23},
+		{"far past the end", 1e9, 23},
+		{"below the range", 0.49, 20},
+		{"far below the range", -3, 20},
+	} {
+		if got := VertexAt(path, tc.j); got != tc.want {
+			t.Errorf("%s: VertexAt(path, %v) = %d, want %d", tc.name, tc.j, got, tc.want)
+		}
+	}
+}
+
+// TestVertexAtSingleVertexPath: a one-vertex path absorbs every decode.
+func TestVertexAtSingleVertexPath(t *testing.T) {
+	for _, j := range []float64{1, 0, -5, 2, 100} {
+		if got := VertexAt([]tree.VertexID{3}, j); got != 3 {
+			t.Errorf("VertexAt([v4], %v) = %d, want 3", j, got)
+		}
+	}
+}

@@ -106,6 +106,26 @@ func NewMachine(cfg Config) (*Machine, error) {
 	return &Machine{cfg: cfg, real: real}, nil
 }
 
+// VertexAt decodes a RealAA output j to the vertex v_closestInt(j) of the
+// (canonically oriented) path. Remark 1 keeps closestInt(j) within the
+// honest positions' range, which is within [1, len(path)]; the clamping to
+// the path ends is defensive only, and exported so that tests can exercise
+// the out-of-range decode directly.
+func VertexAt(path []tree.VertexID, j float64) tree.VertexID {
+	pos := realaa.ClosestInt(j)
+	if pos < 1 {
+		pos = 1
+	}
+	if pos > len(path) {
+		pos = len(path)
+	}
+	return path[pos-1]
+}
+
+// RealAA exposes the inner RealAA execution for invariant probes (history,
+// suspicion and exclusion sets); treat it as read-only.
+func (m *Machine) RealAA() *realaa.Machine { return m.real }
+
 // Step implements sim.Machine by delegating to the inner RealAA execution
 // and decoding its real-valued output to a vertex.
 func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
@@ -114,16 +134,7 @@ func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
 	}
 	out := m.real.Step(r, inbox)
 	if j, ok := m.real.Output(); ok {
-		pos := realaa.ClosestInt(j.(float64))
-		// Remark 1 keeps pos within the honest positions' range, which is
-		// within [1, len(Path)]; clamping is defensive only.
-		if pos < 1 {
-			pos = 1
-		}
-		if pos > len(m.cfg.Path) {
-			pos = len(m.cfg.Path)
-		}
-		m.out = m.cfg.Path[pos-1]
+		m.out = VertexAt(m.cfg.Path, j.(float64))
 		m.done = true
 	}
 	return out

@@ -1,0 +1,65 @@
+package pathsfinder
+
+import (
+	"testing"
+
+	"treeaa/internal/tree"
+)
+
+// TestClampIndexEdges drives the list-index decode directly with
+// out-of-range RealAA outputs: values past either end of the Euler list
+// clamp to that end instead of indexing out of bounds.
+func TestClampIndexEdges(t *testing.T) {
+	tr := tree.NewStar(5)
+	list, err := tree.ListConstruction(tr, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := list.Len()
+	for _, tc := range []struct {
+		name string
+		j    float64
+		want int
+	}{
+		{"interior", 2.0, 2},
+		{"rounds up", 2.5, 3},
+		{"rounds down", 2.49, 2},
+		{"first in range", 1.0, 1},
+		{"below the range", 0.49, 1},
+		{"far below the range", -10, 1},
+		{"last in range", float64(last) + 0.49, last},
+		{"past the end", float64(last) + 0.5, last},
+		{"far past the end", 1e9, last},
+	} {
+		if got := ClampIndex(list, tc.j); got != tc.want {
+			t.Errorf("%s: ClampIndex(list, %v) = %d, want %d", tc.name, tc.j, got, tc.want)
+		}
+	}
+}
+
+// TestClampIndexSingleVertexList: a one-vertex tree's list absorbs every
+// decode to index 1.
+func TestClampIndexSingleVertexList(t *testing.T) {
+	tr := tree.NewPath(1)
+	list, err := tree.ListConstruction(tr, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []float64{1, 0, -5, 2, 100} {
+		if got := ClampIndex(list, j); got != 1 {
+			t.Errorf("ClampIndex(list, %v) = %d, want 1", j, got)
+		}
+	}
+}
+
+// TestPathsFinderSingleEdgeTree: on a two-vertex tree every honest path is
+// anchored at the root and the Lemma 4 trailing-edge bound still holds.
+func TestPathsFinderSingleEdgeTree(t *testing.T) {
+	tr := tree.NewPath(2)
+	inputs := []tree.VertexID{0, 1, 0, 1}
+	paths, err := Run(tr, tr.Root(), 4, 1, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLemma4(t, tr, inputs, nil, paths)
+}

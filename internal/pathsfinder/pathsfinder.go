@@ -99,6 +99,25 @@ func NewMachine(cfg Config) (*Machine, error) {
 // List exposes the shared list representation (for TreeAA and tests).
 func (m *Machine) List() *tree.EulerList { return m.list }
 
+// RealAA exposes the inner RealAA execution for invariant probes (history,
+// suspicion and exclusion sets); treat it as read-only.
+func (m *Machine) RealAA() *realaa.Machine { return m.real }
+
+// ClampIndex decodes a RealAA output j to a valid list index. Remark 1 keeps
+// closestInt(j) within the range of honest indices, hence within [1, |L|];
+// the clamping to the list ends is defensive only, and exported so that
+// tests can exercise the out-of-range decode directly.
+func ClampIndex(list *tree.EulerList, j float64) int {
+	idx := realaa.ClosestInt(j)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > list.Len() {
+		idx = list.Len()
+	}
+	return idx
+}
+
 // Step implements sim.Machine.
 func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
 	if m.done {
@@ -106,15 +125,7 @@ func (m *Machine) Step(r int, inbox []sim.Message) []sim.Message {
 	}
 	out := m.real.Step(r, inbox)
 	if j, ok := m.real.Output(); ok {
-		idx := realaa.ClosestInt(j.(float64))
-		// Remark 1 keeps idx within the range of honest indices, hence
-		// within [1, |L|]; clamping is defensive only.
-		if idx < 1 {
-			idx = 1
-		}
-		if idx > m.list.Len() {
-			idx = m.list.Len()
-		}
+		idx := ClampIndex(m.list, j.(float64))
 		p, err := m.list.PathFromRoot(idx)
 		if err != nil {
 			// Unreachable after clamping; fall back to the root itself so

@@ -82,6 +82,20 @@ func (e *engine) deliver(m Message) bool {
 	return true
 }
 
+// tamperDeliver routes m through the optional delivery-seam hook before
+// deliver. Only the payload of the tampered message is honored: the seam
+// cannot re-address traffic or forge origins beyond what it was handed.
+func (e *engine) tamperDeliver(tamper func(int, Message) (Message, bool), r int, m *Message) bool {
+	if tamper != nil {
+		tm, keep := tamper(r, *m)
+		if !keep {
+			return false
+		}
+		m.Payload = tm.Payload // visible to the caller's byte accounting
+	}
+	return e.deliver(*m)
+}
+
 // rotate makes this round's collected traffic the next round's inboxes and
 // recycles the consumed mailboxes and rate-limit counters.
 func (e *engine) rotate() {

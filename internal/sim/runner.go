@@ -90,7 +90,7 @@ func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
 						for to := 0; to < e.n; to++ {
 							mm := m
 							mm.To = PartyID(to)
-							if e.deliver(mm) {
+							if e.tamperDeliver(cfg.Tamper, r, &mm) {
 								roundMsgs++
 								roundBytes += payloadSize(mm.Payload)
 							}
@@ -100,7 +100,7 @@ func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
 					if err := e.checkParty(m.To, "recipient"); err != nil {
 						return nil, err
 					}
-					if e.deliver(m) {
+					if e.tamperDeliver(cfg.Tamper, r, &m) {
 						roundMsgs++
 						roundBytes += payloadSize(m.Payload)
 					}
@@ -197,13 +197,13 @@ func run(cfg Config, machines []Machine, step stepper) (*Result, error) {
 			// Route both streams without concatenating them: honest traffic
 			// first, then the adversary's, sharing one rate-limit ledger.
 			for _, m := range e.honestOut {
-				if e.deliver(m) {
+				if e.tamperDeliver(cfg.Tamper, r, &m) {
 					roundMsgs++
 					roundBytes += payloadSize(m.Payload)
 				}
 			}
 			for _, m := range e.advOut {
-				if e.deliver(m) {
+				if e.tamperDeliver(cfg.Tamper, r, &m) {
 					roundMsgs++
 					roundBytes += payloadSize(m.Payload)
 				}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTamperRewritesPayload pins the delivery-seam semantics: the hook sees
+// every expanded message, its payload rewrite reaches the recipient, and the
+// byte accounting charges the delivered (tampered) payload.
+func TestTamperRewritesPayload(t *testing.T) {
+	vals := []int{3, 9, 1, 7}
+	cfg := Config{N: 4, MaxRounds: 10, Tamper: func(r int, m Message) (Message, bool) {
+		if v, ok := m.Payload.(intPayload); ok && int(v) == 9 {
+			m.Payload = intPayload(2)
+		}
+		return m, true
+	}}
+	res, err := Run(cfg, maxMachines(vals, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, out := range res.Outputs {
+		// Party 1 still holds its own 9 locally; everyone else never sees it.
+		want := 7
+		if p == 1 {
+			want = 9
+		}
+		if out.(int) != want {
+			t.Errorf("party %d output %v, want %d", p, out, want)
+		}
+	}
+}
+
+// TestTamperDrops pins that a false return suppresses delivery and the
+// message counters exclude dropped traffic.
+func TestTamperDrops(t *testing.T) {
+	cfg := Config{N: 3, MaxRounds: 10, Tamper: func(r int, m Message) (Message, bool) {
+		return m, false
+	}}
+	res, err := Run(cfg, maxMachines([]int{5, 2, 8}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 0 || res.Bytes != 0 {
+		t.Errorf("Messages = %d, Bytes = %d, want 0 after dropping everything", res.Messages, res.Bytes)
+	}
+	for p, out := range res.Outputs {
+		if out.(int) != []int{5, 2, 8}[p] {
+			t.Errorf("party %d output %v, want its own input", p, out)
+		}
+	}
+}
+
+// TestTamperCannotReaddress pins that only the payload of the returned
+// message is honored: a hook rewriting From/To does not re-route traffic.
+func TestTamperCannotReaddress(t *testing.T) {
+	cfg := Config{N: 3, MaxRounds: 10, Tamper: func(r int, m Message) (Message, bool) {
+		m.From, m.To = 0, 0 // must be ignored
+		return m, true
+	}}
+	var got []PartyID
+	machines := make([]Machine, 3)
+	for i := range machines {
+		id := PartyID(i)
+		done := false
+		machines[i] = &funcMachine{
+			step: func(r int, inbox []Message) []Message {
+				if r == 1 {
+					return []Message{{To: 2, Payload: intPayload(int(id))}}
+				}
+				if id == 2 && r == 2 {
+					for _, m := range inbox {
+						got = append(got, m.From)
+					}
+				}
+				done = true
+				return nil
+			},
+			output: func() (any, bool) { return nil, done },
+		}
+	}
+	if _, err := Run(Config{N: 3, MaxRounds: 10, Tamper: cfg.Tamper}, machines); err != nil {
+		t.Fatal(err)
+	}
+	if want := []PartyID{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("party 2 inbox senders = %v, want %v (tamper must not re-address)", got, want)
+	}
+}
+
+// TestTamperAppliesToAdversaryTraffic pins that the seam also covers the
+// rushing-adversary delivery path.
+func TestTamperAppliesToAdversaryTraffic(t *testing.T) {
+	adv := &scriptedSender{id: 2, val: 100}
+	cfg := Config{N: 3, MaxCorrupt: 1, MaxRounds: 10, Adversary: adv,
+		Tamper: func(r int, m Message) (Message, bool) {
+			if m.From == 2 {
+				return m, false // censor the corrupted party entirely
+			}
+			return m, true
+		}}
+	res, err := Run(cfg, maxMachines([]int{5, 2, 0}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, out := range res.Outputs {
+		if out.(int) != 5 {
+			t.Errorf("party %d output %v, want 5 (adversary's 100 censored)", p, out)
+		}
+	}
+}
+
+// TestTamperSequentialConcurrentEquivalence pins that a deterministic,
+// stateful tamperer produces identical executions under both drivers.
+func TestTamperSequentialConcurrentEquivalence(t *testing.T) {
+	mkCfg := func() Config {
+		calls := 0
+		return Config{N: 4, MaxRounds: 10, Tamper: func(r int, m Message) (Message, bool) {
+			calls++
+			if calls%3 == 0 {
+				return m, false
+			}
+			if v, ok := m.Payload.(intPayload); ok {
+				m.Payload = intPayload(int(v) + calls%2)
+			}
+			return m, true
+		}}
+	}
+	vals := []int{3, 9, 1, 7}
+	seq, err := Run(mkCfg(), maxMachines(vals, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunConcurrent(mkCfg(), maxMachines(vals, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, conc) {
+		t.Errorf("sequential and concurrent results diverge under tamper:\n seq %+v\nconc %+v", seq, conc)
+	}
+}
+
+// scriptedSender is a minimal Byzantine strategy: party id broadcasts val
+// every round.
+type scriptedSender struct {
+	id  PartyID
+	val int
+}
+
+func (a *scriptedSender) Initial() []PartyID { return []PartyID{a.id} }
+func (a *scriptedSender) Step(r int, _ []Message, _ map[PartyID][]Message) ([]Message, []PartyID) {
+	return []Message{{From: a.id, To: Broadcast, Payload: intPayload(a.val)}}, nil
+}

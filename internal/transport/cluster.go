@@ -36,6 +36,10 @@ func LocalCluster(cfg sim.Config, machines []sim.Machine, opts Options) (*sim.Re
 		return nil, fmt.Errorf("transport: omission filtering intercepts sends after expansion; " +
 			"the tcp transport cannot — use the in-process transport")
 	}
+	if cfg.Tamper != nil {
+		return nil, fmt.Errorf("transport: the delivery-seam tamper hook requires a global arbiter " +
+			"between send and delivery; the tcp transport has none — use the in-process transport")
+	}
 	opts = opts.withDefaults()
 
 	corrupted, err := initialCorruptions(cfg)

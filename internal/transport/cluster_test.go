@@ -176,4 +176,10 @@ func TestClusterRejectsUndistributableFeatures(t *testing.T) {
 	if _, err := LocalCluster(budget, buildMachines(t, tr, n, 1, inputs), Options{}); !errors.Is(err, sim.ErrBudgetExceeded) {
 		t.Errorf("budget overrun: got %v, want ErrBudgetExceeded", err)
 	}
+
+	tampered := base
+	tampered.Tamper = func(r int, m sim.Message) (sim.Message, bool) { return m, true }
+	if _, err := LocalCluster(tampered, buildMachines(t, tr, n, 1, inputs), Options{}); err == nil {
+		t.Error("accepted a delivery-seam tamper hook")
+	}
 }

@@ -40,6 +40,22 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, TypeGradecastEcho, 0x00, 0x00, 0xFF})
 
+	// The committed corpus (testdata/wire/corpus/*.bin) holds inputs earlier
+	// fuzzing runs found interesting — near-valid frames probing length
+	// fields, map-key ordering and float encodings. Seeding them makes even a
+	// 10-second fuzz-short pass start from deep decoder states.
+	corpus, err := filepath.Glob(filepath.Join(goldenDir, "corpus", "*.bin"))
+	if err != nil || len(corpus) == 0 {
+		f.Fatalf("no committed corpus under %s/corpus: %v", goldenDir, err)
+	}
+	for _, path := range corpus {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+
 	f.Fuzz(func(t *testing.T, b []byte) {
 		p, err := Decode(b)
 		if err != nil {
