@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke chaos-soak cover bench bench-sim fuzz fuzz-short prop check examples experiments clean
+.PHONY: all build test race race-sim node-smoke serve-smoke chaos-soak cover bench bench-sim bench-serve fuzz fuzz-short prop check examples experiments clean
 
-all: build test race-sim node-smoke chaos-soak
+all: build test race-sim node-smoke serve-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The sim engine's sequential/concurrent equivalence and the TCP
-# transport's sim-equivalence must hold under the race detector; this
-# focused gate is cheap enough for the default target.
+# The sim engine's sequential/concurrent equivalence, the TCP transport's
+# sim-equivalence, and the serving layer's per-session oracle identity must
+# hold under the race detector; -short skips the 500-session load test,
+# which serve-smoke covers from the outside.
 race-sim:
-	$(GO) test -race ./internal/sim/... ./internal/transport/...
+	$(GO) test -race -short ./internal/sim/... ./internal/transport/... ./internal/session/...
 
 # Multi-process smoke: spawn real cmd/node processes on loopback ports (an
 # honest 3-node path cluster, then a 7-party splitvote deployment with the
@@ -30,6 +31,12 @@ race-sim:
 node-smoke:
 	$(GO) run ./cmd/node -cluster 3 -tree path:16
 	$(GO) run ./cmd/node -cluster 7 -t 2 -tree path:40 -adversary splitvote
+
+# Serving-layer smoke: a 3-daemon loopback deployment hosting 100 concurrent
+# sessions multiplexed over the shared links; exits non-zero if any session
+# fails to decide or any Result diverges from the sequential sim.Run oracle.
+serve-smoke:
+	$(GO) run ./cmd/serve -cluster 3 -sessions 100 -tree spider:3:3
 
 # Chaos safety soak (~30s): the race-instrumented chaos/transport suites
 # (reconnect-resend, crash-restart byte-identity, golden fault schedules),
@@ -54,6 +61,13 @@ bench:
 # ./cmd/bench-rounds -json > BENCH_sim.json` snapshots the same cases.
 bench-sim:
 	$(GO) test -run xxx -bench SimRound -benchmem .
+
+# Serving-layer closed-loop load bench: sweeps a worker grid against a
+# 4-daemon loopback cluster and snapshots sessions/sec + latency
+# percentiles as BENCH_service.json (the E-serve table's source).
+bench-serve:
+	$(GO) run ./cmd/serve-bench -json > BENCH_service.json
+	@cat BENCH_service.json
 
 # Short fuzz pass over every fuzz target (tree parsing, Prüfer codec,
 # Euler-list invariants, hull/safe-area cross-checks, wire decoding).

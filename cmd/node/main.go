@@ -28,14 +28,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"treeaa/internal/adversary"
@@ -63,11 +66,16 @@ func main() {
 		roundTO   = flag.Duration("round-timeout", 30*time.Second, "per-round traffic budget (also the reconnect budget)")
 	)
 	flag.Parse()
+	// SIGINT/SIGTERM cancel the context, which unwinds the endpoint's
+	// accept/read loops and any blocked barrier wait instead of leaving the
+	// deployment to ride out its round timeout (or leak goroutines).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	if *cluster > 0 {
-		err = runCluster(*cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
+		err = runCluster(ctx, *cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
 	} else {
-		err = runSeat(*id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
+		err = runSeat(ctx, *id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "node:", err)
@@ -76,7 +84,7 @@ func main() {
 }
 
 // runSeat runs one party (or the adversary host seat) of a deployment.
-func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName string, seed int64,
+func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inputSpec, advName string, seed int64,
 	chaosSpec string, setupTO, roundTO time.Duration) error {
 	if peersFile == "" {
 		return fmt.Errorf("-peers is required (or use -cluster)")
@@ -130,7 +138,8 @@ func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName strin
 	// seats disagree on the fault plan fails the handshake instead of
 	// producing a half-faulted mesh.
 	pcfg := transport.ProcessConfig{
-		ID: sim.PartyID(id), N: n, Addrs: addrs,
+		Ctx: ctx,
+		ID:  sim.PartyID(id), N: n, Addrs: addrs,
 		Corrupted: corrupted, MaxRounds: core.Rounds(tr) + 2,
 		Session: transport.DeriveSession(append([]string{treeSpec, inputSpec, advName,
 			fmt.Sprint(n), fmt.Sprint(t), fmt.Sprint(seed),
@@ -176,7 +185,7 @@ func runSeat(id int, peersFile string, t int, treeSpec, inputSpec, advName strin
 
 // runCluster spawns a whole deployment of this binary on loopback ports and
 // checks the protocol's guarantees across the collected outputs.
-func runCluster(n, t int, treeSpec, inputSpec, advName string, seed int64,
+func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName string, seed int64,
 	chaosSpec string, setupTO, roundTO time.Duration) error {
 	if t < 0 || (t > 0 && n <= 3*t) {
 		return fmt.Errorf("need n > 3t, got n=%d t=%d", n, t)
@@ -252,11 +261,15 @@ func runCluster(n, t int, treeSpec, inputSpec, advName string, seed int64,
 		wg.Add(1)
 		go func(seat int) {
 			defer wg.Done()
-			cmd := exec.Command(self, "-id", fmt.Sprint(seat), "-peers", peersFile,
+			cmd := exec.CommandContext(ctx, self, "-id", fmt.Sprint(seat), "-peers", peersFile,
 				"-t", fmt.Sprint(t), "-tree", treeSpec, "-inputs", inputSpec,
 				"-adversary", advName, "-seed", fmt.Sprint(seed),
 				"-chaos", chaosSpec, "-setup-timeout", setupTO.String(),
 				"-round-timeout", roundTO.String())
+			// On Ctrl-C, forward SIGTERM so each seat unwinds through its own
+			// signal handler (drain, shutdown) instead of being SIGKILLed.
+			cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
+			cmd.WaitDelay = 5 * time.Second
 			out, err := cmd.CombinedOutput()
 			mu.Lock()
 			defer mu.Unlock()

@@ -1,0 +1,199 @@
+// Command serve-bench is the closed-loop load generator for the serving
+// layer: it starts an in-process n-daemon loopback cluster, runs -workers
+// concurrent clients that each submit-and-await sessions back to back for
+// -duration, verifies every Result against the sequential oracle, and
+// reports throughput (sessions/sec) and per-session latency percentiles.
+//
+//	serve-bench -cluster 4 -workers 64 -duration 10s -tree spider:3:3
+//	serve-bench -json > BENCH_service.json
+//
+// With -json it emits the measurement rows as JSON on stdout — the format
+// committed as BENCH_service.json — sweeping a small worker grid so the
+// file shows how throughput and tail latency move with concurrency.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"time"
+
+	"treeaa/internal/cli"
+	"treeaa/internal/metrics"
+	"treeaa/internal/session"
+	"treeaa/internal/sim"
+)
+
+// Row is one bench cell: a worker count driven for a duration.
+type Row struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Workers     int     `json:"workers"`
+	Tree        string  `json:"tree"`
+	Sessions    int     `json:"sessions"`
+	Mismatches  int     `json:"mismatches"`
+	SessionsSec float64 `json:"sessions_per_sec"`
+	P50NS       int64   `json:"p50_ns"`
+	P90NS       int64   `json:"p90_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	MeanBatch   float64 `json:"mean_frames_per_batch"`
+	ElapsedNS   int64   `json:"elapsed_ns"`
+}
+
+func main() {
+	var (
+		n        = flag.Int("cluster", 4, "daemons in the loopback deployment")
+		workers  = flag.Int("workers", 64, "concurrent closed-loop clients")
+		duration = flag.Duration("duration", 5*time.Second, "per-cell load duration")
+		treeSpec = flag.String("tree", "spider:3:3", "tree spec for the driven sessions")
+		tFlag    = flag.Int("t", 0, "corruption budget of the driven sessions")
+		seed     = flag.Int64("seed", 1, "tree-spec seed")
+		jsonOut  = flag.Bool("json", false, "sweep a worker grid and emit JSON rows (BENCH_service.json format)")
+	)
+	flag.Parse()
+	var err error
+	if *jsonOut {
+		err = runJSON(*n, *treeSpec, *tFlag, *seed, *duration)
+	} else {
+		var row *Row
+		row, err = runCell(*n, *workers, *treeSpec, *tFlag, *seed, *duration)
+		if err == nil {
+			fmt.Printf("serve-bench: %s: %d sessions in %v → %.0f sessions/sec; "+
+				"latency p50 %v p90 %v p99 %v; %.1f frames/batch; %d oracle mismatches\n",
+				row.Name, row.Sessions, time.Duration(row.ElapsedNS).Round(time.Millisecond),
+				row.SessionsSec, time.Duration(row.P50NS), time.Duration(row.P90NS),
+				time.Duration(row.P99NS), row.MeanBatch, row.Mismatches)
+			if row.Mismatches > 0 {
+				err = fmt.Errorf("%d oracle mismatches", row.Mismatches)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// runJSON sweeps a worker grid and writes the rows as indented JSON.
+func runJSON(n int, treeSpec string, t int, seed int64, duration time.Duration) error {
+	var rows []*Row
+	for _, w := range []int{8, 64, 256} {
+		row, err := runCell(n, w, treeSpec, t, seed, duration)
+		if err != nil {
+			return err
+		}
+		if row.Mismatches > 0 {
+			return fmt.Errorf("%s: %d oracle mismatches", row.Name, row.Mismatches)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(os.Stderr, "serve-bench: %s: %.0f sessions/sec, p99 %v\n",
+			row.Name, row.SessionsSec, time.Duration(row.P99NS))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// runCell drives one closed-loop cell: workers clients, each submitting
+// sessions back to back against the cluster until the duration elapses.
+func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.Duration) (*Row, error) {
+	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	if err != nil {
+		return nil, err
+	}
+	specFor := func(i int) session.Spec {
+		return session.Spec{Tree: treeSpec, Seed: seed, T: t,
+			Inputs: cli.RotateInputs(tr, n, i), TTL: 2 * time.Minute}
+	}
+	oracles := make(map[string]*sim.Result)
+	for i := 0; i < tr.NumVertices(); i++ {
+		s := specFor(i)
+		want, err := session.Oracle(n, s)
+		if err != nil {
+			return nil, fmt.Errorf("oracle %d: %w", i, err)
+		}
+		oracles[s.Inputs] = want
+	}
+
+	stats := &metrics.ServeStats{}
+	c, err := session.StartCluster(n, session.Options{
+		MaxSessions: workers + n, Stats: stats})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		latencies  []float64
+		sessions   int
+		mismatches int
+		firstErr   error
+	)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := session.DialClient(c.ClientAddr(w%n), 10*time.Second)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			for i := w; time.Now().Before(deadline); i += workers {
+				s := specFor(i)
+				begin := time.Now()
+				resp, err := cl.Submit(s, 0, true)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d: %w", w, err)
+					}
+					mu.Unlock()
+					return
+				}
+				lat := time.Since(begin)
+				got, err := resp.SimResult()
+				mu.Lock()
+				sessions++
+				latencies = append(latencies, float64(lat.Nanoseconds()))
+				if err != nil || !reflect.DeepEqual(got, oracles[s.Inputs]) {
+					mismatches++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	lat := metrics.Summarize(latencies)
+	return &Row{
+		Name:        fmt.Sprintf("serve/n=%d/workers=%d", n, workers),
+		N:           n,
+		Workers:     workers,
+		Tree:        treeSpec,
+		Sessions:    sessions,
+		Mismatches:  mismatches,
+		SessionsSec: float64(sessions) / elapsed.Seconds(),
+		P50NS:       int64(lat.P50),
+		P90NS:       int64(lat.P90),
+		P99NS:       int64(lat.P99),
+		MeanBatch:   stats.BatchOccupancy(),
+		ElapsedNS:   elapsed.Nanoseconds(),
+	}, nil
+}

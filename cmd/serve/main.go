@@ -1,0 +1,246 @@
+// Command serve runs one daemon of an agreement-as-a-service deployment: it
+// joins the daemon mesh (one duplex TCP link per daemon pair, shared by
+// every session), accepts client sessions over a length-prefixed JSON API,
+// and runs this seat's engine for each admitted session. Many sessions run
+// concurrently, multiplexed and batched over the same links; each decided
+// session's Result is byte-identical to the sequential sim.Run on the same
+// spec.
+//
+// A deployment is one process per seat; the peers file has one "host:port"
+// per line, line i = daemon i's peer listen address:
+//
+//	serve -id 0 -peers peers.txt -client 127.0.0.1:7000
+//
+// Clients then submit to any daemon (see internal/session.Client):
+//
+//	{"op":"submit","tree":"path:16","wait":true}
+//
+// The -cluster mode is a self-contained smoke test: it starts the whole
+// deployment in-process on loopback, drives -sessions concurrent sessions
+// with rotated inputs through the client API, and exits nonzero if any
+// session fails to decide or any Result diverges from its sim.Run oracle:
+//
+//	serve -cluster 3 -sessions 100 -tree spider:3:3
+//
+// SIGINT/SIGTERM shut down gracefully: admissions stop, in-flight sessions
+// drain (up to -drain-timeout), then the mesh and client listeners close.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"treeaa/internal/cli"
+	"treeaa/internal/metrics"
+	"treeaa/internal/session"
+	"treeaa/internal/sim"
+)
+
+func main() {
+	var (
+		id         = flag.Int("id", -1, "this daemon's seat id (line number in -peers)")
+		peersFile  = flag.String("peers", "", "peers file: one host:port per line, line i = daemon i")
+		clientAddr = flag.String("client", "127.0.0.1:0", "client API listen address")
+		cluster    = flag.Int("cluster", 0, "run an n-daemon loopback deployment in-process (smoke mode)")
+		sessions   = flag.Int("sessions", 100, "cluster mode: concurrent sessions to drive")
+		treeSpec   = flag.String("tree", "spider:3:3", "cluster mode: tree spec for the driven sessions")
+		tFlag      = flag.Int("t", 0, "cluster mode: corruption budget of the driven sessions")
+		seed       = flag.Int64("seed", 1, "cluster mode: tree-spec seed")
+		maxSess    = flag.Int("max-sessions", 1024, "admission control: max in-flight sessions per daemon")
+		queueDepth = flag.Int("queue-depth", 256, "per-session inbound queue bound (backpressure)")
+		flushEvery = flag.Duration("flush-interval", 200*time.Microsecond, "mux batching flush tick")
+		batchBytes = flag.Int("max-batch-bytes", 64<<10, "flush early when a link's outbox reaches this size")
+		defaultTTL = flag.Duration("ttl", 30*time.Second, "default session deadline")
+		setupTO    = flag.Duration("setup-timeout", 10*time.Second, "mesh construction budget")
+		roundTO    = flag.Duration("round-timeout", 60*time.Second, "per-round barrier budget")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := session.Options{
+		MaxSessions: *maxSess, QueueDepth: *queueDepth,
+		FlushInterval: *flushEvery, MaxBatchBytes: *batchBytes,
+		DefaultTTL: *defaultTTL, SetupTimeout: *setupTO,
+		RoundTimeout: *roundTO, DrainTimeout: *drainTO,
+		Stats: &metrics.ServeStats{},
+	}
+	var err error
+	if *cluster > 0 {
+		err = runSmoke(ctx, *cluster, *sessions, *treeSpec, *tFlag, *seed, opts)
+	} else {
+		err = runSeat(ctx, *id, *peersFile, *clientAddr, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// runSeat runs one daemon until the context cancels.
+func runSeat(ctx context.Context, id int, peersFile, clientAddr string, opts session.Options) error {
+	if peersFile == "" {
+		return fmt.Errorf("-peers is required (or use -cluster)")
+	}
+	addrs, err := readPeers(peersFile)
+	if err != nil {
+		return err
+	}
+	d, err := session.NewDaemon(id, addrs, clientAddr, opts)
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.Run(ctx) }()
+	select {
+	case err := <-errCh:
+		return err // setup failed before ready
+	case <-d.Ready():
+	}
+	fmt.Printf("serve %d: mesh up (%d daemons), client API on %s\n", id, len(addrs), d.ClientAddr())
+	err = <-errCh
+	fmt.Printf("serve %d: %s\n", id, d.Stats())
+	return err
+}
+
+// runSmoke starts n daemons in-process, drives sessions concurrent sessions
+// through their client APIs, and verifies every Result against the
+// sequential oracle. Any mismatch or failed session exits nonzero.
+func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed int64, opts session.Options) error {
+	if sessions < 1 {
+		return fmt.Errorf("-sessions must be ≥ 1")
+	}
+	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	if err != nil {
+		return err
+	}
+	specFor := func(i int) session.Spec {
+		return session.Spec{Tree: treeSpec, Seed: seed, T: t,
+			Inputs: cli.RotateInputs(tr, n, i), TTL: 2 * time.Minute}
+	}
+	oracles := make(map[string]*sim.Result)
+	for i := 0; i < tr.NumVertices() && i < sessions; i++ {
+		s := specFor(i)
+		want, err := session.Oracle(n, s)
+		if err != nil {
+			return fmt.Errorf("oracle %d: %w", i, err)
+		}
+		oracles[s.Inputs] = want
+	}
+
+	if opts.MaxSessions < sessions+n {
+		opts.MaxSessions = sessions + n
+	}
+	c, err := session.StartCluster(n, opts)
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+	fmt.Printf("serve: %d-daemon loopback cluster up, driving %d concurrent sessions of %s\n",
+		n, sessions, treeSpec)
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []string
+		decided  int
+	)
+	for i := 0; i < sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("session %d: ", i)+fmt.Sprintf(format, args...))
+				mu.Unlock()
+			}
+			s := specFor(i)
+			cl, err := session.DialClient(c.ClientAddr(i%n), opts.SetupTimeout)
+			if err != nil {
+				fail("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			resp, err := cl.Submit(s, 0, true)
+			if err != nil {
+				fail("submit: %v", err)
+				return
+			}
+			got, err := resp.SimResult()
+			if err != nil {
+				fail("%v", err)
+				return
+			}
+			if !reflect.DeepEqual(got, oracles[s.Inputs]) {
+				fail("ORACLE MISMATCH: served Result diverges from sim.Run")
+				return
+			}
+			mu.Lock()
+			decided++
+			mu.Unlock()
+		}()
+	}
+	waitCh := make(chan struct{})
+	go func() { wg.Wait(); close(waitCh) }()
+	select {
+	case <-waitCh:
+	case <-ctx.Done():
+		return fmt.Errorf("interrupted")
+	}
+	elapsed := time.Since(start)
+
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "serve:", f)
+	}
+	fmt.Printf("serve: %d/%d sessions decided oracle-identical in %v (%.0f sessions/sec)\n",
+		decided, sessions, elapsed.Round(time.Millisecond), float64(decided)/elapsed.Seconds())
+	// The Stats object is shared across the in-process daemons, so one line
+	// carries the whole deployment's funnel and batching counters.
+	fmt.Printf("serve: cluster totals: %s\n", c.Daemons[0].Stats())
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d sessions failed the oracle check", len(failures), sessions)
+	}
+	return nil
+}
+
+// readPeers parses a peers file: one host:port per line, ignoring blank
+// lines and #-comments; line i is daemon i's peer listen address.
+func readPeers(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var addrs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(line); err != nil {
+			return nil, fmt.Errorf("%s: bad peer address %q: %w", path, line, err)
+		}
+		addrs = append(addrs, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("%s: need at least 2 peers, got %d", path, len(addrs))
+	}
+	return addrs, nil
+}

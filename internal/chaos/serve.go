@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"treeaa/internal/cli"
+	"treeaa/internal/metrics"
+	"treeaa/internal/session"
+	"treeaa/internal/sim"
+)
+
+// ServeSpec is one serving-layer soak cell: a daemon deployment, a batch of
+// concurrent sessions, and a chaos plan injected under the mux links.
+type ServeSpec struct {
+	Tree     string // cli tree spec shared by every session
+	N, T     int
+	Seed     int64
+	Plan     string // chaos spec; delay-only clauses (see RunServe)
+	Sessions int    // concurrent sessions, inputs rotated per session
+
+	TTL          time.Duration // per-session deadline
+	SetupTimeout time.Duration
+	RoundTimeout time.Duration
+}
+
+// ServeReport is one serving soak cell's outcome.
+type ServeReport struct {
+	Tree     string `json:"tree"`
+	N        int    `json:"n"`
+	T        int    `json:"t"`
+	Seed     int64  `json:"seed"`
+	Plan     string `json:"plan"`
+	Sessions int    `json:"sessions"`
+
+	Decided       int `json:"decided"`
+	OracleMatches int `json:"oracle_matches"`
+
+	Delays     int64 `json:"delays"`
+	Stalls     int64 `json:"stalls"`
+	Partitions int64 `json:"partitions"`
+
+	// Admission-to-terminal session latency across the batch.
+	P50 time.Duration `json:"p50"`
+	P99 time.Duration `json:"p99"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Passed reports whether every session decided with an oracle-identical
+// Result.
+func (r *ServeReport) Passed() bool {
+	return r.Err == "" && r.Decided == r.Sessions && r.OracleMatches == r.Sessions
+}
+
+// RunServe soaks the serving layer: an in-process daemon cluster with the
+// chaos plan injected under every mux link, Sessions concurrent sessions
+// with rotated inputs submitted through the client API round-robin across
+// daemons, and each Result asserted DeepEqual to its sequential oracle.
+//
+// Only delay faults are accepted — latency, stalls, partitions — because
+// they preserve per-link FIFO order, which is all the mux assumes. Drop and
+// crash clauses are rejected up front: the serving layer deliberately has no
+// reconnect-with-resume path (a dead link fails the deployment loudly), so a
+// plan that destroys connections tests the wrong contract.
+func RunServe(spec ServeSpec) (*ServeReport, error) {
+	rep := &ServeReport{Tree: spec.Tree, N: spec.N, T: spec.T, Seed: spec.Seed,
+		Plan: spec.Plan, Sessions: spec.Sessions}
+	plan, err := Parse(spec.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(spec.N); err != nil {
+		return nil, err
+	}
+	if len(plan.Drops) > 0 || len(plan.Crashes) > 0 {
+		return nil, fmt.Errorf("chaos: serve soak accepts delay faults only (lat/stall/partition); plan %q drops connections or crashes daemons", spec.Plan)
+	}
+	if spec.Sessions < 1 {
+		return nil, fmt.Errorf("chaos: serve soak needs at least 1 session, got %d", spec.Sessions)
+	}
+	tr, err := cli.ParseTreeSpec(spec.Tree, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// One oracle per distinct input rotation (they repeat with period
+	// NumVertices), computed before any daemon spins up.
+	specFor := func(i int) session.Spec {
+		return session.Spec{Tree: spec.Tree, Seed: spec.Seed, T: spec.T,
+			Inputs: cli.RotateInputs(tr, spec.N, i), TTL: spec.TTL}
+	}
+	oracles := make(map[string]*sim.Result)
+	for i := 0; i < tr.NumVertices() && i < spec.Sessions; i++ {
+		s := specFor(i)
+		want, err := session.Oracle(spec.N, s)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: serve oracle %d: %w", i, err)
+		}
+		oracles[s.Inputs] = want
+	}
+
+	chaosStats := &metrics.ChaosStats{}
+	serveStats := &metrics.ServeStats{}
+	inj := NewInjector(plan, spec.Seed, chaosStats)
+	cluster, err := session.StartCluster(spec.N, session.Options{
+		MaxSessions:  spec.Sessions + spec.N,
+		SetupTimeout: spec.SetupTimeout,
+		RoundTimeout: spec.RoundTimeout,
+		DefaultTTL:   spec.TTL,
+		Stats:        serveStats,
+		WrapConn:     inj.WrapConn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr string
+	)
+	for i := 0; i < spec.Sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				mu.Lock()
+				if firstEr == "" {
+					firstEr = fmt.Sprintf("session %d: ", i) + fmt.Sprintf(format, args...)
+				}
+				mu.Unlock()
+			}
+			s := specFor(i)
+			cl, err := session.DialClient(cluster.ClientAddr(i%spec.N), spec.SetupTimeout)
+			if err != nil {
+				fail("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			resp, err := cl.Submit(s, 0, true)
+			if err != nil {
+				fail("submit: %v", err)
+				return
+			}
+			got, err := resp.SimResult()
+			if err != nil {
+				fail("%v", err)
+				return
+			}
+			mu.Lock()
+			rep.Decided++
+			if reflect.DeepEqual(got, oracles[s.Inputs]) {
+				rep.OracleMatches++
+			} else if firstEr == "" {
+				firstEr = fmt.Sprintf("session %d: result diverges from oracle", i)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	rep.Err = firstEr
+	rep.Delays = chaosStats.Delays.Load()
+	rep.Stalls = chaosStats.Stalls.Load()
+	rep.Partitions = chaosStats.Partitions.Load()
+	lat := serveStats.SessionLatency()
+	rep.P50, rep.P99 = time.Duration(lat.P50), time.Duration(lat.P99)
+	return rep, nil
+}

@@ -136,6 +136,23 @@ func ParseInputs(tr *tree.Tree, spec string, n int) ([]tree.VertexID, error) {
 	return inputs, nil
 }
 
+// RotateInputs renders the spread input placement rotated by shift vertex
+// positions, as a comma-separated label list ParseInputs accepts. The
+// serving-layer drivers use it to give concurrent sessions distinct but
+// deterministic inputs from one knob.
+func RotateInputs(tr *tree.Tree, n, shift int) string {
+	labels := make([]string, n)
+	denom := n - 1
+	if denom < 1 {
+		denom = 1
+	}
+	v := tr.NumVertices()
+	for i := range labels {
+		labels[i] = tr.Label(tree.VertexID((i*(v-1)/denom + shift) % v))
+	}
+	return strings.Join(labels, ",")
+}
+
 // AdversaryNames lists the -adversary flag values for help text.
 func AdversaryNames() []string {
 	return []string{"none", "silent", "crash", "equivocator", "splitvote", "halfburn", "noise"}

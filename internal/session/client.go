@@ -1,0 +1,112 @@
+package session
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// Client speaks the length-prefixed JSON API to one daemon. It is safe for
+// concurrent use; requests on one client serialize over its connection, so
+// load generators open one client per worker.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// DialClient connects to a daemon's client API address.
+func DialClient(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) do(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeJSON(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readJSON(c.br, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Submit offers a session. sid 0 auto-assigns. With wait the call blocks
+// until the terminal Outcome; without it the response carries the assigned
+// sid immediately. A rejection (capacity, duplicate, bad spec) is returned
+// as an error.
+func (c *Client) Submit(spec Spec, sid uint64, wait bool) (*Response, error) {
+	resp, err := c.do(Request{Op: "submit", SID: sid, Tree: spec.Tree, Seed: spec.Seed,
+		T: spec.T, Inputs: spec.Inputs, TTLMS: spec.TTL.Milliseconds(), Wait: wait})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("session: submit rejected: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Status queries a session's current lifecycle view.
+func (c *Client) Status(sid uint64) (*Response, error) {
+	resp, err := c.do(Request{Op: "status", SID: sid})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("session: status: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Wait blocks until the session reaches a terminal state.
+func (c *Client) Wait(sid uint64) (*Response, error) {
+	resp, err := c.do(Request{Op: "wait", SID: sid})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("session: wait: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Decided reports whether the response is a decided terminal outcome.
+func (r *Response) Decided() bool { return r.State == StateDecided.String() }
+
+// SimResult reconstructs the sim.Result a decided response carries, in the
+// exact shape sim.Run returns — the form the oracle comparison DeepEquals.
+func (r *Response) SimResult() (*sim.Result, error) {
+	if !r.Decided() {
+		return nil, fmt.Errorf("session: session %#x is %s: %s", r.SID, r.State, r.Err)
+	}
+	res := &sim.Result{
+		Rounds:    r.Rounds,
+		Messages:  r.Messages,
+		Bytes:     r.Bytes,
+		Outputs:   make(map[sim.PartyID]any, len(r.Outputs)),
+		Corrupted: make(map[sim.PartyID]bool),
+	}
+	for p, v := range r.Outputs {
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("session: bad party key %q", p)
+		}
+		res.Outputs[sim.PartyID(id)] = tree.VertexID(v)
+	}
+	return res, nil
+}

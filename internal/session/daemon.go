@@ -1,0 +1,287 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"treeaa/internal/metrics"
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+)
+
+// Options tunes one serving daemon. The zero value is usable: withDefaults
+// fills every field.
+type Options struct {
+	// MaxSessions caps non-terminal sessions on this daemon — the admission
+	// control knob. Submissions and peer opens beyond it are rejected.
+	MaxSessions int
+	// QueueDepth bounds each session's inbound frame queue. A full queue
+	// blocks the delivering link reader (backpressure on that peer's
+	// flusher), so depth trades peer decoupling against memory.
+	QueueDepth int
+	// FlushInterval is the batching tick: the longest a queued outbound
+	// frame waits before its link's coalesced write.
+	FlushInterval time.Duration
+	// MaxBatchBytes kicks the flusher early when a link's outbox reaches
+	// this size, bounding batch memory under load.
+	MaxBatchBytes int
+	// DefaultTTL is the session deadline applied when a spec's TTL is zero;
+	// it also sets how long terminal sessions linger for status queries.
+	DefaultTTL time.Duration
+
+	SetupTimeout time.Duration // mux mesh establishment budget
+	RoundTimeout time.Duration // per-round barrier budget for every engine
+	DrainTimeout time.Duration // graceful-shutdown wait for in-flight sessions
+
+	// Stats receives the daemon's counters; shared across daemons in tests.
+	Stats *metrics.ServeStats
+	// WrapConn, when set, wraps every peer connection on the writing side —
+	// the chaos injection seam, same contract as transport.Options.WrapConn.
+	WrapConn func(from, to sim.PartyID, conn net.Conn) net.Conn
+	// Dialer establishes peer connections; nil means transport.DialRetry.
+	Dialer func(addr string, deadline time.Time) (net.Conn, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 200 * time.Microsecond
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 64 << 10
+	}
+	if o.DefaultTTL <= 0 {
+		o.DefaultTTL = 30 * time.Second
+	}
+	if o.SetupTimeout <= 0 {
+		o.SetupTimeout = 10 * time.Second
+	}
+	if o.RoundTimeout <= 0 {
+		o.RoundTimeout = 60 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.Stats == nil {
+		o.Stats = &metrics.ServeStats{}
+	}
+	if o.Dialer == nil {
+		o.Dialer = transport.DialRetry
+	}
+	return o
+}
+
+// Daemon is one seat of an n-daemon serving deployment: it joins the peer
+// mesh, accepts client requests, and runs this seat's engine for every
+// admitted session.
+type Daemon struct {
+	id        sim.PartyID
+	n         int
+	peerAddrs []string
+	clientArg string
+	opts      Options
+
+	mux *mux
+	mgr *Manager
+
+	// peerLn, when set before Run, is the pre-bound peer listener (the
+	// in-process cluster binds first so peers know each other's ports).
+	peerLn   net.Listener
+	clientLn net.Listener
+
+	ready chan struct{}
+	// closedCh is closed after the drain completes: only then do client
+	// connections die, so a client blocked in wait sees its session's
+	// terminal outcome instead of a torn connection.
+	closedCh chan struct{}
+	clientWG sync.WaitGroup
+}
+
+// NewDaemon configures seat id of a deployment whose peer listen addresses
+// are peerAddrs (one per daemon, index = id). clientAddr is the client API
+// listen address; ":0" style works, read the bound address from ClientAddr
+// after Ready.
+func NewDaemon(id int, peerAddrs []string, clientAddr string, opts Options) (*Daemon, error) {
+	n := len(peerAddrs)
+	if n < 2 {
+		return nil, fmt.Errorf("session: need at least 2 daemons, got %d", n)
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("session: daemon id %d out of range [0, %d)", id, n)
+	}
+	return &Daemon{
+		id:        sim.PartyID(id),
+		n:         n,
+		peerAddrs: append([]string(nil), peerAddrs...),
+		clientArg: clientAddr,
+		opts:      opts.withDefaults(),
+		ready:     make(chan struct{}),
+		closedCh:  make(chan struct{}),
+	}, nil
+}
+
+// Run brings the daemon up and serves until ctx is cancelled, then shuts
+// down gracefully: stop admissions, drain in-flight sessions (up to
+// DrainTimeout), and tear the mesh and client listener down without leaking
+// goroutines.
+func (d *Daemon) Run(ctx context.Context) error {
+	peerLn := d.peerLn
+	if peerLn == nil {
+		var err error
+		peerLn, err = net.Listen("tcp", d.peerAddrs[d.id])
+		if err != nil {
+			return fmt.Errorf("session: daemon %d peer listener: %w", d.id, err)
+		}
+	}
+	clientLn, err := net.Listen("tcp", d.clientArg)
+	if err != nil {
+		peerLn.Close()
+		return fmt.Errorf("session: daemon %d client listener: %w", d.id, err)
+	}
+	d.clientLn = clientLn
+
+	cluster := clusterHash(d.peerAddrs)
+	d.mgr = newManager(d)
+	d.mux = newMux(d.id, d.n, d.peerAddrs, cluster, d.opts, d.mgr.dispatch, d.mgr.linkDown)
+	if err := d.mux.start(peerLn); err != nil {
+		clientLn.Close()
+		d.mux.close()
+		return err
+	}
+	go d.mgr.evictLoop()
+	d.clientWG.Add(1)
+	go d.acceptClients()
+	close(d.ready)
+
+	<-ctx.Done()
+	// Shutdown order matters: drain first (in-flight sessions reach their
+	// terminal states and blocked client waits get real answers), then cut
+	// the client connections, then the mesh.
+	d.mgr.drain(d.opts.DrainTimeout)
+	close(d.closedCh)
+	d.clientLn.Close()
+	d.mux.close()
+	d.mgr.stop()
+	d.clientWG.Wait()
+	return nil
+}
+
+// Ready is closed once the mesh is up and the client API is accepting.
+func (d *Daemon) Ready() <-chan struct{} { return d.ready }
+
+// ClientAddr returns the bound client API address; valid after Ready.
+func (d *Daemon) ClientAddr() string { return d.clientLn.Addr().String() }
+
+// Manager exposes the session table for in-process callers (the smoke
+// drivers submit through it directly); valid after Ready.
+func (d *Daemon) Manager() *Manager { return d.mgr }
+
+// Stats returns the daemon's counters.
+func (d *Daemon) Stats() *metrics.ServeStats { return d.opts.Stats }
+
+// clusterHash pins the deployment identity the mux hello checks: same
+// daemon set, same order, or the handshake fails.
+func clusterHash(addrs []string) uint64 {
+	parts := append([]string{"serve", strconv.Itoa(len(addrs))}, addrs...)
+	return transport.DeriveSession(parts...)
+}
+
+// Cluster is an in-process deployment: n daemons on loopback, the harness
+// for tests, the smoke target and the bench.
+type Cluster struct {
+	Daemons  []*Daemon
+	cancel   context.CancelFunc
+	errs     chan error
+	n        int
+	stopOnce sync.Once
+	stopErr  error
+}
+
+// StartCluster binds n loopback daemons, starts them, and waits until every
+// one is ready. Callers submit via clients dialed at ClientAddr(i) or
+// through Daemons[i].Manager(). Stop with Stop.
+func StartCluster(n int, opts Options) (*Cluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("session: need at least 2 daemons, got %d", n)
+	}
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{cancel: cancel, errs: make(chan error, n), n: n}
+	for i := 0; i < n; i++ {
+		d, err := NewDaemon(i, addrs, "127.0.0.1:0", opts)
+		if err != nil {
+			cancel()
+			for _, l := range listeners[i:] {
+				l.Close()
+			}
+			c.drainErrs(i) // the i daemons already launched
+			return nil, err
+		}
+		d.peerLn = listeners[i]
+		c.Daemons = append(c.Daemons, d)
+		go func() { c.errs <- d.Run(ctx) }()
+	}
+	deadline := time.After(opts.withDefaults().SetupTimeout)
+	for _, d := range c.Daemons {
+		select {
+		case <-d.Ready():
+		case err := <-c.errs:
+			cancel()
+			c.drainErrs(n - 1)
+			if err == nil {
+				err = fmt.Errorf("session: a daemon exited during setup")
+			}
+			return nil, err
+		case <-deadline:
+			cancel()
+			c.drainErrs(n)
+			return nil, fmt.Errorf("session: cluster not ready within %v", opts.withDefaults().SetupTimeout)
+		}
+	}
+	return c, nil
+}
+
+// drainErrs waits for count daemon exits (their Run errors are discarded).
+func (c *Cluster) drainErrs(count int) {
+	for i := 0; i < count; i++ {
+		<-c.errs
+	}
+}
+
+// ClientAddr returns daemon i's client API address.
+func (c *Cluster) ClientAddr(i int) string { return c.Daemons[i].ClientAddr() }
+
+// Stop cancels every daemon and waits for all of them to exit, returning
+// the first error. Idempotent: later calls return the first call's result.
+func (c *Cluster) Stop() error {
+	c.stopOnce.Do(func() {
+		c.cancel()
+		for range c.Daemons {
+			if err := <-c.errs; err != nil && c.stopErr == nil {
+				c.stopErr = err
+			}
+		}
+	})
+	return c.stopErr
+}

@@ -1,0 +1,239 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"treeaa/internal/core"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+	"treeaa/internal/wire"
+)
+
+// mailbox is one session seat's view of the lock-step structure: the same
+// rotation as internal/transport's roundState (keys are sending rounds,
+// round-r mail is consumed by Step(r+1)), minus the connection-failure
+// tracking — link failures fail the whole daemon pair here, not one session.
+type mailbox struct {
+	n    int
+	mail map[int]map[sim.PartyID][]sim.Message
+	eor  map[int]map[sim.PartyID]bool
+}
+
+func newMailbox(n int) *mailbox {
+	return &mailbox{
+		n:    n,
+		mail: make(map[int]map[sim.PartyID][]sim.Message),
+		eor:  make(map[int]map[sim.PartyID]bool),
+	}
+}
+
+func (mb *mailbox) add(m sim.Message) {
+	box := mb.mail[m.Round]
+	if box == nil {
+		box = make(map[sim.PartyID][]sim.Message, mb.n)
+		mb.mail[m.Round] = box
+	}
+	box[m.From] = append(box[m.From], m)
+}
+
+func (mb *mailbox) addEOR(r int, from sim.PartyID, done bool) error {
+	flags := mb.eor[r]
+	if flags == nil {
+		flags = make(map[sim.PartyID]bool, mb.n)
+		mb.eor[r] = flags
+	}
+	if _, dup := flags[from]; dup {
+		return fmt.Errorf("duplicate eor(%d) from party %d", r, from)
+	}
+	flags[from] = done
+	return nil
+}
+
+func (mb *mailbox) barrierDone(r, peers int) bool {
+	return len(mb.eor[r]) == peers
+}
+
+func (mb *mailbox) peersDone(r int) bool {
+	for _, done := range mb.eor[r] {
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// inbox concatenates round r's mail in ascending sender order, each
+// sender's messages in emission order — the per-link FIFO streams
+// reassembled into the delivery order sim's counting sort produces.
+func (mb *mailbox) inbox(r int) []sim.Message {
+	box := mb.mail[r]
+	if len(box) == 0 {
+		return nil
+	}
+	total := 0
+	for _, ms := range box {
+		total += len(ms)
+	}
+	out := make([]sim.Message, 0, total)
+	for p := sim.PartyID(0); int(p) < mb.n; p++ {
+		out = append(out, box[p]...)
+	}
+	return out
+}
+
+func (mb *mailbox) drop(r int) {
+	delete(mb.mail, r)
+	delete(mb.eor, r)
+}
+
+// runEngine executes this daemon's seat of one session: the transport round
+// loop (step → send → eor → barrier → decide) with session-framed traffic
+// multiplexed through the shared links instead of a dedicated mesh. Message
+// and byte accounting matches sim.Run exactly — counted at send, self-
+// delivery included, sized as the leaf payload's canonical encoding (the
+// session envelope is serving-layer overhead, not protocol cost).
+func (m *Manager) runEngine(s *session) {
+	d := m.d
+	machine, err := core.NewMachine(core.Config{Tree: s.ps.tree, N: d.n,
+		T: s.ps.spec.T, ID: d.id, Input: s.ps.inputs[d.id]})
+	if err != nil {
+		m.fail(s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)
+		return
+	}
+	if !m.setRunning(s) {
+		return // evicted before the first step
+	}
+
+	mb := newMailbox(d.n)
+	peers := d.n - 1
+	var (
+		output    any
+		done      bool
+		doneRound int
+		msgsSum   int
+		bytesSum  int
+	)
+	for r := 1; r <= s.ps.maxRounds; r++ {
+		out := machine.Step(r, mb.inbox(r-1))
+		mb.drop(r - 1)
+		if !done {
+			if v, ok := machine.Output(); ok {
+				output, done, doneRound = v, true, r
+			}
+		}
+
+		for _, raw := range out {
+			if raw.To != sim.Broadcast && (raw.To < 0 || int(raw.To) >= d.n) {
+				m.fail(s, StateFailed,
+					fmt.Sprintf("daemon %d round %d: recipient %d out of range", d.id, r, raw.To), true)
+				return
+			}
+			frame, err := sessionFrame(wire.SessionMsg{SID: s.sid, Round: r, Payload: raw.Payload})
+			if err != nil {
+				m.fail(s, StateFailed, fmt.Sprintf("daemon %d round %d: %v", d.id, r, err), true)
+				return
+			}
+			size := sim.PayloadSize(raw.Payload)
+			first, last := raw.To, raw.To
+			if raw.To == sim.Broadcast {
+				first, last = 0, sim.PartyID(d.n-1)
+			}
+			for to := first; to <= last; to++ {
+				msgsSum++
+				bytesSum += size
+				if to == d.id {
+					mb.add(sim.Message{From: d.id, To: to, Round: r, Payload: raw.Payload})
+				} else {
+					d.mux.enqueue(to, frame)
+				}
+			}
+		}
+
+		eor, err := sessionFrame(wire.SessionEOR{SID: s.sid, Round: r, Done: done})
+		if err != nil {
+			m.fail(s, StateFailed, fmt.Sprintf("daemon %d round %d: %v", d.id, r, err), true)
+			return
+		}
+		d.mux.broadcast(eor)
+
+		if !m.awaitBarrier(s, mb, r, peers) {
+			return
+		}
+		if done && mb.peersDone(r) {
+			v, ok := output.(tree.VertexID)
+			if !ok {
+				m.fail(s, StateFailed,
+					fmt.Sprintf("daemon %d: non-vertex output %T", d.id, output), true)
+				return
+			}
+			m.finishSeat(s, wire.SessionDecide{
+				SID: s.sid, Party: d.id, V: v,
+				DoneRound: doneRound, TermRound: r, Msgs: msgsSum, Bytes: bytesSum,
+			})
+			return
+		}
+	}
+	m.fail(s, StateFailed,
+		fmt.Sprintf("daemon %d: not done after %d rounds", d.id, s.ps.maxRounds), true)
+}
+
+// setRunning moves Pending → Running; false means the session already went
+// terminal (deadline eviction or a peer's rejection beat the engine here).
+func (m *Manager) setRunning(s *session) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s.state.Terminal() {
+		return false
+	}
+	s.state = StateRunning
+	return true
+}
+
+// awaitBarrier drains the session queue until eor(r) has arrived from every
+// peer, filing message frames into their rounds as they pass by. Returns
+// false when the engine must stop: session cancelled (eviction / abort —
+// already terminal, nothing to report) or barrier timeout / protocol error
+// (reported and broadcast here).
+func (m *Manager) awaitBarrier(s *session, mb *mailbox, r, peers int) bool {
+	timeout := time.NewTimer(m.d.opts.RoundTimeout)
+	defer timeout.Stop()
+	for !mb.barrierDone(r, peers) {
+		select {
+		case ev := <-s.inq:
+			switch p := ev.payload.(type) {
+			case wire.SessionMsg:
+				mb.add(sim.Message{From: ev.from, To: m.d.id, Round: p.Round, Payload: p.Payload})
+			case wire.SessionEOR:
+				if err := mb.addEOR(p.Round, ev.from, p.Done); err != nil {
+					m.fail(s, StateFailed, fmt.Sprintf("daemon %d: %v", m.d.id, err), true)
+					return false
+				}
+			}
+		case <-s.cancel:
+			return false
+		case <-timeout.C:
+			m.fail(s, StateFailed,
+				fmt.Sprintf("daemon %d: round %d barrier timed out after %v", m.d.id, r, m.d.opts.RoundTimeout), true)
+			return false
+		}
+	}
+	return true
+}
+
+// finishSeat reports this seat's terminal record. On the origin it feeds the
+// assembly directly (the session stays Running until all n records are in);
+// on a peer it ships the SessionDecide to the origin and marks the local
+// session Decided — the origin owns the authoritative Outcome.
+func (m *Manager) finishSeat(s *session, dec wire.SessionDecide) {
+	if s.origin == m.d.id {
+		m.handleDecide(m.d.id, dec)
+		return
+	}
+	if frame, err := sessionFrame(dec); err == nil {
+		m.d.mux.enqueue(s.origin, frame)
+	}
+	m.mu.Lock()
+	m.terminalLocked(s, StateDecided, "")
+	m.mu.Unlock()
+}

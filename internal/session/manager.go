@@ -1,0 +1,583 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"treeaa/internal/metrics"
+	"treeaa/internal/sim"
+	"treeaa/internal/wire"
+)
+
+// muxEvent is one inbound in-session frame (SessionMsg or SessionEOR),
+// attributed to its authenticated peer, queued for that session's engine.
+type muxEvent struct {
+	from    sim.PartyID
+	payload any
+}
+
+// session is one tracked session on this daemon. Mutable fields are guarded
+// by Manager.mu; inq and cancel are safe to use outside it (cancel is
+// closed exactly once, under the lock, at the terminal transition).
+type session struct {
+	sid    uint64
+	origin sim.PartyID // daemon the session was submitted to
+	ps     parsedSpec
+
+	state    State
+	reason   string
+	admitted time.Time
+	deadline time.Time
+
+	// inq feeds the engine's barrier loop. Bounded: a session whose engine
+	// falls behind blocks the link reader delivering to it — backpressure
+	// lands on the peers' flushers for this daemon, not on memory.
+	inq    chan muxEvent
+	cancel chan struct{}
+
+	// Origin-side assembly state.
+	decides map[sim.PartyID]wire.SessionDecide
+	result  *sim.Result
+	latency time.Duration
+	waiters []chan Outcome
+}
+
+// Manager owns a daemon's session table: admission control, lifecycle
+// transitions, frame routing, deadline eviction, and origin-side Result
+// assembly.
+type Manager struct {
+	d *Daemon
+
+	mu       sync.Mutex
+	table    map[uint64]*session
+	inflight int // non-terminal sessions, the admission-control quantity
+	nextSeq  uint64
+	draining bool
+	downErr  error // first dead peer link; poisons all future admissions
+
+	// pending buffers in-session frames that outran their SessionOpen (the
+	// open travels origin→peer while round-1 data arrives over every link).
+	// Bounded per session and overall; overflow drops the session id.
+	pending  map[uint64]*pendingBuf
+	pendingN int
+
+	// tombstones remember recently rejected / evicted / garbage-collected
+	// ids so their late frames are dropped instead of buffered.
+	tombstone map[uint64]time.Time
+
+	evictQuit chan struct{}
+	evictDone chan struct{}
+}
+
+type pendingBuf struct {
+	since time.Time
+	evs   []muxEvent
+}
+
+func newManager(d *Daemon) *Manager {
+	return &Manager{
+		d:         d,
+		table:     make(map[uint64]*session),
+		pending:   make(map[uint64]*pendingBuf),
+		tombstone: make(map[uint64]time.Time),
+		nextSeq:   1,
+		evictQuit: make(chan struct{}),
+		evictDone: make(chan struct{}),
+	}
+}
+
+// pendingPerSession bounds the frames buffered for one not-yet-opened
+// session: at most one round of traffic can precede the open on any link,
+// so a deep buffer only ever holds garbage.
+func (m *Manager) pendingPerSession() int { return m.d.opts.QueueDepth / 4 }
+
+func (m *Manager) pendingTotal() int { return 16 * m.d.opts.QueueDepth }
+
+// Submit admits a locally submitted session and starts its seat. sid 0
+// means auto-assign; a client-chosen sid must be cluster-unique (the
+// duplicate check is local to this origin plus remote via peer rejections).
+func (m *Manager) Submit(spec Spec, sid uint64) (uint64, error) {
+	ps, err := parseSpec(spec, m.d.n, m.d.opts.DefaultTTL)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.stats().Submitted.Add(1)
+	if m.downErr != nil {
+		err := m.downErr
+		m.mu.Unlock()
+		return 0, fmt.Errorf("session: cluster degraded: %w", err)
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("session: daemon %d is draining", m.d.id)
+	}
+	if sid == 0 {
+		for {
+			sid = (uint64(m.d.id)+1)<<48 | m.nextSeq
+			m.nextSeq++
+			if _, taken := m.table[sid]; !taken {
+				break
+			}
+		}
+	} else if _, dup := m.table[sid]; dup {
+		m.stats().RejectedDuplicate.Add(1)
+		m.mu.Unlock()
+		return 0, fmt.Errorf("session: duplicate session id %#x", sid)
+	} else if _, dead := m.tombstone[sid]; dead {
+		m.stats().RejectedDuplicate.Add(1)
+		m.mu.Unlock()
+		return 0, fmt.Errorf("session: session id %#x was recently used", sid)
+	}
+	s, err := m.admitLocked(sid, m.d.id, ps)
+	if err != nil {
+		m.mu.Unlock()
+		return 0, err
+	}
+	m.mu.Unlock()
+
+	open, ferr := sessionFrame(wire.SessionOpen{
+		SID: sid, Tree: spec.Tree, Seed: spec.Seed, T: spec.T, Inputs: spec.Inputs,
+		TTLMillis: uint64(ps.deadline / time.Millisecond),
+	})
+	if ferr != nil {
+		m.fail(s, StateFailed, fmt.Sprintf("encoding open: %v", ferr), false)
+		return 0, ferr
+	}
+	// The open precedes every round-1 frame on each link FIFO, because the
+	// engine starts only after the broadcast is queued.
+	m.d.mux.broadcast(open)
+	go m.runEngine(s)
+	return sid, nil
+}
+
+// admitLocked performs the capacity check and registers the session.
+func (m *Manager) admitLocked(sid uint64, origin sim.PartyID, ps parsedSpec) (*session, error) {
+	if m.inflight >= m.d.opts.MaxSessions {
+		m.stats().RejectedCapacity.Add(1)
+		return nil, fmt.Errorf("session: daemon %d at capacity (%d in flight)", m.d.id, m.inflight)
+	}
+	now := time.Now()
+	s := &session{
+		sid:      sid,
+		origin:   origin,
+		ps:       ps,
+		state:    StatePending,
+		admitted: now,
+		deadline: now.Add(ps.deadline),
+		inq:      make(chan muxEvent, m.d.opts.QueueDepth),
+		cancel:   make(chan struct{}),
+		decides:  make(map[sim.PartyID]wire.SessionDecide, m.d.n),
+	}
+	// Frames that arrived before the open replay into the fresh queue; the
+	// per-session pending cap is far below the queue depth, so this never
+	// blocks under the lock.
+	if pb := m.pending[sid]; pb != nil {
+		delete(m.pending, sid)
+		m.pendingN -= len(pb.evs)
+		for _, ev := range pb.evs {
+			s.inq <- ev
+		}
+	}
+	m.table[sid] = s
+	m.inflight++
+	m.stats().Admitted.Add(1)
+	return s, nil
+}
+
+// dispatch is the mux handler: it routes every decoded inbound payload. It
+// runs on link reader goroutines.
+func (m *Manager) dispatch(from sim.PartyID, payload any) {
+	switch p := payload.(type) {
+	case wire.SessionOpen:
+		m.openRemote(from, p)
+	case wire.SessionMsg:
+		m.route(from, p.SID, muxEvent{from: from, payload: p})
+	case wire.SessionEOR:
+		m.route(from, p.SID, muxEvent{from: from, payload: p})
+	case wire.SessionAbort:
+		m.handleAbort(p)
+	case wire.SessionDecide:
+		m.handleDecide(from, p)
+	}
+}
+
+// openRemote admits (or rejects) a session announced by a peer daemon. A
+// rejection is answered with a SessionAbort to the origin, which fails the
+// session cluster-wide; this daemon only tombstones the id.
+func (m *Manager) openRemote(from sim.PartyID, open wire.SessionOpen) {
+	spec := Spec{Tree: open.Tree, Seed: open.Seed, T: open.T, Inputs: open.Inputs,
+		TTL: time.Duration(open.TTLMillis) * time.Millisecond}
+	ps, perr := parseSpec(spec, m.d.n, m.d.opts.DefaultTTL)
+
+	m.mu.Lock()
+	m.stats().Submitted.Add(1)
+	reject := func(reason string) {
+		m.tombstone[open.SID] = time.Now()
+		if pb := m.pending[open.SID]; pb != nil {
+			m.pendingN -= len(pb.evs)
+			delete(m.pending, open.SID)
+		}
+		m.mu.Unlock()
+		m.abortTo(from, open.SID, reason)
+	}
+	if _, dup := m.table[open.SID]; dup {
+		m.stats().RejectedDuplicate.Add(1)
+		reject(fmt.Sprintf("daemon %d: duplicate session id", m.d.id))
+		return
+	}
+	if perr != nil {
+		reject(fmt.Sprintf("daemon %d: %v", m.d.id, perr))
+		return
+	}
+	if m.draining || m.downErr != nil {
+		reject(fmt.Sprintf("daemon %d: not accepting sessions", m.d.id))
+		return
+	}
+	s, err := m.admitLocked(open.SID, from, ps)
+	if err != nil {
+		reject(err.Error())
+		return
+	}
+	m.mu.Unlock()
+	go m.runEngine(s)
+}
+
+// route delivers one in-session frame to its engine queue. Unknown ids go
+// to the pending buffer (the open may still be in flight); tombstoned and
+// terminal sessions drop silently — late frames after eviction are
+// expected, not errors.
+func (m *Manager) route(from sim.PartyID, sid uint64, ev muxEvent) {
+	m.mu.Lock()
+	s := m.table[sid]
+	if s == nil {
+		if _, dead := m.tombstone[sid]; !dead {
+			m.bufferPendingLocked(sid, ev)
+		}
+		m.mu.Unlock()
+		return
+	}
+	if s.state.Terminal() {
+		m.mu.Unlock()
+		return
+	}
+	inq, cancel := s.inq, s.cancel
+	m.mu.Unlock()
+	// Blocking send: this is the backpressure point. The terminal
+	// transition closes cancel, so a reader blocked on a session that gets
+	// evicted is released immediately.
+	select {
+	case inq <- ev:
+	case <-cancel:
+	}
+}
+
+func (m *Manager) bufferPendingLocked(sid uint64, ev muxEvent) {
+	pb := m.pending[sid]
+	if pb == nil {
+		if m.pendingN >= m.pendingTotal() {
+			return // global pressure: drop, the open will time the session out
+		}
+		pb = &pendingBuf{since: time.Now()}
+		m.pending[sid] = pb
+	}
+	if len(pb.evs) >= m.pendingPerSession() {
+		// A session this chatty before its open is broken; drop it wholesale.
+		m.pendingN -= len(pb.evs)
+		delete(m.pending, sid)
+		m.tombstone[sid] = time.Now()
+		return
+	}
+	pb.evs = append(pb.evs, ev)
+	m.pendingN++
+}
+
+// handleAbort applies a terminal failure broadcast. The origin re-broadcasts
+// on its own transition, so a rejection sent only origin-wards still reaches
+// every peer; transitions are once-only, which bounds the gossip.
+func (m *Manager) handleAbort(ab wire.SessionAbort) {
+	m.mu.Lock()
+	s := m.table[ab.SID]
+	if s == nil {
+		m.tombstone[ab.SID] = time.Now()
+		if pb := m.pending[ab.SID]; pb != nil {
+			m.pendingN -= len(pb.evs)
+			delete(m.pending, ab.SID)
+		}
+		m.mu.Unlock()
+		return
+	}
+	if s.state.Terminal() {
+		m.mu.Unlock()
+		return
+	}
+	rebroadcast := s.origin == m.d.id
+	m.terminalLocked(s, StateFailed, ab.Reason)
+	m.mu.Unlock()
+	if rebroadcast {
+		m.broadcastAbort(s.sid, ab.Reason)
+	}
+}
+
+// handleDecide records one seat's terminal report; the origin assembles the
+// Result once all n records (its own included) are in.
+func (m *Manager) handleDecide(from sim.PartyID, dec wire.SessionDecide) {
+	m.mu.Lock()
+	s := m.table[dec.SID]
+	if s == nil || s.state.Terminal() || s.origin != m.d.id {
+		m.mu.Unlock()
+		return
+	}
+	if from != m.d.id && dec.Party != from {
+		m.terminalLocked(s, StateFailed,
+			fmt.Sprintf("daemon %d reported a decide for party %d", from, dec.Party))
+		m.mu.Unlock()
+		m.broadcastAbort(s.sid, s.reason)
+		return
+	}
+	if _, dup := s.decides[dec.Party]; dup {
+		m.terminalLocked(s, StateFailed, fmt.Sprintf("duplicate decide from party %d", dec.Party))
+		m.mu.Unlock()
+		m.broadcastAbort(s.sid, s.reason)
+		return
+	}
+	s.decides[dec.Party] = dec
+	if len(s.decides) == m.d.n {
+		m.assembleLocked(s)
+	}
+	m.mu.Unlock()
+}
+
+// assembleLocked builds the sim.Run-identical Result from the n seat
+// records: outputs per party, the common termination round, and the
+// cluster-wide message and byte totals (each seat counted its own sends,
+// self-delivery included, exactly like the engine).
+func (m *Manager) assembleLocked(s *session) {
+	res := &sim.Result{
+		Outputs:   make(map[sim.PartyID]any, m.d.n),
+		Corrupted: make(map[sim.PartyID]bool),
+	}
+	term := -1
+	for p, dec := range s.decides {
+		if term == -1 {
+			term = dec.TermRound
+		} else if dec.TermRound != term {
+			m.terminalLocked(s, StateFailed,
+				fmt.Sprintf("termination rounds diverge: party %d at %d, others at %d", p, dec.TermRound, term))
+			return
+		}
+		res.Outputs[p] = dec.V
+		res.Messages += dec.Msgs
+		res.Bytes += dec.Bytes
+	}
+	res.Rounds = term
+	s.result = res
+	m.terminalLocked(s, StateDecided, "")
+}
+
+// terminalLocked performs the one-and-only terminal transition: state,
+// accounting, waiter notification, and the cancel broadcast that unblocks
+// the engine and any reader parked on the queue.
+func (m *Manager) terminalLocked(s *session, st State, reason string) {
+	if s.state.Terminal() {
+		return
+	}
+	s.state = st
+	s.reason = reason
+	s.latency = time.Since(s.admitted)
+	m.inflight--
+	close(s.cancel)
+	switch st {
+	case StateDecided:
+		m.stats().Decided.Add(1)
+	case StateExpired:
+		m.stats().Expired.Add(1)
+		m.stats().Failed.Add(1)
+	default:
+		m.stats().Failed.Add(1)
+	}
+	m.stats().AddSessionLatency(s.latency)
+	out := m.outcomeLocked(s)
+	for _, w := range s.waiters {
+		w <- out // buffered, never blocks
+	}
+	s.waiters = nil
+}
+
+func (m *Manager) outcomeLocked(s *session) Outcome {
+	return Outcome{SID: s.sid, State: s.state, Err: s.reason,
+		Result: s.result, Latency: s.latency}
+}
+
+// fail transitions a session to a terminal failure state and, when asked,
+// broadcasts the abort so the whole cluster converges.
+func (m *Manager) fail(s *session, st State, reason string, broadcast bool) {
+	m.mu.Lock()
+	already := s.state.Terminal()
+	if !already {
+		m.terminalLocked(s, st, reason)
+	}
+	m.mu.Unlock()
+	if !already && broadcast {
+		m.broadcastAbort(s.sid, reason)
+	}
+}
+
+func (m *Manager) broadcastAbort(sid uint64, reason string) {
+	if frame, err := sessionFrame(wire.SessionAbort{SID: sid, Reason: reason}); err == nil {
+		m.d.mux.broadcast(frame)
+	}
+}
+
+func (m *Manager) abortTo(peer sim.PartyID, sid uint64, reason string) {
+	if frame, err := sessionFrame(wire.SessionAbort{SID: sid, Reason: reason}); err == nil {
+		m.d.mux.enqueue(peer, frame)
+	}
+}
+
+// Status returns a session's current view; ok is false for unknown ids.
+func (m *Manager) Status(sid uint64) (Outcome, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.table[sid]
+	if s == nil {
+		return Outcome{}, false
+	}
+	return m.outcomeLocked(s), true
+}
+
+// Wait returns a channel that delivers the session's Outcome at its
+// terminal transition (immediately, for an already-terminal session).
+func (m *Manager) Wait(sid uint64) (<-chan Outcome, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.table[sid]
+	if s == nil {
+		return nil, fmt.Errorf("session: unknown session id %#x", sid)
+	}
+	ch := make(chan Outcome, 1)
+	if s.state.Terminal() {
+		ch <- m.outcomeLocked(s)
+	} else {
+		s.waiters = append(s.waiters, ch)
+	}
+	return ch, nil
+}
+
+// linkDown poisons the manager after a peer link died: every in-flight
+// session spans all daemons, so all of them fail, and future admissions are
+// refused (the mux has no resend/reconnect path — that is the dedicated
+// transport's job, not the serving layer's).
+func (m *Manager) linkDown(peer sim.PartyID, err error) {
+	m.mu.Lock()
+	if m.downErr == nil {
+		m.downErr = err
+	}
+	var victims []*session
+	for _, s := range m.table {
+		if !s.state.Terminal() {
+			victims = append(victims, s)
+		}
+	}
+	for _, s := range victims {
+		m.terminalLocked(s, StateFailed, fmt.Sprintf("peer link down: %v", err))
+	}
+	m.mu.Unlock()
+}
+
+// evictLoop enforces deadlines: non-terminal sessions past their deadline
+// are expired (and the abort broadcast, so every seat stops paying for
+// them); terminal sessions linger for status queries until the same
+// deadline plus a grace period, then leave a tombstone. Stale pending
+// buffers and old tombstones are collected on the same tick.
+func (m *Manager) evictLoop() {
+	defer close(m.evictDone)
+	const tick = 10 * time.Millisecond
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.evictQuit:
+			return
+		case <-ticker.C:
+		}
+		m.evictTick(time.Now())
+	}
+}
+
+func (m *Manager) evictTick(now time.Time) {
+	linger := m.d.opts.DefaultTTL
+	type abort struct {
+		sid    uint64
+		reason string
+	}
+	var aborts []abort
+	m.mu.Lock()
+	for sid, s := range m.table {
+		switch {
+		case !s.state.Terminal() && now.After(s.deadline):
+			m.terminalLocked(s, StateExpired, "deadline exceeded")
+			aborts = append(aborts, abort{sid: sid, reason: "deadline exceeded"})
+		case s.state.Terminal() && now.After(s.deadline.Add(linger)):
+			delete(m.table, sid)
+			m.tombstone[sid] = now
+		}
+	}
+	for sid, pb := range m.pending {
+		if now.Sub(pb.since) > m.d.opts.SetupTimeout {
+			m.pendingN -= len(pb.evs)
+			delete(m.pending, sid)
+			m.tombstone[sid] = now
+		}
+	}
+	for sid, t := range m.tombstone {
+		if now.Sub(t) > 2*linger {
+			delete(m.tombstone, sid)
+		}
+	}
+	m.mu.Unlock()
+	for _, a := range aborts {
+		m.broadcastAbort(a.sid, a.reason)
+	}
+}
+
+// drain stops admissions and waits (up to timeout) for in-flight sessions
+// to reach a terminal state; leftovers are expired. Part of the daemon's
+// graceful shutdown.
+func (m *Manager) drain(timeout time.Duration) {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		left := m.inflight
+		m.mu.Unlock()
+		if left == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.mu.Lock()
+	var leftovers []*session
+	for _, s := range m.table {
+		if !s.state.Terminal() {
+			leftovers = append(leftovers, s)
+		}
+	}
+	for _, s := range leftovers {
+		m.terminalLocked(s, StateExpired, "daemon shutting down")
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) stop() {
+	close(m.evictQuit)
+	<-m.evictDone
+}
+
+func (m *Manager) stats() *metrics.ServeStats { return m.d.opts.Stats }

@@ -1,0 +1,414 @@
+package session
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"treeaa/internal/metrics"
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+	"treeaa/internal/wire"
+)
+
+// The mux hello opens a daemon-pair link:
+//
+//	FrameMuxHello | magic(4) | mux version(1) | u32(from) | u32(to) |
+//	u32(n) | u64(cluster hash, big-endian)
+//
+// One duplex connection serves each unordered daemon pair — the lower id
+// dials — so a 4-daemon cluster runs every session over 6 connections,
+// total, forever. All subsequent frames in both directions are
+// FrameMuxSession envelopes around wire session bodies.
+const muxVersion byte = 1
+
+var muxMagic = [4]byte{'T', 'A', 'A', 'S'}
+
+// mux owns a daemon's peer links: the mesh handshake, one reader per link
+// (demultiplexing into the handler), and one flusher per link (coalescing
+// every session's outbound frames into batched writes).
+type mux struct {
+	id      sim.PartyID
+	n       int
+	addrs   []string
+	cluster uint64
+	opts    Options
+	stats   *metrics.ServeStats
+
+	// handler receives every decoded inbound session payload, attributed to
+	// its authenticated peer. It runs on the link's reader goroutine, so a
+	// blocking handler exerts backpressure on that link only.
+	handler func(from sim.PartyID, payload any)
+	// onDown reports a dead link (read or write failure after setup).
+	onDown func(peer sim.PartyID, err error)
+
+	peers map[sim.PartyID]*peerLink
+	ln    net.Listener
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// peerLink is one duplex daemon-pair link: the shared connection, and the
+// outbox the flusher drains.
+type peerLink struct {
+	m    *mux
+	peer sim.PartyID
+
+	ready chan struct{} // closed when conn is set
+	conn  net.Conn
+	br    *bufio.Reader
+
+	mu      sync.Mutex
+	pending []byte // concatenated encoded frames awaiting one batched write
+	frames  int
+	kick    chan struct{} // capacity 1: flush now (first frame or batch full)
+}
+
+func newMux(id sim.PartyID, n int, addrs []string, cluster uint64, opts Options,
+	handler func(from sim.PartyID, payload any), onDown func(peer sim.PartyID, err error)) *mux {
+	m := &mux{
+		id: id, n: n, addrs: addrs, cluster: cluster, opts: opts,
+		stats: opts.Stats, handler: handler, onDown: onDown,
+		peers: make(map[sim.PartyID]*peerLink, n-1),
+		quit:  make(chan struct{}),
+	}
+	for p := sim.PartyID(0); int(p) < n; p++ {
+		if p == id {
+			continue
+		}
+		m.peers[p] = &peerLink{m: m, peer: p,
+			ready: make(chan struct{}), kick: make(chan struct{}, 1)}
+	}
+	return m
+}
+
+// start builds the mesh over the given bound listener: accept links from
+// lower-id peers, dial higher-id peers, then wait until every link is up.
+// On success the per-link readers and flushers are running.
+func (m *mux) start(ln net.Listener) error {
+	m.ln = ln
+	deadline := time.Now().Add(m.opts.SetupTimeout)
+	m.wg.Add(1)
+	go m.acceptLoop(ln)
+	for p := sim.PartyID(0); int(p) < m.n; p++ {
+		if p <= m.id {
+			continue
+		}
+		conn, err := m.opts.Dialer(m.addrs[p], deadline)
+		if err != nil {
+			return fmt.Errorf("session: daemon %d dialing daemon %d at %s: %w", m.id, p, m.addrs[p], err)
+		}
+		conn = m.wrap(p, conn)
+		m.track(conn)
+		hb := encodeMuxHello(m.id, p, m.n, m.cluster)
+		conn.SetWriteDeadline(deadline)
+		if _, err := conn.Write(hb); err != nil {
+			return fmt.Errorf("session: daemon %d handshake to daemon %d: %w", m.id, p, err)
+		}
+		conn.SetWriteDeadline(time.Time{})
+		if err := m.register(p, conn, bufio.NewReaderSize(conn, 64<<10)); err != nil {
+			return err
+		}
+	}
+	for p, l := range m.peers {
+		select {
+		case <-l.ready:
+		case <-m.quit:
+			return fmt.Errorf("session: daemon %d closed during setup", m.id)
+		case <-time.After(time.Until(deadline)):
+			return fmt.Errorf("session: daemon %d: no link from daemon %d within %v", m.id, p, m.opts.SetupTimeout)
+		}
+	}
+	for _, l := range m.peers {
+		m.wg.Add(2)
+		go m.readLoop(l)
+		go m.flushLoop(l)
+	}
+	return nil
+}
+
+func (m *mux) wrap(peer sim.PartyID, conn net.Conn) net.Conn {
+	if m.opts.WrapConn == nil {
+		return conn
+	}
+	// Both ends wrap with themselves as the writer: each side of the duplex
+	// link faults its own outbound direction, so a chaos latency clause on
+	// (a, b) shapes a→b traffic no matter which end dialed.
+	return m.opts.WrapConn(m.id, peer, conn)
+}
+
+func (m *mux) track(conn net.Conn) {
+	m.mu.Lock()
+	m.conns = append(m.conns, conn)
+	m.mu.Unlock()
+}
+
+func (m *mux) acceptLoop(ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by close()
+		}
+		m.track(conn)
+		m.wg.Add(1)
+		go m.handshakeIn(conn)
+	}
+}
+
+// handshakeIn validates an inbound hello and registers the connection as
+// the unique link from its claimed (lower-id) peer.
+func (m *mux) handshakeIn(conn net.Conn) {
+	defer m.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(m.opts.SetupTimeout))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	body, err := transport.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	from, to, n, cluster, err := parseMuxHello(body)
+	switch {
+	case err != nil:
+	case to != m.id:
+		err = fmt.Errorf("addressed to daemon %d", to)
+	case from >= m.id || from < 0:
+		err = fmt.Errorf("daemon %d must be dialed by this side", from)
+	case n != m.n:
+		err = fmt.Errorf("peer configured for n = %d, want %d", n, m.n)
+	case cluster != m.cluster:
+		err = fmt.Errorf("cluster %#x, want %#x", cluster, m.cluster)
+	}
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	// Re-wrap happens on our side too: the acceptor faults its own writes.
+	wrapped := m.wrap(from, conn)
+	if wrapped != conn {
+		m.track(wrapped)
+	}
+	if err := m.register(from, wrapped, br); err != nil {
+		conn.Close()
+	}
+}
+
+func (m *mux) register(peer sim.PartyID, conn net.Conn, br *bufio.Reader) error {
+	l := m.peers[peer]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		return fmt.Errorf("session: duplicate link from daemon %d", peer)
+	}
+	l.conn, l.br = conn, br
+	close(l.ready)
+	return nil
+}
+
+// enqueue appends one encoded frame to the peer's outbox. It never blocks:
+// the flusher owns the socket, and backpressure is applied by the *peer's*
+// bounded session queues, not here.
+func (m *mux) enqueue(to sim.PartyID, frame []byte) {
+	l := m.peers[to]
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	first := l.frames == 0
+	l.pending = append(l.pending, frame...)
+	l.frames++
+	full := len(l.pending) >= m.opts.MaxBatchBytes
+	l.mu.Unlock()
+	if first || full {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// broadcast enqueues the frame on every peer link.
+func (m *mux) broadcast(frame []byte) {
+	for p := sim.PartyID(0); int(p) < m.n; p++ {
+		if p != m.id {
+			m.enqueue(p, frame)
+		}
+	}
+}
+
+// flushLoop coalesces a link's outbox into one conn.Write per wakeup: the
+// flush tick bounds latency, the kick channel delivers new-work and
+// batch-full wakeups early. While a write is in flight new frames pile up
+// in the outbox, so batches grow exactly when the link is the bottleneck.
+func (m *mux) flushLoop(l *peerLink) {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+		case <-l.kick:
+		case <-m.quit:
+			l.flush() // best-effort final drain so queued decides reach peers
+			return
+		}
+		if err := l.flush(); err != nil {
+			if !m.closed() {
+				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", m.id, l.peer, err))
+			}
+			return
+		}
+	}
+}
+
+func (l *peerLink) flush() error {
+	l.mu.Lock()
+	batch, frames := l.pending, l.frames
+	l.pending, l.frames = nil, 0
+	l.mu.Unlock()
+	if frames == 0 {
+		return nil
+	}
+	l.conn.SetWriteDeadline(time.Now().Add(l.m.opts.RoundTimeout))
+	if _, err := l.conn.Write(batch); err != nil {
+		return err
+	}
+	if s := l.m.stats; s != nil {
+		s.Batches.Add(1)
+		s.BatchFrames.Add(int64(frames))
+		s.BatchBytes.Add(int64(len(batch)))
+	}
+	return nil
+}
+
+// readLoop turns one link into handler calls. No read deadline: an idle
+// link is healthy (no sessions in flight), and per-session liveness is the
+// engines' round timeout.
+func (m *mux) readLoop(l *peerLink) {
+	defer m.wg.Done()
+	for {
+		body, err := transport.ReadFrame(l.br)
+		if err != nil {
+			if !m.closed() {
+				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
+			}
+			return
+		}
+		if body[0] != transport.FrameMuxSession {
+			if !m.closed() {
+				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: unexpected frame type 0x%02x", l.peer, m.id, body[0]))
+			}
+			return
+		}
+		payload, err := wire.Decode(body[1:])
+		if err != nil {
+			if !m.closed() {
+				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
+			}
+			return
+		}
+		m.handler(l.peer, payload)
+	}
+}
+
+func (m *mux) closed() bool {
+	select {
+	case <-m.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// close tears the mux down: final flushes are triggered by quit, then the
+// sockets die and every loop exits. Safe to call more than once.
+func (m *mux) close() {
+	m.closeOnce.Do(func() {
+		close(m.quit)
+		// Give each flusher one scheduling slot to drain its outbox before
+		// the sockets close under it; decides queued by terminal engines are
+		// small and this is best-effort (a peer that misses one fails the
+		// session by timeout, never silently).
+		time.Sleep(10 * time.Millisecond)
+		if m.ln != nil {
+			m.ln.Close()
+		}
+		m.mu.Lock()
+		conns := m.conns
+		m.conns = nil
+		m.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	m.wg.Wait()
+}
+
+// sessionFrame wraps an encoded wire session body in the mux envelope: one
+// length-prefixed FrameMuxSession frame, ready for enqueue. The returned
+// slice is immutable by convention — broadcasts share it across links.
+func sessionFrame(payload any) ([]byte, error) {
+	sz, err := wire.EncodedSize(payload)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, sz+1)
+	body = append(body, transport.FrameMuxSession)
+	body, err = wire.Append(body, payload)
+	if err != nil {
+		return nil, err
+	}
+	return transport.AppendFrame(nil, body), nil
+}
+
+func encodeMuxHello(from, to sim.PartyID, n int, cluster uint64) []byte {
+	body := make([]byte, 0, 26)
+	body = append(body, transport.FrameMuxHello)
+	body = append(body, muxMagic[:]...)
+	body = append(body, muxVersion)
+	body = wire.AppendU32(body, uint32(from))
+	body = wire.AppendU32(body, uint32(to))
+	body = wire.AppendU32(body, uint32(n))
+	for shift := 56; shift >= 0; shift -= 8 {
+		body = append(body, byte(cluster>>shift))
+	}
+	return transport.AppendFrame(nil, body)
+}
+
+func parseMuxHello(body []byte) (from, to sim.PartyID, n int, cluster uint64, err error) {
+	fail := func(msg string) (sim.PartyID, sim.PartyID, int, uint64, error) {
+		return 0, 0, 0, 0, fmt.Errorf("session: bad mux hello: %s", msg)
+	}
+	if len(body) < 1 || body[0] != transport.FrameMuxHello {
+		return fail("not a mux hello")
+	}
+	b := body[1:]
+	if len(b) != 4+1+4+4+4+8 {
+		return fail("wrong length")
+	}
+	if [4]byte(b[:4]) != muxMagic {
+		return fail("bad magic")
+	}
+	if b[4] != muxVersion {
+		return fail(fmt.Sprintf("mux version %d, want %d", b[4], muxVersion))
+	}
+	b = b[5:]
+	f, b, _ := wire.ConsumeU32(b)
+	t, b, _ := wire.ConsumeU32(b)
+	nv, b, _ := wire.ConsumeU32(b)
+	if f > wire.MaxIDValue || t > wire.MaxIDValue || nv > wire.MaxIDValue {
+		return fail("id out of range")
+	}
+	for _, x := range b {
+		cluster = cluster<<8 | uint64(x)
+	}
+	return sim.PartyID(f), sim.PartyID(t), int(nv), cluster, nil
+}

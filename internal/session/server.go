@@ -1,0 +1,180 @@
+package session
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"treeaa/internal/tree"
+)
+
+// The client API is length-prefixed JSON over TCP: each request and each
+// response is uvarint(len) followed by len bytes of JSON. One connection
+// carries any number of request/response pairs in order. Three ops:
+//
+//	submit  admit a session (sid 0 = auto-assign); wait=true blocks for the
+//	        terminal Outcome, wait=false returns the assigned sid at once
+//	status  current lifecycle view of a session on this daemon
+//	wait    block until the session reaches a terminal state
+//
+// OK reports request-level success (the daemon processed the op); a session
+// that failed or expired still answers OK with the failure in State/Err.
+
+// maxClientRequest bounds one request frame; specs are tiny, so anything
+// bigger is a confused or hostile client.
+const maxClientRequest = 1 << 20
+
+// Request is one client API call.
+type Request struct {
+	Op     string `json:"op"`
+	SID    uint64 `json:"sid,omitempty"`
+	Tree   string `json:"tree,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	T      int    `json:"t,omitempty"`
+	Inputs string `json:"inputs,omitempty"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+	Wait   bool   `json:"wait,omitempty"`
+}
+
+// Response answers one Request.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Err   string `json:"err,omitempty"`
+	SID   uint64 `json:"sid,omitempty"`
+	State string `json:"state,omitempty"`
+	// Terminal decided sessions only: the assembled Result fields.
+	Outputs   map[string]int `json:"outputs,omitempty"`
+	Rounds    int            `json:"rounds,omitempty"`
+	Messages  int            `json:"messages,omitempty"`
+	Bytes     int            `json:"bytes,omitempty"`
+	LatencyNS int64          `json:"latency_ns,omitempty"`
+}
+
+func (d *Daemon) acceptClients() {
+	defer d.clientWG.Done()
+	for {
+		conn, err := d.clientLn.Accept()
+		if err != nil {
+			return // listener closed on shutdown
+		}
+		d.clientWG.Add(1)
+		go d.serveClient(conn)
+	}
+}
+
+// serveClient runs one connection's request loop until the client hangs up
+// or the daemon finishes draining (closedCh fires only after the drain, so
+// blocked waits get real outcomes before the connection dies).
+func (d *Daemon) serveClient(conn net.Conn) {
+	defer d.clientWG.Done()
+	defer conn.Close()
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		select {
+		case <-d.closedCh:
+			conn.Close()
+		case <-connDone:
+		}
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		var req Request
+		if err := readJSON(br, &req); err != nil {
+			return
+		}
+		resp := d.handleRequest(req)
+		if err := writeJSON(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (d *Daemon) handleRequest(req Request) Response {
+	switch req.Op {
+	case "submit":
+		spec := Spec{Tree: req.Tree, Seed: req.Seed, T: req.T, Inputs: req.Inputs,
+			TTL: time.Duration(req.TTLMS) * time.Millisecond}
+		sid, err := d.mgr.Submit(spec, req.SID)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		if !req.Wait {
+			return Response{OK: true, SID: sid, State: StatePending.String()}
+		}
+		return d.await(sid)
+	case "status":
+		out, ok := d.mgr.Status(req.SID)
+		if !ok {
+			return Response{Err: fmt.Sprintf("unknown session id %#x", req.SID)}
+		}
+		return outcomeResponse(out)
+	case "wait":
+		return d.await(req.SID)
+	default:
+		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// await blocks until the session's terminal Outcome. Bounded: every session
+// has a deadline, and the post-drain shutdown closes closedCh.
+func (d *Daemon) await(sid uint64) Response {
+	ch, err := d.mgr.Wait(sid)
+	if err != nil {
+		return Response{Err: err.Error()}
+	}
+	select {
+	case out := <-ch:
+		return outcomeResponse(out)
+	case <-d.closedCh:
+		return Response{Err: "daemon shutting down"}
+	}
+}
+
+func outcomeResponse(out Outcome) Response {
+	resp := Response{OK: true, SID: out.SID, State: out.State.String(),
+		Err: out.Err, LatencyNS: out.Latency.Nanoseconds()}
+	if out.Result != nil {
+		resp.Rounds = out.Result.Rounds
+		resp.Messages = out.Result.Messages
+		resp.Bytes = out.Result.Bytes
+		resp.Outputs = make(map[string]int, len(out.Result.Outputs))
+		for p, v := range out.Result.Outputs {
+			if vid, ok := v.(tree.VertexID); ok {
+				resp.Outputs[strconv.Itoa(int(p))] = int(vid)
+			}
+		}
+	}
+	return resp
+}
+
+func writeJSON(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf := binary.AppendUvarint(make([]byte, 0, len(body)+4), uint64(len(body)))
+	buf = append(buf, body...)
+	_, err = w.Write(buf)
+	return err
+}
+
+func readJSON(br *bufio.Reader, v any) error {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n > maxClientRequest {
+		return fmt.Errorf("session: request of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,160 @@
+// Package session is the serving layer: agreement as a service. A Daemon
+// hosts many concurrent TreeAA sessions multiplexed over a single set of
+// peer links — one duplex TCP connection per daemon pair, shared by every
+// session — instead of the one-shot, dedicated-mesh execution of
+// internal/transport. BKR-style ACS stacks amortize link cost exactly this
+// way: the links and their authentication are per-deployment, the protocol
+// instances are cheap tenants on top.
+//
+// # Architecture
+//
+//	client ──TCP──▶ server.go ──▶ Manager ──▶ engine (one goroutine/session)
+//	                                 ▲              │ outbound frames
+//	                                 │ inbound      ▼
+//	                              mux.go ◀──── per-peer outbox + flusher
+//	                                 │
+//	                           peer daemons
+//
+// Every frame on a peer link is a transport-framed wire session payload
+// (wire.SessionMsg / SessionEOR / SessionOpen / SessionAbort /
+// SessionDecide) carrying its session id, so one link interleaves every
+// session's rounds. The mux reader demultiplexes inbound frames to
+// per-session engines through bounded queues (backpressure: a daemon that
+// falls behind on one link stops reading it, which stalls the peers'
+// flushers, not the whole process); the flusher coalesces all sessions'
+// outbound frames into one batched conn.Write per peer per flush tick.
+//
+// The engines replicate internal/transport's round loop exactly — encode
+// once per payload, count messages and bytes at send (self-delivery
+// included), end-of-round barrier, terminate when done and all peers done —
+// so each session's Result is byte-identical to sim.Run on the same spec.
+// The origin daemon (where the session was submitted) assembles that Result
+// from its own record plus each peer's SessionDecide.
+package session
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"treeaa/internal/cli"
+	"treeaa/internal/core"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+// Spec describes one session: everything a daemon needs to run its seat
+// deterministically. It is what a client submits and what SessionOpen
+// carries to the peers.
+type Spec struct {
+	Tree   string        // cli.ParseTreeSpec spec, e.g. "path:16"
+	Seed   int64         // tree-spec seed (random shapes)
+	T      int           // corruption budget the machines tolerate
+	Inputs string        // cli.ParseInputs spec; "" spreads inputs
+	TTL    time.Duration // deadline from admission; 0 means server default
+}
+
+// State is a session's lifecycle position. Transitions are monotone:
+// Pending → Running → exactly one of the terminal states.
+type State int
+
+const (
+	StatePending State = iota // admitted, engine not yet stepping
+	StateRunning
+	StateDecided // terminal: Result assembled (origin) or seat decided (peer)
+	StateFailed  // terminal: aborted (rejection, engine error, peer abort)
+	StateExpired // terminal: deadline eviction
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool { return s >= StateDecided }
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateDecided:
+		return "decided"
+	case StateFailed:
+		return "failed"
+	case StateExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Outcome is a session's terminal report on its origin daemon.
+type Outcome struct {
+	SID    uint64
+	State  State
+	Err    string      // failure / expiry reason
+	Result *sim.Result // decided sessions only; DeepEqual to sim.Run
+	// Latency is admission → terminal, the closed-loop service time the
+	// bench reports percentiles of.
+	Latency time.Duration
+}
+
+// parsedSpec is a validated Spec, resolved against the daemon's n.
+type parsedSpec struct {
+	spec      Spec
+	tree      *tree.Tree
+	inputs    []tree.VertexID
+	maxRounds int
+	deadline  time.Duration // resolved TTL
+}
+
+// parseSpec validates a spec for an n-party deployment. Rejections here
+// happen before admission, so a malformed spec never occupies a slot.
+func parseSpec(spec Spec, n int, defaultTTL time.Duration) (parsedSpec, error) {
+	if spec.TTL < 0 {
+		return parsedSpec{}, fmt.Errorf("session: negative ttl %v", spec.TTL)
+	}
+	tr, err := cli.ParseTreeSpec(spec.Tree, spec.Seed)
+	if err != nil {
+		return parsedSpec{}, fmt.Errorf("session: tree spec: %w", err)
+	}
+	inputs, err := cli.ParseInputs(tr, spec.Inputs, n)
+	if err != nil {
+		return parsedSpec{}, fmt.Errorf("session: inputs: %w", err)
+	}
+	if spec.T < 0 || spec.T > math.MaxInt32 {
+		return parsedSpec{}, fmt.Errorf("session: t = %d out of range", spec.T)
+	}
+	if spec.T > 0 && n <= 3*spec.T {
+		return parsedSpec{}, fmt.Errorf("session: n = %d does not satisfy n > 3t for t = %d", n, spec.T)
+	}
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = defaultTTL
+	}
+	return parsedSpec{
+		spec:      spec,
+		tree:      tr,
+		inputs:    inputs,
+		maxRounds: core.Rounds(tr) + 2, // the repo-wide honest round budget
+		deadline:  ttl,
+	}, nil
+}
+
+// Oracle runs a spec through the sequential engine — the reference every
+// served session's Result must DeepEqual. The smoke and bench drivers, the
+// chaos soak and the tests all judge against it.
+func Oracle(n int, spec Spec) (*sim.Result, error) {
+	ps, err := parseSpec(spec, n, time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	machines := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := core.NewMachine(core.Config{Tree: ps.tree, N: n, T: spec.T,
+			ID: sim.PartyID(i), Input: ps.inputs[i]})
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+	}
+	return sim.Run(sim.Config{N: n, MaxCorrupt: spec.T, MaxRounds: ps.maxRounds}, machines)
+}

@@ -194,6 +194,8 @@ func (h *hostState) await(r int) error {
 			}
 		case <-timeout.C:
 			return fmt.Errorf("transport: adversary host: round %d barrier timed out after %v", r, e.opts.RoundTimeout)
+		case <-e.quit:
+			return fmt.Errorf("transport: adversary host: endpoint closed while waiting on round %d", r)
 		}
 	}
 	return nil

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// fakeConn is a non-nil net.Conn sentinel for the fake dialer; nothing ever
+// reads or writes it.
+type fakeConn struct{ net.Conn }
+
+// TestRetryDialBackoffSchedule pins the jittered exponential schedule with
+// a fake dialer: the k-th sleep is uniform in [c/2, c] for ceiling
+// c = min(base·2^k, cap), so with randn pinned to its maximum the waits are
+// exactly base, 2·base, ... capped at dialBackoffCap.
+func TestRetryDialBackoffSchedule(t *testing.T) {
+	var sleeps []time.Duration
+	fails := 0
+	const failures = 9
+	rc := retryConfig{
+		dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			if timeout <= 0 {
+				t.Errorf("dial attempt %d got non-positive timeout %v", fails, timeout)
+			}
+			if fails < failures {
+				fails++
+				return nil, errors.New("connection refused")
+			}
+			return fakeConn{}, nil
+		},
+		sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+		randn: func(n int64) int64 { return n - 1 }, // top of the jitter window
+	}
+	conn, err := retryDial("127.0.0.1:1", time.Now().Add(time.Hour), rc)
+	if err != nil || conn == nil {
+		t.Fatalf("retryDial: %v", err)
+	}
+	want := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond,
+		250 * time.Millisecond, 250 * time.Millisecond, 250 * time.Millisecond,
+	}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times, want %d: %v", len(sleeps), len(want), sleeps)
+	}
+	for i, d := range sleeps {
+		if d != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+// TestRetryDialJitterBounds: for every attempt the wait stays inside
+// [ceiling/2, ceiling] across the randn range, and randn is consulted with
+// the window size (so two dialers with different PRNG draws spread out).
+func TestRetryDialJitterBounds(t *testing.T) {
+	for _, frac := range []float64{0, 0.5, 1} {
+		var sleeps []time.Duration
+		fails := 0
+		rc := retryConfig{
+			dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+				if fails < 4 {
+					fails++
+					return nil, errors.New("refused")
+				}
+				return fakeConn{}, nil
+			},
+			sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+			randn: func(n int64) int64 { return int64(frac * float64(n-1)) },
+		}
+		if _, err := retryDial("x", time.Now().Add(time.Hour), rc); err != nil {
+			t.Fatal(err)
+		}
+		ceiling := dialBackoffBase
+		for i, d := range sleeps {
+			if d < ceiling/2 || d > ceiling {
+				t.Errorf("frac %.1f sleep %d = %v outside [%v, %v]", frac, i, d, ceiling/2, ceiling)
+			}
+			if ceiling *= 2; ceiling > dialBackoffCap {
+				ceiling = dialBackoffCap
+			}
+		}
+	}
+}
+
+// TestRetryDialDeadline: the loop returns the dial error (not a sleep) once
+// the next wait would cross the deadline, and an already-expired deadline
+// fails without dialing at all.
+func TestRetryDialDeadline(t *testing.T) {
+	dialErr := errors.New("refused")
+	slept := false
+	rc := retryConfig{
+		dial:  func(addr string, timeout time.Duration) (net.Conn, error) { return nil, dialErr },
+		sleep: func(d time.Duration) { slept = true },
+		randn: func(n int64) int64 { return n - 1 },
+	}
+	if _, err := retryDial("x", time.Now().Add(time.Millisecond), rc); !errors.Is(err, dialErr) {
+		t.Errorf("near deadline: got %v, want the dial error", err)
+	}
+	if slept {
+		t.Error("slept past the deadline instead of returning")
+	}
+
+	dialed := false
+	rc.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		dialed = true
+		return nil, dialErr
+	}
+	if _, err := retryDial("x", time.Now().Add(-time.Second), rc); err == nil {
+		t.Error("expired deadline: expected an error")
+	}
+	if dialed {
+		t.Error("dialed after the deadline")
+	}
+}

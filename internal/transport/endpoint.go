@@ -28,10 +28,10 @@ type Options struct {
 	// (protocol payloads plus hello/mirror/eor overhead).
 	Stats *metrics.WireStats
 
-	// Dialer establishes outgoing connections; nil means dialRetry
-	// (net.DialTimeout with exponential backoff until the deadline). The
-	// chaos layer substitutes a dialer to delay or refuse connection
-	// establishment.
+	// Dialer establishes outgoing connections; nil means DialRetry
+	// (net.DialTimeout with jittered exponential backoff until the
+	// deadline). The chaos layer substitutes a dialer to delay or refuse
+	// connection establishment.
 	Dialer func(addr string, deadline time.Time) (net.Conn, error)
 	// WrapConn, when non-nil, wraps every *outgoing* connection of an
 	// ordered link (from → to) right after it is dialed — initial dials and
@@ -80,7 +80,7 @@ func (o Options) withDefaults() Options {
 		o.Stats = &metrics.WireStats{}
 	}
 	if o.Dialer == nil {
-		o.Dialer = dialRetry
+		o.Dialer = DialRetry
 	}
 	if len(o.CrashPlan) > 0 {
 		o.Reconnect = true
@@ -294,29 +294,6 @@ func (e *endpoint) start() error {
 		return fmt.Errorf("transport: setup timed out with %d peer connections outstanding", left)
 	}
 	return nil
-}
-
-// dialRetry dials with exponential backoff until the deadline; peers come
-// up in arbitrary order, so early connection refusals are expected.
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
-	backoff := 5 * time.Millisecond
-	for {
-		timeout := time.Until(deadline)
-		if timeout <= 0 {
-			return nil, fmt.Errorf("dial deadline exceeded")
-		}
-		conn, err := net.DialTimeout("tcp", addr, timeout)
-		if err == nil {
-			return conn, nil
-		}
-		if time.Now().Add(backoff).After(deadline) {
-			return nil, err
-		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > 250*time.Millisecond {
-			backoff = 250 * time.Millisecond
-		}
-	}
 }
 
 func (e *endpoint) track(conn net.Conn) {

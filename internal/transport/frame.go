@@ -48,6 +48,16 @@ const (
 	frameEOR      byte = 0x04
 	frameHelloAck byte = 0x05
 
+	// FrameMuxSession and FrameMuxHello are the envelope tags of the serving
+	// layer's session mux (internal/session), which shares this package's
+	// length-prefixed stream format so FrameInfo can classify its traffic
+	// too. A mux session frame wraps one wire session body
+	// (wire.SessionMsg/EOR/Open/Abort/Decide); a mux hello opens a duplex
+	// daemon-pair link. Distinct tags are required because wire.Version
+	// (0x01) collides with frameHello as a first body byte.
+	FrameMuxSession byte = 0x06
+	FrameMuxHello   byte = 0x07
+
 	// transportVersion is independent of wire.Version: framing and payload
 	// codec can evolve separately. Version 2 added the hello flags byte and
 	// the hello-ack frame for the reconnect path.
@@ -89,6 +99,19 @@ type hello struct {
 func appendFrame(dst, body []byte) []byte {
 	dst = wire.AppendUvarint(dst, uint64(len(body)))
 	return append(dst, body...)
+}
+
+// AppendFrame exposes the stream framing to the session mux: it appends
+// uvarint(len(body)) | body to dst. The body's first byte must be a frame
+// type tag (the mux uses FrameMuxSession / FrameMuxHello).
+func AppendFrame(dst, body []byte) []byte {
+	return appendFrame(dst, body)
+}
+
+// ReadFrame reads one length-prefixed frame body from the stream; the
+// exported form feeds the session mux's link readers.
+func ReadFrame(br *bufio.Reader) ([]byte, error) {
+	return readFrame(br)
 }
 
 func encodeHello(h hello) []byte {
@@ -248,22 +271,58 @@ func parseFrame(body []byte) (frame, error) {
 	}
 }
 
-// FrameInfo peeks at one encoded frame as the transport hands it to
+// FrameInfo peeks at an encoded frame buffer as the transport hands it to
 // conn.Write: the round it belongs to, and whether it is a handshake
-// control frame (hello / hello-ack) that carries no round. It exists for
-// the chaos injector, which wraps connections at the net.Conn boundary and
-// keys its fault windows on rounds without re-implementing the framing.
-// ok is false when b is not a single well-formed frame.
+// control frame (hello / hello-ack / session open-abort-decide) that
+// carries no round. It exists for the chaos injector, which wraps
+// connections at the net.Conn boundary and keys its fault windows on rounds
+// without re-implementing the framing.
+//
+// The buffer is classified by its *first* frame: the round engines write
+// one frame per call, and the session mux writes batches whose frames all
+// left one flush tick (so a window keyed on the head is as precise as a
+// batched link can be — rounds of different sessions interleave freely in a
+// batch anyway). ok is false when b does not start with a well-formed
+// frame.
 func FrameInfo(b []byte) (round int, control bool, ok bool) {
-	n, body, err := wire.ConsumeUvarint(b)
-	if err != nil || uint64(len(body)) != n || n == 0 {
+	n, rest, err := wire.ConsumeUvarint(b)
+	if err != nil || uint64(len(rest)) < n || n == 0 {
 		return 0, false, false
 	}
+	body := rest[:n]
 	switch body[0] {
-	case frameHello, frameHelloAck:
+	case frameHello, frameHelloAck, FrameMuxHello:
 		return 0, true, true
 	case frameMsg, frameMirror, frameEOR:
 		r, _, err := consumeRound(body[1:])
+		if err != nil {
+			return 0, false, false
+		}
+		return r, false, true
+	case FrameMuxSession:
+		return muxSessionInfo(body[1:])
+	default:
+		return 0, false, false
+	}
+}
+
+// muxSessionInfo classifies one wire session body: SessionMsg and
+// SessionEOR carry a round (after the session id); SessionOpen, SessionAbort
+// and SessionDecide are session-control traffic with no round.
+func muxSessionInfo(b []byte) (round int, control bool, ok bool) {
+	if len(b) < 2 || b[0] != wire.Version {
+		return 0, false, false
+	}
+	typ := b[1]
+	switch typ {
+	case wire.TypeSessionOpen, wire.TypeSessionAbort, wire.TypeSessionDecide:
+		return 0, true, true
+	case wire.TypeSessionMsg, wire.TypeSessionEOR:
+		_, rest, err := wire.ConsumeUvarint(b[2:]) // session id
+		if err != nil {
+			return 0, false, false
+		}
+		r, _, err := consumeRound(rest)
 		if err != nil {
 			return 0, false, false
 		}

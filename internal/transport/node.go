@@ -147,6 +147,10 @@ func awaitBarrier(e *endpoint, st *roundState, self sim.PartyID, r int, peers []
 			}
 		case <-timeout.C:
 			return fmt.Errorf("transport: party %d: round %d barrier timed out after %v", self, r, e.opts.RoundTimeout)
+		case <-e.quit:
+			// Shutdown (deployment abort or context cancellation) while
+			// blocked: exit promptly instead of riding out the round timeout.
+			return fmt.Errorf("transport: party %d: endpoint closed while waiting on round %d", self, r)
 		}
 	}
 	return nil

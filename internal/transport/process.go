@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -36,6 +37,12 @@ type ProcessConfig struct {
 	// DeriveSession computes one from the shared parameters.
 	Session uint64
 	Opts    Options
+	// Ctx, when non-nil, cancels the seat: on Done the endpoint shuts down,
+	// which unblocks the round loop's barrier wait and closes the accept and
+	// read loops, so a SIGINT'd daemon exits promptly without leaking
+	// goroutines. In-flight frames already queued to peers are flushed by
+	// the normal shutdown path.
+	Ctx context.Context
 }
 
 // ProcessResult is one process's share of the execution.
@@ -114,6 +121,7 @@ func RunProcess(cfg ProcessConfig) (*ProcessResult, error) {
 			ep := newEndpoint([]sim.PartyID{cfg.ID}, cfg.N, cfg.Addrs, cfg.Session, nil, opts)
 			host.swap(ep)
 			nc.ep, nc.crashRound = ep, crashRound
+			defer watchCancel(cfg.Ctx, func() { host.close(); ep.shutdown(false) })()
 			res, err := superviseNode(nc, host, opts)
 			if err != nil {
 				return nil, err
@@ -125,6 +133,7 @@ func RunProcess(cfg ProcessConfig) (*ProcessResult, error) {
 			map[sim.PartyID]net.Listener{cfg.ID: ln}, opts)
 		defer ep.shutdown(false)
 		nc.ep = ep
+		defer watchCancel(cfg.Ctx, func() { ep.shutdown(false) })()
 		res, err := runNode(nc)
 		if err != nil {
 			return nil, err
@@ -153,12 +162,30 @@ func RunProcess(cfg ProcessConfig) (*ProcessResult, error) {
 	}
 	ep := newEndpoint(corrupted, cfg.N, cfg.Addrs, cfg.Session, listeners, cfg.Opts)
 	defer ep.shutdown(false)
+	defer watchCancel(cfg.Ctx, func() { ep.shutdown(false) })()
 	res, err := runAdversaryHost(hostConfig{corrupted: corrupted, n: cfg.N,
 		maxRounds: cfg.MaxRounds, adv: cfg.Adversary, ep: ep})
 	if err != nil {
 		return nil, err
 	}
 	return &ProcessResult{Rounds: res.termRound, Messages: sum(res.msgs), Bytes: sum(res.bytes)}, nil
+}
+
+// watchCancel runs stop when ctx is cancelled; the returned release func
+// retires the watcher when the seat finishes first. A nil ctx is a no-op.
+func watchCancel(ctx context.Context, stop func()) func() {
+	if ctx == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 func sum(xs []int) int {

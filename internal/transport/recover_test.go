@@ -187,9 +187,9 @@ func TestDialRetrySucceedsLate(t *testing.T) {
 		mu.Unlock()
 	}()
 
-	conn, err := dialRetry(addr, time.Now().Add(2*time.Second))
+	conn, err := DialRetry(addr, time.Now().Add(2*time.Second))
 	if err != nil {
-		t.Fatalf("dialRetry never reached the late listener: %v", err)
+		t.Fatalf("DialRetry never reached the late listener: %v", err)
 	}
 	conn.Close()
 }
@@ -205,18 +205,18 @@ func TestDialRetryDeadline(t *testing.T) {
 	ln.Close()
 
 	start := time.Now()
-	if _, err := dialRetry(addr, time.Now().Add(80*time.Millisecond)); err == nil {
-		t.Fatal("dialRetry succeeded against a closed port")
+	if _, err := DialRetry(addr, time.Now().Add(80*time.Millisecond)); err == nil {
+		t.Fatal("DialRetry succeeded against a closed port")
 	}
 	if waited := time.Since(start); waited > 2*time.Second {
-		t.Errorf("dialRetry took %v to give up on an 80ms deadline", waited)
+		t.Errorf("DialRetry took %v to give up on an 80ms deadline", waited)
 	}
 }
 
 // TestDialRetryExpiredDeadline: an already-expired deadline fails without
 // dialing at all.
 func TestDialRetryExpiredDeadline(t *testing.T) {
-	if _, err := dialRetry("127.0.0.1:1", time.Now().Add(-time.Second)); err == nil {
-		t.Fatal("dialRetry accepted an expired deadline")
+	if _, err := DialRetry("127.0.0.1:1", time.Now().Add(-time.Second)); err == nil {
+		t.Fatal("DialRetry accepted an expired deadline")
 	}
 }

@@ -50,6 +50,14 @@ func goldenPayloads() map[string]any {
 			Signer: []sim.PartyID{2, 0},
 			Sigs:   [][]byte{bytes.Repeat([]byte{0xAB}, 64), {0x01, 0x02}},
 		},
+		"session_msg": SessionMsg{SID: 1<<48 | 42, Round: 3,
+			Payload: gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5}},
+		"session_eor": SessionEOR{SID: 1<<48 | 42, Round: 7, Done: true},
+		"session_open": SessionOpen{SID: 2<<48 | 1, Tree: "path:16", Seed: -7,
+			T: 2, Inputs: "0,5,10,15", TTLMillis: 30_000},
+		"session_abort": SessionAbort{SID: 2<<48 | 1, Reason: "deadline exceeded"},
+		"session_decide": SessionDecide{SID: 1<<48 | 42, Party: 3, V: 12,
+			DoneRound: 5, TermRound: 6, Msgs: 1234, Bytes: 1 << 17},
 	}
 }
 

@@ -119,6 +119,16 @@ func Append(dst []byte, payload any) ([]byte, error) {
 		return appendID(dst, int(m.V))
 	case exactaa.ChainMsg:
 		return appendChain(dst, m)
+	case SessionMsg:
+		return appendSessionMsg(dst, m)
+	case SessionEOR:
+		return appendSessionEOR(dst, m)
+	case SessionOpen:
+		return appendSessionOpen(dst, m)
+	case SessionAbort:
+		return appendSessionAbort(dst, m)
+	case SessionDecide:
+		return appendSessionDecide(dst, m)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
 	}
@@ -134,7 +144,8 @@ func EncodedSize(payload any) (int, error) {
 	}
 	switch payload.(type) {
 	case gradecast.SendMsg, gradecast.EchoMsg, gradecast.VoteMsg,
-		realaa.DLPSWMsg, crashaa.ValueMsg, baseline.VertexMsg, exactaa.ChainMsg:
+		realaa.DLPSWMsg, crashaa.ValueMsg, baseline.VertexMsg, exactaa.ChainMsg,
+		SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide:
 		return s.Size(), nil
 	}
 	return 0, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
@@ -170,6 +181,16 @@ func Decode(b []byte) (any, error) {
 		payload, rest, err = decodeVertex(rest)
 	case TypeExactChain:
 		payload, rest, err = decodeChain(rest)
+	case TypeSessionMsg:
+		payload, rest, err = decodeSessionMsg(rest)
+	case TypeSessionEOR:
+		payload, rest, err = decodeSessionEOR(rest)
+	case TypeSessionOpen:
+		payload, rest, err = decodeSessionOpen(rest)
+	case TypeSessionAbort:
+		payload, rest, err = decodeSessionAbort(rest)
+	case TypeSessionDecide:
+		payload, rest, err = decodeSessionDecide(rest)
 	default:
 		return nil, malformed("unknown type 0x%02x", typ)
 	}

@@ -40,6 +40,18 @@ func samplePayloads() []any {
 			Sigs:   [][]byte{bytes.Repeat([]byte{0xAB}, 64), {}, {0x01, 0x02}},
 		},
 		exactaa.ChainMsg{Tag: "", Sender: 0, V: 0},
+		SessionMsg{SID: 1, Round: 1,
+			Payload: gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5}},
+		SessionMsg{SID: 1<<48 | 7, Round: 300,
+			Payload: baseline.VertexMsg{Tag: "baseline", Iter: 5, V: 39}},
+		SessionEOR{SID: 0, Round: 1, Done: false},
+		SessionEOR{SID: math.MaxUint64, Round: 12, Done: true},
+		SessionOpen{SID: 9, Tree: "path:16", Seed: -3, T: 2, Inputs: "0,5,10,15", TTLMillis: 30_000},
+		SessionOpen{SID: 1, Tree: "random:20", Seed: 1 << 40, T: 0, Inputs: "", TTLMillis: 0},
+		SessionAbort{SID: 77, Reason: "session capacity reached"},
+		SessionAbort{SID: 0, Reason: ""},
+		SessionDecide{SID: 5, Party: 3, V: 12, DoneRound: 4, TermRound: 5, Msgs: 1234, Bytes: 1 << 20},
+		SessionDecide{SID: 1, Party: 0, V: 0, DoneRound: 1, TermRound: 1, Msgs: 0, Bytes: 0},
 	}
 }
 
@@ -214,6 +226,14 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		gradecast.EchoMsg{Tag: "t", Iter: 1, Vals: map[sim.PartyID]float64{-1: 0}},
 		baseline.VertexMsg{Tag: "t", Iter: 1, V: -2},
 		exactaa.ChainMsg{Tag: "t", Sender: -1},
+		SessionMsg{SID: 1, Round: 0, Payload: gradecast.SendMsg{Tag: "t"}},
+		SessionMsg{SID: 1, Round: 1, Payload: SessionAbort{SID: 1}}, // no nesting
+		SessionMsg{SID: 1, Round: 1, Payload: nil},
+		SessionEOR{SID: 1, Round: -1},
+		SessionOpen{SID: 1, Tree: "path:4", T: -1},
+		SessionDecide{SID: 1, Party: -1, DoneRound: 1, TermRound: 1},
+		SessionDecide{SID: 1, Party: 0, DoneRound: 0, TermRound: 1},
+		SessionDecide{SID: 1, Party: 0, DoneRound: 1, TermRound: 1, Msgs: -1},
 	}
 	for _, p := range cases {
 		if enc, err := Encode(p); err == nil {
