@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke serve-smoke chaos-soak cover bench bench-sim bench-serve fuzz fuzz-short prop check examples experiments clean
+.PHONY: all build test race race-sim node-smoke serve-smoke chaos-soak cover bench bench-sim bench-serve bench-compare fuzz fuzz-short prop check examples experiments clean
 
 all: build test race-sim node-smoke serve-smoke chaos-soak
 
@@ -69,6 +69,12 @@ bench-serve:
 	$(GO) run ./cmd/serve-bench -json > BENCH_service.json
 	@cat BENCH_service.json
 
+# Serving-layer perf regression gate: rerun the bench grid and fail if any
+# cell drops below 80% of the committed BENCH_service.json sessions/sec.
+# (Machine-sensitive — run on hardware comparable to the committed rows.)
+bench-compare:
+	$(GO) run ./cmd/serve-bench -json -compare BENCH_service.json > /dev/null
+
 # Short fuzz pass over every fuzz target (tree parsing, Prüfer codec,
 # Euler-list invariants, hull/safe-area cross-checks, wire decoding).
 fuzz:
@@ -97,9 +103,16 @@ prop:
 	$(GO) test -race -count=1 -run Differential ./internal/check/
 	$(GO) run ./cmd/check -budget 100 -seeds 1-3
 
-# Tier-1-adjacent gate: build + vet + tests, then the property and short
-# fuzz passes.
-check: build test prop fuzz-short
+# Tier-1-adjacent gate: build + vet + tests, a quick serve-bench cell (the
+# serving layer under real closed-loop load, oracle-checked), then the
+# property and short fuzz passes.
+check: build test bench-serve-smoke prop fuzz-short
+
+# One fast serve-bench cell as a smoke: small cluster, short window; fails
+# on any oracle mismatch or client error.
+.PHONY: bench-serve-smoke
+bench-serve-smoke:
+	$(GO) run ./cmd/serve-bench -cluster 3 -workers 16 -duration 2s
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -9,7 +9,10 @@
 //
 // With -json it emits the measurement rows as JSON on stdout — the format
 // committed as BENCH_service.json — sweeping a small worker grid so the
-// file shows how throughput and tail latency move with concurrency.
+// file shows how throughput and tail latency move with concurrency. With
+// -compare FILE the fresh rows are checked against the committed ones and
+// the run exits nonzero on a >20% sessions/sec regression in any cell —
+// the `make bench-compare` gate.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,20 +31,26 @@ import (
 	"treeaa/internal/sim"
 )
 
-// Row is one bench cell: a worker count driven for a duration.
+// Row is one bench cell: a worker count driven for a duration. Allocation
+// and byte figures are whole-deployment per decided session: AllocsPerSess
+// is the process-wide malloc delta across the load window (all n daemons
+// plus the clients — the figure the profile work optimises), BytesPerSess
+// is peer-link batch bytes plus client API bytes actually written.
 type Row struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
-	Workers     int     `json:"workers"`
-	Tree        string  `json:"tree"`
-	Sessions    int     `json:"sessions"`
-	Mismatches  int     `json:"mismatches"`
-	SessionsSec float64 `json:"sessions_per_sec"`
-	P50NS       int64   `json:"p50_ns"`
-	P90NS       int64   `json:"p90_ns"`
-	P99NS       int64   `json:"p99_ns"`
-	MeanBatch   float64 `json:"mean_frames_per_batch"`
-	ElapsedNS   int64   `json:"elapsed_ns"`
+	Name          string  `json:"name"`
+	N             int     `json:"n"`
+	Workers       int     `json:"workers"`
+	Tree          string  `json:"tree"`
+	Sessions      int     `json:"sessions"`
+	Mismatches    int     `json:"mismatches"`
+	SessionsSec   float64 `json:"sessions_per_sec"`
+	P50NS         int64   `json:"p50_ns"`
+	P90NS         int64   `json:"p90_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	MeanBatch     float64 `json:"mean_frames_per_batch"`
+	AllocsPerSess float64 `json:"allocs_per_session"`
+	BytesPerSess  float64 `json:"bytes_per_session"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
 }
 
 func main() {
@@ -52,11 +62,18 @@ func main() {
 		tFlag    = flag.Int("t", 0, "corruption budget of the driven sessions")
 		seed     = flag.Int64("seed", 1, "tree-spec seed")
 		jsonOut  = flag.Bool("json", false, "sweep a worker grid and emit JSON rows (BENCH_service.json format)")
+		compare  = flag.String("compare", "", "committed rows file (BENCH_service.json); with -json, fail on a >20% sessions/sec regression")
 	)
+	var prof cli.Profile
+	prof.RegisterFlags()
 	flag.Parse()
-	var err error
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve-bench:", err)
+		os.Exit(1)
+	}
 	if *jsonOut {
-		err = runJSON(*n, *treeSpec, *tFlag, *seed, *duration)
+		err = runJSON(*n, *treeSpec, *tFlag, *seed, *duration, *compare)
 	} else {
 		var row *Row
 		row, err = runCell(*n, *workers, *treeSpec, *tFlag, *seed, *duration)
@@ -71,14 +88,17 @@ func main() {
 			}
 		}
 	}
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve-bench:", err)
 		os.Exit(1)
 	}
 }
 
-// runJSON sweeps a worker grid and writes the rows as indented JSON.
-func runJSON(n int, treeSpec string, t int, seed int64, duration time.Duration) error {
+// runJSON sweeps a worker grid and writes the rows as indented JSON. With a
+// compare file it then checks every fresh cell against the committed row of
+// the same name and fails on a >20% sessions/sec regression.
+func runJSON(n int, treeSpec string, t int, seed int64, duration time.Duration, compare string) error {
 	var rows []*Row
 	for _, w := range []int{8, 64, 256} {
 		row, err := runCell(n, w, treeSpec, t, seed, duration)
@@ -89,12 +109,58 @@ func runJSON(n int, treeSpec string, t int, seed int64, duration time.Duration) 
 			return fmt.Errorf("%s: %d oracle mismatches", row.Name, row.Mismatches)
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(os.Stderr, "serve-bench: %s: %.0f sessions/sec, p99 %v\n",
-			row.Name, row.SessionsSec, time.Duration(row.P99NS))
+		fmt.Fprintf(os.Stderr, "serve-bench: %s: %.0f sessions/sec, p99 %v, %.0f allocs/session\n",
+			row.Name, row.SessionsSec, time.Duration(row.P99NS), row.AllocsPerSess)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	if err := enc.Encode(rows); err != nil {
+		return err
+	}
+	if compare == "" {
+		return nil
+	}
+	return compareRows(rows, compare)
+}
+
+// compareRows gates on the committed baseline: every fresh row whose name
+// appears in the committed file must hold ≥80% of its committed
+// sessions/sec. Committed cells with no fresh counterpart (or vice versa)
+// are reported but don't fail — grids may grow.
+func compareRows(fresh []*Row, path string) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-compare: %w", err)
+	}
+	var committed []*Row
+	if err := json.Unmarshal(body, &committed); err != nil {
+		return fmt.Errorf("-compare %s: %w", path, err)
+	}
+	baseline := make(map[string]*Row, len(committed))
+	for _, r := range committed {
+		baseline[r.Name] = r
+	}
+	var regressions int
+	for _, r := range fresh {
+		base, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "serve-bench: compare: %s has no committed baseline\n", r.Name)
+			continue
+		}
+		floor := 0.8 * base.SessionsSec
+		if r.SessionsSec < floor {
+			regressions++
+			fmt.Fprintf(os.Stderr, "serve-bench: REGRESSION %s: %.0f sessions/sec < 80%% of committed %.0f\n",
+				r.Name, r.SessionsSec, base.SessionsSec)
+		} else {
+			fmt.Fprintf(os.Stderr, "serve-bench: compare ok %s: %.0f sessions/sec vs committed %.0f\n",
+				r.Name, r.SessionsSec, base.SessionsSec)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d cells regressed >20%% vs %s", regressions, path)
+	}
+	return nil
 }
 
 // runCell drives one closed-loop cell: workers clients, each submitting
@@ -134,6 +200,8 @@ func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.D
 		mismatches int
 		firstErr   error
 	)
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	deadline := time.Now().Add(duration)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -177,23 +245,32 @@ func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.D
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 	if firstErr != nil {
 		return nil, firstErr
 	}
 
 	lat := metrics.Summarize(latencies)
+	var allocsPer, bytesPer float64
+	if sessions > 0 {
+		allocsPer = float64(after.Mallocs-before.Mallocs) / float64(sessions)
+		bytesPer = float64(stats.BatchBytes.Load()+stats.ClientBytes.Load()) / float64(sessions)
+	}
 	return &Row{
-		Name:        fmt.Sprintf("serve/n=%d/workers=%d", n, workers),
-		N:           n,
-		Workers:     workers,
-		Tree:        treeSpec,
-		Sessions:    sessions,
-		Mismatches:  mismatches,
-		SessionsSec: float64(sessions) / elapsed.Seconds(),
-		P50NS:       int64(lat.P50),
-		P90NS:       int64(lat.P90),
-		P99NS:       int64(lat.P99),
-		MeanBatch:   stats.BatchOccupancy(),
-		ElapsedNS:   elapsed.Nanoseconds(),
+		Name:          fmt.Sprintf("serve/n=%d/workers=%d", n, workers),
+		N:             n,
+		Workers:       workers,
+		Tree:          treeSpec,
+		Sessions:      sessions,
+		Mismatches:    mismatches,
+		SessionsSec:   float64(sessions) / elapsed.Seconds(),
+		P50NS:         int64(lat.P50),
+		P90NS:         int64(lat.P90),
+		P99NS:         int64(lat.P99),
+		MeanBatch:     stats.BatchOccupancy(),
+		AllocsPerSess: allocsPer,
+		BytesPerSess:  bytesPer,
+		ElapsedNS:     elapsed.Nanoseconds(),
 	}, nil
 }

@@ -1,19 +1,21 @@
 // Command serve runs one daemon of an agreement-as-a-service deployment: it
 // joins the daemon mesh (one duplex TCP link per daemon pair, shared by
-// every session), accepts client sessions over a length-prefixed JSON API,
-// and runs this seat's engine for each admitted session. Many sessions run
-// concurrently, multiplexed and batched over the same links; each decided
-// session's Result is byte-identical to the sequential sim.Run on the same
-// spec.
+// every session), accepts client sessions over a framed binary wire API,
+// and steps this seat's engine for each admitted session on a sharded
+// worker pool. Many sessions run concurrently, multiplexed and batched over
+// the same links; each decided session's Result is byte-identical to the
+// sequential sim.Run on the same spec.
 //
 // A deployment is one process per seat; the peers file has one "host:port"
 // per line, line i = daemon i's peer listen address:
 //
 //	serve -id 0 -peers peers.txt -client 127.0.0.1:7000
 //
-// Clients then submit to any daemon (see internal/session.Client):
+// Clients then submit to any daemon via internal/session.DialClient. The
+// pre-binary JSON protocol is still served when every daemon runs with
+// -json-api (clients use DialJSONClient):
 //
-//	{"op":"submit","tree":"path:16","wait":true}
+//	serve -id 0 -peers peers.txt -json-api
 //
 // The -cluster mode is a self-contained smoke test: it starts the whole
 // deployment in-process on loopback, drives -sessions concurrent sessions
@@ -64,8 +66,18 @@ func main() {
 		setupTO    = flag.Duration("setup-timeout", 10*time.Second, "mesh construction budget")
 		roundTO    = flag.Duration("round-timeout", 60*time.Second, "per-round barrier budget")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		shards     = flag.Int("shards", 0, "engine-pool width (0 = one per core, capped at 16)")
+		flushOcc   = flag.Int("flush-occupancy", 0, "frames that cut a coalescing flush short (0 = default 32)")
+		jsonAPI    = flag.Bool("json-api", false, "serve the legacy length-prefixed JSON client API instead of the binary protocol")
 	)
+	var prof cli.Profile
+	prof.RegisterFlags()
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -74,14 +86,15 @@ func main() {
 		FlushInterval: *flushEvery, MaxBatchBytes: *batchBytes,
 		DefaultTTL: *defaultTTL, SetupTimeout: *setupTO,
 		RoundTimeout: *roundTO, DrainTimeout: *drainTO,
+		Shards: *shards, FlushOccupancy: *flushOcc, JSONClientAPI: *jsonAPI,
 		Stats: &metrics.ServeStats{},
 	}
-	var err error
 	if *cluster > 0 {
 		err = runSmoke(ctx, *cluster, *sessions, *treeSpec, *tFlag, *seed, opts)
 	} else {
 		err = runSeat(ctx, *id, *peersFile, *clientAddr, opts)
 	}
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -168,7 +181,11 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 				mu.Unlock()
 			}
 			s := specFor(i)
-			cl, err := session.DialClient(c.ClientAddr(i%n), opts.SetupTimeout)
+			dial := session.DialClient
+			if opts.JSONClientAPI {
+				dial = session.DialJSONClient
+			}
+			cl, err := dial(c.ClientAddr(i%n), opts.SetupTimeout)
 			if err != nil {
 				fail("dial: %v", err)
 				return

@@ -22,9 +22,11 @@ type ServeStats struct {
 	Failed            atomic.Int64
 	Expired           atomic.Int64 // deadline evictions (a subset of terminal failures)
 
-	Batches     atomic.Int64 // flushes: exactly one conn.Write each
-	BatchFrames atomic.Int64 // session frames carried inside those writes
-	BatchBytes  atomic.Int64
+	Batches          atomic.Int64 // flushes: exactly one conn.Write each
+	BatchFrames      atomic.Int64 // session frames carried inside those writes
+	BatchBytes       atomic.Int64
+	BatchesCoalesced atomic.Int64 // flushes cut by the occupancy threshold, not the deadline
+	ClientBytes      atomic.Int64 // client-API bytes written (binary protocol only)
 
 	mu      sync.Mutex
 	sessLat []float64 // nanoseconds from admission to terminal state
@@ -59,10 +61,11 @@ func (s *ServeStats) String() string {
 	lat := s.SessionLatency()
 	return fmt.Sprintf("sessions %d submitted / %d admitted / %d decided / %d failed (%d expired); "+
 		"rejected %d capacity + %d duplicate; "+
-		"%d batches carrying %d frames (%.1f frames/batch, %d bytes); "+
-		"session latency p50 %v p99 %v",
+		"%d batches carrying %d frames (%.1f frames/batch, %d bytes, %d occupancy-cut); "+
+		"%d client bytes; session latency p50 %v p99 %v",
 		s.Submitted.Load(), s.Admitted.Load(), s.Decided.Load(), s.Failed.Load(), s.Expired.Load(),
 		s.RejectedCapacity.Load(), s.RejectedDuplicate.Load(),
 		s.Batches.Load(), s.BatchFrames.Load(), s.BatchOccupancy(), s.BatchBytes.Load(),
+		s.BatchesCoalesced.Load(), s.ClientBytes.Load(),
 		time.Duration(lat.P50), time.Duration(lat.P99))
 }

@@ -9,19 +9,26 @@ import (
 	"time"
 
 	"treeaa/internal/sim"
+	"treeaa/internal/transport"
 	"treeaa/internal/tree"
+	"treeaa/internal/wire"
 )
 
-// Client speaks the length-prefixed JSON API to one daemon. It is safe for
-// concurrent use; requests on one client serialize over its connection, so
-// load generators open one client per worker.
+// Client speaks the client API to one daemon — the binary wire protocol by
+// default, the legacy JSON protocol when dialed with DialJSONClient. It is
+// safe for concurrent use; requests on one client serialize over its
+// connection, so load generators open one client per worker.
 type Client struct {
+	json bool
+
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
+	wbuf []byte
 }
 
-// DialClient connects to a daemon's client API address.
+// DialClient connects to a daemon's client API address, speaking the binary
+// protocol (the daemon's default).
 func DialClient(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -30,19 +37,92 @@ func DialClient(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
 }
 
-func (c *Client) Close() error { return c.conn.Close() }
+// DialJSONClient connects speaking the legacy length-prefixed JSON
+// protocol; the daemon must run with Options.JSONClientAPI.
+func DialJSONClient(addr string, timeout time.Duration) (*Client, error) {
+	c, err := DialClient(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.json = true
+	return c, nil
+}
 
 func (c *Client) do(req Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeJSON(c.conn, req); err != nil {
+	if c.json {
+		if err := writeJSON(c.conn, req); err != nil {
+			return nil, err
+		}
+		var resp Response
+		if err := readJSON(c.br, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	payload, err := clientPayload(req)
+	if err != nil {
 		return nil, err
 	}
-	var resp Response
-	if err := readJSON(c.br, &resp); err != nil {
+	body, err := wire.Encode(payload)
+	if err != nil {
 		return nil, err
 	}
-	return &resp, nil
+	c.wbuf = transport.AppendFrame(c.wbuf[:0], body)
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return nil, err
+	}
+	respBody, err := transport.ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := wire.Decode(respBody)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := decoded.(wire.ClientOutcome)
+	if !ok {
+		return nil, fmt.Errorf("session: unexpected %T from daemon", decoded)
+	}
+	return responseFromOutcome(out), nil
+}
+
+func (c *Client) Close() error { return c.conn.Close() }
+
+// clientPayload maps one Request onto its wire payload.
+func clientPayload(req Request) (any, error) {
+	switch req.Op {
+	case "submit":
+		ttl := req.TTLMS
+		if ttl < 0 {
+			ttl = 0
+		}
+		return wire.ClientSubmit{SID: req.SID, Tree: req.Tree, Seed: req.Seed, T: req.T,
+			Inputs: req.Inputs, TTLMillis: uint64(ttl), Wait: req.Wait}, nil
+	case "wait":
+		return wire.ClientWait{SID: req.SID}, nil
+	case "status":
+		return wire.ClientStatus{SID: req.SID}, nil
+	}
+	return nil, fmt.Errorf("session: unknown op %q", req.Op)
+}
+
+// responseFromOutcome is the inverse of the server's outcomeFrame.
+func responseFromOutcome(out wire.ClientOutcome) *Response {
+	resp := &Response{OK: out.OK, Err: out.Err, SID: out.SID,
+		LatencyNS: out.LatencyNS, Rounds: out.Rounds,
+		Messages: out.Msgs, Bytes: out.Bytes}
+	if out.State != wire.ClientStateNone {
+		resp.State = State(out.State).String()
+	}
+	if len(out.Outputs) > 0 {
+		resp.Outputs = make(map[string]int, len(out.Outputs))
+		for _, p := range out.Outputs {
+			resp.Outputs[strconv.Itoa(int(p.Party))] = int(p.V)
+		}
+	}
+	return resp
 }
 
 // Submit offers a session. sid 0 auto-assigns. With wait the call blocks

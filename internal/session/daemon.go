@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -19,16 +20,27 @@ type Options struct {
 	// MaxSessions caps non-terminal sessions on this daemon — the admission
 	// control knob. Submissions and peer opens beyond it are rejected.
 	MaxSessions int
-	// QueueDepth bounds each session's inbound frame queue. A full queue
-	// blocks the delivering link reader (backpressure on that peer's
-	// flusher), so depth trades peer decoupling against memory.
+	// QueueDepth scales the pending-frame buffers for sessions whose open
+	// has not arrived yet: QueueDepth/4 frames per session, 16×QueueDepth
+	// per shard. Frames beyond the bound drop (the setup timeout then fails
+	// the session); admitted sessions' queues are unbounded and drained by
+	// their shard worker.
 	QueueDepth int
-	// FlushInterval is the batching tick: the longest a queued outbound
-	// frame waits before its link's coalesced write.
+	// Shards is the engine-pool width: sessions hash to shards by id, one
+	// worker goroutine per shard. Defaults to min(GOMAXPROCS, 16).
+	Shards int
+	// FlushInterval is the longest a queued outbound frame waits for its
+	// link's coalesced write once the adaptive flusher decides to batch.
 	FlushInterval time.Duration
+	// FlushOccupancy cuts a coalescing wait short once this many frames are
+	// queued on a link.
+	FlushOccupancy int
 	// MaxBatchBytes kicks the flusher early when a link's outbox reaches
 	// this size, bounding batch memory under load.
 	MaxBatchBytes int
+	// JSONClientAPI serves the legacy length-prefixed JSON client protocol
+	// instead of the binary wire protocol (see DialJSONClient).
+	JSONClientAPI bool
 	// DefaultTTL is the session deadline applied when a spec's TTL is zero;
 	// it also sets how long terminal sessions linger for status queries.
 	DefaultTTL time.Duration
@@ -53,8 +65,20 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 256
 	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 16 {
+			o.Shards = 16
+		}
+		if o.Shards < 1 {
+			o.Shards = 1
+		}
+	}
 	if o.FlushInterval <= 0 {
 		o.FlushInterval = 200 * time.Microsecond
+	}
+	if o.FlushOccupancy <= 0 {
+		o.FlushOccupancy = 32
 	}
 	if o.MaxBatchBytes <= 0 {
 		o.MaxBatchBytes = 64 << 10
@@ -151,7 +175,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 
 	cluster := clusterHash(d.peerAddrs)
 	d.mgr = newManager(d)
-	d.mux = newMux(d.id, d.n, d.peerAddrs, cluster, d.opts, d.mgr.dispatch, d.mgr.linkDown)
+	d.mux = newMux(d.id, d.n, d.peerAddrs, cluster, d.opts, d.mgr.handleRaw, d.mgr.linkDown)
 	if err := d.mux.start(peerLn); err != nil {
 		clientLn.Close()
 		d.mux.close()

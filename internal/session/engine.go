@@ -10,172 +10,282 @@ import (
 	"treeaa/internal/wire"
 )
 
-// mailbox is one session seat's view of the lock-step structure: the same
-// rotation as internal/transport's roundState (keys are sending rounds,
-// round-r mail is consumed by Step(r+1)), minus the connection-failure
-// tracking — link failures fail the whole daemon pair here, not one session.
-type mailbox struct {
-	n    int
-	mail map[int]map[sim.PartyID][]sim.Message
-	eor  map[int]map[sim.PartyID]bool
+// rawEvent is one inbound in-session frame, still encoded: the zero-copy
+// hand-off from a link reader to the owning engine's shard. body is the wire
+// body exactly as read off the socket (transport.ReadFrame allocates a fresh
+// slice per frame, so retaining it is safe); it is decoded on the shard
+// worker, off the link's critical path.
+type rawEvent struct {
+	from sim.PartyID
+	body []byte
 }
 
-func newMailbox(n int) *mailbox {
-	return &mailbox{
-		n:    n,
-		mail: make(map[int]map[sim.PartyID][]sim.Message),
-		eor:  make(map[int]map[sim.PartyID]bool),
+// mslot is one slot of the engine's four-round ring mailbox. The lock-step
+// protocol bounds the live round window: while the engine awaits barrier r,
+// inbound frames can only carry rounds r or r+1 (a peer needs our eor(r) to
+// pass barrier r, and link FIFO delivers every round-r' message before
+// eor(r')), and slot r-1 is still being consumed by Step(r) — three live
+// rounds, so four slots indexed round&3 always leave the incoming slot
+// clean. Anything outside the window is a protocol violation that fails the
+// session. Slots are allocated once per engine and len-reset between rounds,
+// the arena discipline of internal/sim's engine.
+type mslot struct {
+	byParty [][]sim.Message // index: sender; emission order within a sender
+	eorSeen []bool
+	eorDone []bool
+	eors    int // peers whose eor arrived
+	dones   int // of those, how many reported done
+}
+
+// engine is one daemon's seat of one session as a state machine stepped by
+// its shard's worker — replacing the goroutine-per-session model (channel
+// queue, per-round timer, blocking barrier select) that dominated the serve
+// profile. All fields below the header are worker-owned: only the owning
+// shard's single worker goroutine touches them, so stepping takes no locks
+// and, with the slot ring and scratch buffers, no steady-state allocations.
+type engine struct {
+	s  *session
+	m  *Manager
+	sh *shard
+
+	// Worker-owned round state.
+	machine         sim.Machine
+	started         bool
+	round           int // barrier round currently awaited; 0 = not begun
+	maxRounds       int
+	n               int
+	output          any
+	done            bool
+	doneRound       int
+	msgs            int
+	bytes           int
+	barrierDeadline time.Time
+	slots           [4]mslot
+	inboxScratch    []sim.Message
+	frameScratch    []byte
+
+	// Queue state, guarded by shard.mu.
+	in      []rawEvent
+	inSpare []rawEvent
+	queued  bool // already on the shard's dirty list
+	gone    bool // removed from the shard; stale wakes are no-ops
+}
+
+func newEngine(m *Manager, sh *shard, s *session) *engine {
+	e := &engine{s: s, m: m, sh: sh, n: m.d.n, maxRounds: s.ps.maxRounds}
+	for i := range e.slots {
+		e.slots[i].byParty = make([][]sim.Message, e.n)
+		e.slots[i].eorSeen = make([]bool, e.n)
+		e.slots[i].eorDone = make([]bool, e.n)
 	}
+	return e
 }
 
-func (mb *mailbox) add(m sim.Message) {
-	box := mb.mail[m.Round]
-	if box == nil {
-		box = make(map[sim.PartyID][]sim.Message, mb.n)
-		mb.mail[m.Round] = box
+func (e *engine) slot(r int) *mslot { return &e.slots[r&3] }
+
+func (e *engine) dropSlot(r int) {
+	sl := e.slot(r)
+	for p := range sl.byParty {
+		sl.byParty[p] = sl.byParty[p][:0]
 	}
-	box[m.From] = append(box[m.From], m)
-}
-
-func (mb *mailbox) addEOR(r int, from sim.PartyID, done bool) error {
-	flags := mb.eor[r]
-	if flags == nil {
-		flags = make(map[sim.PartyID]bool, mb.n)
-		mb.eor[r] = flags
+	for p := range sl.eorSeen {
+		sl.eorSeen[p] = false
+		sl.eorDone[p] = false
 	}
-	if _, dup := flags[from]; dup {
-		return fmt.Errorf("duplicate eor(%d) from party %d", r, from)
+	sl.eors, sl.dones = 0, 0
+}
+
+// inWindow validates an inbound frame's round against the live window.
+func (e *engine) inWindow(r int) bool { return r >= e.round && r <= e.round+1 }
+
+// run is the engine's whole turn: begin if fresh, apply the queued frames,
+// then advance through any barriers they completed. It returns false when
+// the seat is finished (decided, failed, or the session went terminal
+// elsewhere) and the shard should retire the engine.
+func (e *engine) run(evs []rawEvent) bool {
+	if e.s.terminal.Load() {
+		return false
 	}
-	flags[from] = done
-	return nil
-}
-
-func (mb *mailbox) barrierDone(r, peers int) bool {
-	return len(mb.eor[r]) == peers
-}
-
-func (mb *mailbox) peersDone(r int) bool {
-	for _, done := range mb.eor[r] {
-		if !done {
+	if !e.started && !e.begin() {
+		return false
+	}
+	for _, ev := range evs {
+		if !e.apply(ev) {
 			return false
 		}
+	}
+	return e.advance()
+}
+
+// begin creates the machine and steps round 1. The origin broadcasts
+// SessionOpen before registering the engine, so our round-1 frames follow
+// the open on every link FIFO.
+func (e *engine) begin() bool {
+	e.started = true
+	d := e.m.d
+	machine, err := core.NewMachine(core.Config{Tree: e.s.ps.tree, N: d.n,
+		T: e.s.ps.spec.T, ID: d.id, Input: e.s.ps.inputs[d.id]})
+	if err != nil {
+		e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)
+		return false
+	}
+	if !e.m.setRunning(e.s) {
+		return false // evicted before the first step
+	}
+	e.machine = machine
+	return e.stepRound(1)
+}
+
+// apply decodes and files one raw frame. Round-window violations and
+// duplicate EORs fail the session: the mesh is trusted, so they are bugs,
+// not noise.
+func (e *engine) apply(ev rawEvent) bool {
+	payload, err := wire.Decode(ev.body)
+	if err != nil {
+		e.m.fail(e.s, StateFailed,
+			fmt.Sprintf("daemon %d: frame from daemon %d: %v", e.m.d.id, ev.from, err), true)
+		return false
+	}
+	switch p := payload.(type) {
+	case wire.SessionMsg:
+		if !e.inWindow(p.Round) {
+			e.m.fail(e.s, StateFailed, fmt.Sprintf(
+				"daemon %d: round %d message from daemon %d outside window [%d, %d]",
+				e.m.d.id, p.Round, ev.from, e.round, e.round+1), true)
+			return false
+		}
+		sl := e.slot(p.Round)
+		sl.byParty[ev.from] = append(sl.byParty[ev.from],
+			sim.Message{From: ev.from, To: e.m.d.id, Round: p.Round, Payload: p.Payload})
+	case wire.SessionEOR:
+		if !e.inWindow(p.Round) {
+			e.m.fail(e.s, StateFailed, fmt.Sprintf(
+				"daemon %d: eor(%d) from daemon %d outside window [%d, %d]",
+				e.m.d.id, p.Round, ev.from, e.round, e.round+1), true)
+			return false
+		}
+		sl := e.slot(p.Round)
+		if sl.eorSeen[ev.from] {
+			e.m.fail(e.s, StateFailed,
+				fmt.Sprintf("daemon %d: duplicate eor(%d) from party %d", e.m.d.id, p.Round, ev.from), true)
+			return false
+		}
+		sl.eorSeen[ev.from] = true
+		sl.eors++
+		if p.Done {
+			sl.eorDone[ev.from] = true
+			sl.dones++
+		}
+	default:
+		e.m.fail(e.s, StateFailed,
+			fmt.Sprintf("daemon %d: unexpected %T in session stream", e.m.d.id, payload), true)
+		return false
 	}
 	return true
 }
 
-// inbox concatenates round r's mail in ascending sender order, each
-// sender's messages in emission order — the per-link FIFO streams
-// reassembled into the delivery order sim's counting sort produces.
-func (mb *mailbox) inbox(r int) []sim.Message {
-	box := mb.mail[r]
-	if len(box) == 0 {
-		return nil
-	}
-	total := 0
-	for _, ms := range box {
-		total += len(ms)
-	}
-	out := make([]sim.Message, 0, total)
-	for p := sim.PartyID(0); int(p) < mb.n; p++ {
-		out = append(out, box[p]...)
-	}
-	return out
-}
-
-func (mb *mailbox) drop(r int) {
-	delete(mb.mail, r)
-	delete(mb.eor, r)
-}
-
-// runEngine executes this daemon's seat of one session: the transport round
-// loop (step → send → eor → barrier → decide) with session-framed traffic
-// multiplexed through the shared links instead of a dedicated mesh. Message
-// and byte accounting matches sim.Run exactly — counted at send, self-
-// delivery included, sized as the leaf payload's canonical encoding (the
-// session envelope is serving-layer overhead, not protocol cost).
-func (m *Manager) runEngine(s *session) {
-	d := m.d
-	machine, err := core.NewMachine(core.Config{Tree: s.ps.tree, N: d.n,
-		T: s.ps.spec.T, ID: d.id, Input: s.ps.inputs[d.id]})
-	if err != nil {
-		m.fail(s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)
-		return
-	}
-	if !m.setRunning(s) {
-		return // evicted before the first step
-	}
-
-	mb := newMailbox(d.n)
-	peers := d.n - 1
-	var (
-		output    any
-		done      bool
-		doneRound int
-		msgsSum   int
-		bytesSum  int
-	)
-	for r := 1; r <= s.ps.maxRounds; r++ {
-		out := machine.Step(r, mb.inbox(r-1))
-		mb.drop(r - 1)
-		if !done {
-			if v, ok := machine.Output(); ok {
-				output, done, doneRound = v, true, r
-			}
+// advance crosses every barrier the mailbox has completed: terminate when
+// this seat and all peers are done, otherwise step the next round. One
+// delivery batch can carry the engine across several rounds.
+func (e *engine) advance() bool {
+	for {
+		sl := e.slot(e.round)
+		if sl.eors < e.n-1 {
+			return true // barrier still open; wait for more frames
 		}
-
-		for _, raw := range out {
-			if raw.To != sim.Broadcast && (raw.To < 0 || int(raw.To) >= d.n) {
-				m.fail(s, StateFailed,
-					fmt.Sprintf("daemon %d round %d: recipient %d out of range", d.id, r, raw.To), true)
-				return
-			}
-			frame, err := sessionFrame(wire.SessionMsg{SID: s.sid, Round: r, Payload: raw.Payload})
-			if err != nil {
-				m.fail(s, StateFailed, fmt.Sprintf("daemon %d round %d: %v", d.id, r, err), true)
-				return
-			}
-			size := sim.PayloadSize(raw.Payload)
-			first, last := raw.To, raw.To
-			if raw.To == sim.Broadcast {
-				first, last = 0, sim.PartyID(d.n-1)
-			}
-			for to := first; to <= last; to++ {
-				msgsSum++
-				bytesSum += size
-				if to == d.id {
-					mb.add(sim.Message{From: d.id, To: to, Round: r, Payload: raw.Payload})
-				} else {
-					d.mux.enqueue(to, frame)
-				}
-			}
-		}
-
-		eor, err := sessionFrame(wire.SessionEOR{SID: s.sid, Round: r, Done: done})
-		if err != nil {
-			m.fail(s, StateFailed, fmt.Sprintf("daemon %d round %d: %v", d.id, r, err), true)
-			return
-		}
-		d.mux.broadcast(eor)
-
-		if !m.awaitBarrier(s, mb, r, peers) {
-			return
-		}
-		if done && mb.peersDone(r) {
-			v, ok := output.(tree.VertexID)
+		if e.done && sl.dones == e.n-1 {
+			v, ok := e.output.(tree.VertexID)
 			if !ok {
-				m.fail(s, StateFailed,
-					fmt.Sprintf("daemon %d: non-vertex output %T", d.id, output), true)
-				return
+				e.m.fail(e.s, StateFailed,
+					fmt.Sprintf("daemon %d: non-vertex output %T", e.m.d.id, e.output), true)
+				return false
 			}
-			m.finishSeat(s, wire.SessionDecide{
-				SID: s.sid, Party: d.id, V: v,
-				DoneRound: doneRound, TermRound: r, Msgs: msgsSum, Bytes: bytesSum,
+			e.m.finishSeat(e.s, wire.SessionDecide{
+				SID: e.s.sid, Party: e.m.d.id, V: v,
+				DoneRound: e.doneRound, TermRound: e.round, Msgs: e.msgs, Bytes: e.bytes,
 			})
-			return
+			return false // seat complete; engine retires
+		}
+		if e.round+1 > e.maxRounds {
+			e.m.fail(e.s, StateFailed,
+				fmt.Sprintf("daemon %d: not done after %d rounds", e.m.d.id, e.maxRounds), true)
+			return false
+		}
+		if !e.stepRound(e.round + 1) {
+			return false
 		}
 	}
-	m.fail(s, StateFailed,
-		fmt.Sprintf("daemon %d: not done after %d rounds", d.id, s.ps.maxRounds), true)
+}
+
+// stepRound runs Step(r) on the previous round's inbox and ships the
+// outputs. Message and byte accounting matches sim.Run exactly — counted at
+// send, self-delivery included, sized as the leaf payload's canonical
+// encoding (the session envelope is serving overhead, not protocol cost).
+// Encoding reuses frameScratch: the mux outbox copies every enqueued frame,
+// so the per-message allocation of the old engine is gone.
+func (e *engine) stepRound(r int) bool {
+	d := e.m.d
+	inbox := e.inboxScratch[:0]
+	if r > 1 {
+		prev := e.slot(r - 1)
+		for p := 0; p < e.n; p++ {
+			inbox = append(inbox, prev.byParty[p]...)
+		}
+	}
+	out := e.machine.Step(r, inbox)
+	e.inboxScratch = inbox
+	if r > 1 {
+		e.dropSlot(r - 1)
+	}
+	if !e.done {
+		if v, ok := e.machine.Output(); ok {
+			e.output, e.done, e.doneRound = v, true, r
+		}
+	}
+
+	cur := e.slot(r)
+	for _, raw := range out {
+		if raw.To != sim.Broadcast && (raw.To < 0 || int(raw.To) >= e.n) {
+			e.m.fail(e.s, StateFailed,
+				fmt.Sprintf("daemon %d round %d: recipient %d out of range", d.id, r, raw.To), true)
+			return false
+		}
+		frame, err := appendSessionFrame(e.frameScratch[:0],
+			wire.SessionMsg{SID: e.s.sid, Round: r, Payload: raw.Payload})
+		if err != nil {
+			e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d round %d: %v", d.id, r, err), true)
+			return false
+		}
+		e.frameScratch = frame
+		size := sim.PayloadSize(raw.Payload)
+		first, last := raw.To, raw.To
+		if raw.To == sim.Broadcast {
+			first, last = 0, sim.PartyID(e.n-1)
+		}
+		for to := first; to <= last; to++ {
+			e.msgs++
+			e.bytes += size
+			if to == d.id {
+				cur.byParty[d.id] = append(cur.byParty[d.id],
+					sim.Message{From: d.id, To: to, Round: r, Payload: raw.Payload})
+			} else {
+				d.mux.enqueue(to, frame)
+			}
+		}
+	}
+
+	eor, err := appendSessionFrame(e.frameScratch[:0],
+		wire.SessionEOR{SID: e.s.sid, Round: r, Done: e.done})
+	if err != nil {
+		e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d round %d: %v", d.id, r, err), true)
+		return false
+	}
+	e.frameScratch = eor
+	d.mux.broadcast(eor)
+
+	e.round = r
+	e.barrierDeadline = time.Now().Add(d.opts.RoundTimeout)
+	return true
 }
 
 // setRunning moves Pending → Running; false means the session already went
@@ -187,37 +297,6 @@ func (m *Manager) setRunning(s *session) bool {
 		return false
 	}
 	s.state = StateRunning
-	return true
-}
-
-// awaitBarrier drains the session queue until eor(r) has arrived from every
-// peer, filing message frames into their rounds as they pass by. Returns
-// false when the engine must stop: session cancelled (eviction / abort —
-// already terminal, nothing to report) or barrier timeout / protocol error
-// (reported and broadcast here).
-func (m *Manager) awaitBarrier(s *session, mb *mailbox, r, peers int) bool {
-	timeout := time.NewTimer(m.d.opts.RoundTimeout)
-	defer timeout.Stop()
-	for !mb.barrierDone(r, peers) {
-		select {
-		case ev := <-s.inq:
-			switch p := ev.payload.(type) {
-			case wire.SessionMsg:
-				mb.add(sim.Message{From: ev.from, To: m.d.id, Round: p.Round, Payload: p.Payload})
-			case wire.SessionEOR:
-				if err := mb.addEOR(p.Round, ev.from, p.Done); err != nil {
-					m.fail(s, StateFailed, fmt.Sprintf("daemon %d: %v", m.d.id, err), true)
-					return false
-				}
-			}
-		case <-s.cancel:
-			return false
-		case <-timeout.C:
-			m.fail(s, StateFailed,
-				fmt.Sprintf("daemon %d: round %d barrier timed out after %v", m.d.id, r, m.d.opts.RoundTimeout), true)
-			return false
-		}
-	}
 	return true
 }
 

@@ -1,8 +1,10 @@
 package session
 
 import (
+	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treeaa/internal/metrics"
@@ -10,31 +12,20 @@ import (
 	"treeaa/internal/wire"
 )
 
-// muxEvent is one inbound in-session frame (SessionMsg or SessionEOR),
-// attributed to its authenticated peer, queued for that session's engine.
-type muxEvent struct {
-	from    sim.PartyID
-	payload any
-}
-
 // session is one tracked session on this daemon. Mutable fields are guarded
-// by Manager.mu; inq and cancel are safe to use outside it (cancel is
-// closed exactly once, under the lock, at the terminal transition).
+// by Manager.mu; terminal is the lock-free mirror of state.Terminal() the
+// shard workers poll, set exactly once at the terminal transition.
 type session struct {
 	sid    uint64
 	origin sim.PartyID // daemon the session was submitted to
 	ps     parsedSpec
+	eng    *engine // this daemon's seat; owned by shardOf(sid)
 
 	state    State
 	reason   string
 	admitted time.Time
 	deadline time.Time
-
-	// inq feeds the engine's barrier loop. Bounded: a session whose engine
-	// falls behind blocks the link reader delivering to it — backpressure
-	// lands on the peers' flushers for this daemon, not on memory.
-	inq    chan muxEvent
-	cancel chan struct{}
+	terminal atomic.Bool
 
 	// Origin-side assembly state.
 	decides map[sim.PartyID]wire.SessionDecide
@@ -44,55 +35,56 @@ type session struct {
 }
 
 // Manager owns a daemon's session table: admission control, lifecycle
-// transitions, frame routing, deadline eviction, and origin-side Result
-// assembly.
+// transitions, deadline eviction, and origin-side Result assembly. The
+// per-frame data plane does not come through here — link readers hand raw
+// frames straight to the owning shard (handleRaw), so Manager.mu is a
+// control-plane lock, taken per session transition, not per frame.
 type Manager struct {
-	d *Daemon
+	d      *Daemon
+	shards []*shard
 
 	mu       sync.Mutex
 	table    map[uint64]*session
-	inflight int // non-terminal sessions, the admission-control quantity
+	expiry   deadlineHeap // live sessions ordered by deadline
+	reap     deadlineHeap // terminal sessions ordered by linger end
+	inflight int          // non-terminal sessions, the admission-control quantity
 	nextSeq  uint64
-	draining bool
+	draining bool  // drain window: local submits refused, peer opens still admitted
+	stopped  bool  // drain complete: the mux is about to die, refuse everything
 	downErr  error // first dead peer link; poisons all future admissions
-
-	// pending buffers in-session frames that outran their SessionOpen (the
-	// open travels origin→peer while round-1 data arrives over every link).
-	// Bounded per session and overall; overflow drops the session id.
-	pending  map[uint64]*pendingBuf
-	pendingN int
-
-	// tombstones remember recently rejected / evicted / garbage-collected
-	// ids so their late frames are dropped instead of buffered.
-	tombstone map[uint64]time.Time
 
 	evictQuit chan struct{}
 	evictDone chan struct{}
 }
 
-type pendingBuf struct {
-	since time.Time
-	evs   []muxEvent
-}
-
 func newManager(d *Daemon) *Manager {
-	return &Manager{
+	m := &Manager{
 		d:         d,
 		table:     make(map[uint64]*session),
-		pending:   make(map[uint64]*pendingBuf),
-		tombstone: make(map[uint64]time.Time),
 		nextSeq:   1,
 		evictQuit: make(chan struct{}),
 		evictDone: make(chan struct{}),
 	}
+	// The sweep only enforces coarse timeouts (barrier deadlines, pending
+	// GC); keep it well under the round timeout without burning cycles.
+	sweep := d.opts.RoundTimeout / 8
+	if sweep > 50*time.Millisecond {
+		sweep = 50 * time.Millisecond
+	}
+	if sweep < 5*time.Millisecond {
+		sweep = 5 * time.Millisecond
+	}
+	m.shards = make([]*shard, d.opts.Shards)
+	for i := range m.shards {
+		m.shards[i] = newShard(m)
+		go m.shards[i].worker(sweep)
+	}
+	return m
 }
 
-// pendingPerSession bounds the frames buffered for one not-yet-opened
-// session: at most one round of traffic can precede the open on any link,
-// so a deep buffer only ever holds garbage.
-func (m *Manager) pendingPerSession() int { return m.d.opts.QueueDepth / 4 }
-
-func (m *Manager) pendingTotal() int { return 16 * m.d.opts.QueueDepth }
+func (m *Manager) shardOf(sid uint64) *shard {
+	return m.shards[sid%uint64(len(m.shards))]
+}
 
 // Submit admits a locally submitted session and starts its seat. sid 0
 // means auto-assign; a client-chosen sid must be cluster-unique (the
@@ -125,7 +117,7 @@ func (m *Manager) Submit(spec Spec, sid uint64) (uint64, error) {
 		m.stats().RejectedDuplicate.Add(1)
 		m.mu.Unlock()
 		return 0, fmt.Errorf("session: duplicate session id %#x", sid)
-	} else if _, dead := m.tombstone[sid]; dead {
+	} else if m.shardOf(sid).dead(sid) {
 		m.stats().RejectedDuplicate.Add(1)
 		m.mu.Unlock()
 		return 0, fmt.Errorf("session: session id %#x was recently used", sid)
@@ -148,11 +140,13 @@ func (m *Manager) Submit(spec Spec, sid uint64) (uint64, error) {
 	// The open precedes every round-1 frame on each link FIFO, because the
 	// engine starts only after the broadcast is queued.
 	m.d.mux.broadcast(open)
-	go m.runEngine(s)
+	s.eng.sh.register(s.eng)
 	return sid, nil
 }
 
-// admitLocked performs the capacity check and registers the session.
+// admitLocked performs the capacity check and registers the session. The
+// engine is created here (so terminalLocked can always wake it) but joins
+// its shard only after the caller releases Manager.mu.
 func (m *Manager) admitLocked(sid uint64, origin sim.PartyID, ps parsedSpec) (*session, error) {
 	if m.inflight >= m.d.opts.MaxSessions {
 		m.stats().RejectedCapacity.Add(1)
@@ -166,41 +160,45 @@ func (m *Manager) admitLocked(sid uint64, origin sim.PartyID, ps parsedSpec) (*s
 		state:    StatePending,
 		admitted: now,
 		deadline: now.Add(ps.deadline),
-		inq:      make(chan muxEvent, m.d.opts.QueueDepth),
-		cancel:   make(chan struct{}),
 		decides:  make(map[sim.PartyID]wire.SessionDecide, m.d.n),
 	}
-	// Frames that arrived before the open replay into the fresh queue; the
-	// per-session pending cap is far below the queue depth, so this never
-	// blocks under the lock.
-	if pb := m.pending[sid]; pb != nil {
-		delete(m.pending, sid)
-		m.pendingN -= len(pb.evs)
-		for _, ev := range pb.evs {
-			s.inq <- ev
-		}
-	}
+	s.eng = newEngine(m, m.shardOf(sid), s)
 	m.table[sid] = s
+	heap.Push(&m.expiry, deadlineEntry{at: s.deadline.UnixNano(), sid: sid})
 	m.inflight++
 	m.stats().Admitted.Add(1)
 	return s, nil
 }
 
-// dispatch is the mux handler: it routes every decoded inbound payload. It
-// runs on link reader goroutines.
-func (m *Manager) dispatch(from sim.PartyID, payload any) {
+// handleRaw is the mux handler: every inbound wire body, still encoded,
+// attributed to its authenticated peer. Data-plane frames (SessionMsg,
+// SessionEOR) route zero-copy to the owning shard on the session id peeked
+// from the header — no decode, no global lock, no re-buffering on the link
+// reader. Control frames are rare; they decode here and take Manager.mu. A
+// non-nil error fails the link (the mesh is trusted; garbage is fatal).
+func (m *Manager) handleRaw(from sim.PartyID, body []byte) error {
+	typ, sid, err := wire.PeekSession(body)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case wire.TypeSessionMsg, wire.TypeSessionEOR:
+		m.shardOf(sid).deliver(from, sid, body)
+		return nil
+	}
+	payload, err := wire.Decode(body)
+	if err != nil {
+		return err
+	}
 	switch p := payload.(type) {
 	case wire.SessionOpen:
 		m.openRemote(from, p)
-	case wire.SessionMsg:
-		m.route(from, p.SID, muxEvent{from: from, payload: p})
-	case wire.SessionEOR:
-		m.route(from, p.SID, muxEvent{from: from, payload: p})
 	case wire.SessionAbort:
 		m.handleAbort(p)
 	case wire.SessionDecide:
 		m.handleDecide(from, p)
 	}
+	return nil
 }
 
 // openRemote admits (or rejects) a session announced by a peer daemon. A
@@ -214,12 +212,8 @@ func (m *Manager) openRemote(from sim.PartyID, open wire.SessionOpen) {
 	m.mu.Lock()
 	m.stats().Submitted.Add(1)
 	reject := func(reason string) {
-		m.tombstone[open.SID] = time.Now()
-		if pb := m.pending[open.SID]; pb != nil {
-			m.pendingN -= len(pb.evs)
-			delete(m.pending, open.SID)
-		}
 		m.mu.Unlock()
+		m.shardOf(open.SID).bury(open.SID)
 		m.abortTo(from, open.SID, reason)
 	}
 	if _, dup := m.table[open.SID]; dup {
@@ -231,7 +225,12 @@ func (m *Manager) openRemote(from sim.PartyID, open wire.SessionOpen) {
 		reject(fmt.Sprintf("daemon %d: %v", m.d.id, perr))
 		return
 	}
-	if m.draining || m.downErr != nil {
+	// A peer open is a session already admitted at its origin, so the drain
+	// window does not reject it — the drain's whole point is letting the
+	// cluster's in-flight sessions finish, and its poll loop waits for
+	// sessions admitted here. Once the drain has completed the mux is about
+	// to die, so admitting would strand a seat whose frames go nowhere.
+	if m.stopped || m.downErr != nil {
 		reject(fmt.Sprintf("daemon %d: not accepting sessions", m.d.id))
 		return
 	}
@@ -241,56 +240,7 @@ func (m *Manager) openRemote(from sim.PartyID, open wire.SessionOpen) {
 		return
 	}
 	m.mu.Unlock()
-	go m.runEngine(s)
-}
-
-// route delivers one in-session frame to its engine queue. Unknown ids go
-// to the pending buffer (the open may still be in flight); tombstoned and
-// terminal sessions drop silently — late frames after eviction are
-// expected, not errors.
-func (m *Manager) route(from sim.PartyID, sid uint64, ev muxEvent) {
-	m.mu.Lock()
-	s := m.table[sid]
-	if s == nil {
-		if _, dead := m.tombstone[sid]; !dead {
-			m.bufferPendingLocked(sid, ev)
-		}
-		m.mu.Unlock()
-		return
-	}
-	if s.state.Terminal() {
-		m.mu.Unlock()
-		return
-	}
-	inq, cancel := s.inq, s.cancel
-	m.mu.Unlock()
-	// Blocking send: this is the backpressure point. The terminal
-	// transition closes cancel, so a reader blocked on a session that gets
-	// evicted is released immediately.
-	select {
-	case inq <- ev:
-	case <-cancel:
-	}
-}
-
-func (m *Manager) bufferPendingLocked(sid uint64, ev muxEvent) {
-	pb := m.pending[sid]
-	if pb == nil {
-		if m.pendingN >= m.pendingTotal() {
-			return // global pressure: drop, the open will time the session out
-		}
-		pb = &pendingBuf{since: time.Now()}
-		m.pending[sid] = pb
-	}
-	if len(pb.evs) >= m.pendingPerSession() {
-		// A session this chatty before its open is broken; drop it wholesale.
-		m.pendingN -= len(pb.evs)
-		delete(m.pending, sid)
-		m.tombstone[sid] = time.Now()
-		return
-	}
-	pb.evs = append(pb.evs, ev)
-	m.pendingN++
+	s.eng.sh.register(s.eng)
 }
 
 // handleAbort applies a terminal failure broadcast. The origin re-broadcasts
@@ -300,12 +250,8 @@ func (m *Manager) handleAbort(ab wire.SessionAbort) {
 	m.mu.Lock()
 	s := m.table[ab.SID]
 	if s == nil {
-		m.tombstone[ab.SID] = time.Now()
-		if pb := m.pending[ab.SID]; pb != nil {
-			m.pendingN -= len(pb.evs)
-			delete(m.pending, ab.SID)
-		}
 		m.mu.Unlock()
+		m.shardOf(ab.SID).bury(ab.SID)
 		return
 	}
 	if s.state.Terminal() {
@@ -377,8 +323,8 @@ func (m *Manager) assembleLocked(s *session) {
 }
 
 // terminalLocked performs the one-and-only terminal transition: state,
-// accounting, waiter notification, and the cancel broadcast that unblocks
-// the engine and any reader parked on the queue.
+// accounting, waiter notification, and the engine wake-up that retires a
+// seat whose session ended externally (eviction, abort, link down).
 func (m *Manager) terminalLocked(s *session, st State, reason string) {
 	if s.state.Terminal() {
 		return
@@ -387,7 +333,12 @@ func (m *Manager) terminalLocked(s *session, st State, reason string) {
 	s.reason = reason
 	s.latency = time.Since(s.admitted)
 	m.inflight--
-	close(s.cancel)
+	s.terminal.Store(true)
+	heap.Push(&m.reap, deadlineEntry{
+		at: s.deadline.Add(m.d.opts.DefaultTTL).UnixNano(), sid: s.sid})
+	if s.eng != nil {
+		s.eng.sh.wake(s.eng)
+	}
 	switch st {
 	case StateDecided:
 		m.stats().Decided.Add(1)
@@ -468,16 +419,22 @@ func (m *Manager) Wait(sid uint64) (<-chan Outcome, error) {
 // linkDown poisons the manager after a peer link died: every in-flight
 // session spans all daemons, so all of them fail, and future admissions are
 // refused (the mux has no resend/reconnect path — that is the dedicated
-// transport's job, not the serving layer's).
+// transport's job, not the serving layer's). During a drain the failure
+// sweep is skipped: peers that finished draining hang up as soon as their
+// final flush lands, and the decides that complete our sessions may already
+// be buffered on other links — a session that really lost its decides still
+// expires at the drain deadline instead.
 func (m *Manager) linkDown(peer sim.PartyID, err error) {
 	m.mu.Lock()
 	if m.downErr == nil {
 		m.downErr = err
 	}
 	var victims []*session
-	for _, s := range m.table {
-		if !s.state.Terminal() {
-			victims = append(victims, s)
+	if !m.draining {
+		for _, s := range m.table {
+			if !s.state.Terminal() {
+				victims = append(victims, s)
+			}
 		}
 	}
 	for _, s := range victims {
@@ -486,11 +443,36 @@ func (m *Manager) linkDown(peer sim.PartyID, err error) {
 	m.mu.Unlock()
 }
 
+// deadlineEntry schedules one session for an eviction action at a fixed
+// time. Entries are never removed early: a popped entry whose session is
+// gone or already in the target state is simply skipped, so each session
+// costs exactly one expiry and one reap entry over its lifetime.
+type deadlineEntry struct {
+	at  int64 // unix nanoseconds
+	sid uint64
+}
+
+type deadlineHeap []deadlineEntry
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadlineEntry)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
 // evictLoop enforces deadlines: non-terminal sessions past their deadline
 // are expired (and the abort broadcast, so every seat stops paying for
 // them); terminal sessions linger for status queries until the same
-// deadline plus a grace period, then leave a tombstone. Stale pending
-// buffers and old tombstones are collected on the same tick.
+// deadline plus a grace period, then leave a tombstone on their shard.
+// Both actions pop deadline-ordered heaps, so a tick costs the sessions
+// actually due, not a scan of the whole table (which holds every lingering
+// terminal session and grew with throughput).
 func (m *Manager) evictLoop() {
 	defer close(m.evictDone)
 	const tick = 10 * time.Millisecond
@@ -507,36 +489,34 @@ func (m *Manager) evictLoop() {
 }
 
 func (m *Manager) evictTick(now time.Time) {
-	linger := m.d.opts.DefaultTTL
 	type abort struct {
 		sid    uint64
 		reason string
 	}
 	var aborts []abort
+	var buried []uint64
+	nowNS := now.UnixNano()
 	m.mu.Lock()
-	for sid, s := range m.table {
-		switch {
-		case !s.state.Terminal() && now.After(s.deadline):
-			m.terminalLocked(s, StateExpired, "deadline exceeded")
-			aborts = append(aborts, abort{sid: sid, reason: "deadline exceeded"})
-		case s.state.Terminal() && now.After(s.deadline.Add(linger)):
-			delete(m.table, sid)
-			m.tombstone[sid] = now
+	for len(m.expiry) > 0 && m.expiry[0].at <= nowNS {
+		e := heap.Pop(&m.expiry).(deadlineEntry)
+		s := m.table[e.sid]
+		if s == nil || s.state.Terminal() {
+			continue // already ended; its reap entry handles the rest
 		}
+		m.terminalLocked(s, StateExpired, "deadline exceeded")
+		aborts = append(aborts, abort{sid: e.sid, reason: "deadline exceeded"})
 	}
-	for sid, pb := range m.pending {
-		if now.Sub(pb.since) > m.d.opts.SetupTimeout {
-			m.pendingN -= len(pb.evs)
-			delete(m.pending, sid)
-			m.tombstone[sid] = now
-		}
-	}
-	for sid, t := range m.tombstone {
-		if now.Sub(t) > 2*linger {
-			delete(m.tombstone, sid)
+	for len(m.reap) > 0 && m.reap[0].at <= nowNS {
+		e := heap.Pop(&m.reap).(deadlineEntry)
+		if _, ok := m.table[e.sid]; ok {
+			delete(m.table, e.sid)
+			buried = append(buried, e.sid)
 		}
 	}
 	m.mu.Unlock()
+	for _, sid := range buried {
+		m.shardOf(sid).bury(sid)
+	}
 	for _, a := range aborts {
 		m.broadcastAbort(a.sid, a.reason)
 	}
@@ -549,20 +529,32 @@ func (m *Manager) drain(timeout time.Duration) {
 	m.mu.Lock()
 	m.draining = true
 	m.mu.Unlock()
+	// Grace beat: opens for sessions already admitted at their origin may
+	// still be in flight, and admitting one after the mux died would strand
+	// its seat. One short wait lets them surface; the poll below then keeps
+	// the daemon up until they finish.
+	grace := 25 * time.Millisecond
+	if grace > timeout/4 {
+		grace = timeout / 4
+	}
+	time.Sleep(grace)
 	deadline := time.Now().Add(timeout)
 	for {
 		m.mu.Lock()
 		left := m.inflight
-		m.mu.Unlock()
 		if left == 0 {
+			m.stopped = true
+			m.mu.Unlock()
 			return
 		}
+		m.mu.Unlock()
 		if time.Now().After(deadline) {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	m.mu.Lock()
+	m.stopped = true
 	var leftovers []*session
 	for _, s := range m.table {
 		if !s.state.Terminal() {
@@ -578,6 +570,9 @@ func (m *Manager) drain(timeout time.Duration) {
 func (m *Manager) stop() {
 	close(m.evictQuit)
 	<-m.evictDone
+	for _, sh := range m.shards {
+		sh.stop()
+	}
 }
 
 func (m *Manager) stats() *metrics.ServeStats { return m.d.opts.Stats }

@@ -37,10 +37,12 @@ type mux struct {
 	opts    Options
 	stats   *metrics.ServeStats
 
-	// handler receives every decoded inbound session payload, attributed to
-	// its authenticated peer. It runs on the link's reader goroutine, so a
-	// blocking handler exerts backpressure on that link only.
-	handler func(from sim.PartyID, payload any)
+	// handler receives every inbound wire body, still encoded, attributed to
+	// its authenticated peer. It runs on the link's reader goroutine and is
+	// expected to route data-plane frames without decoding them (zero-copy:
+	// transport.ReadFrame allocates a fresh slice per frame, so the handler
+	// may retain body). A non-nil error fails the link.
+	handler func(from sim.PartyID, body []byte) error
 	// onDown reports a dead link (read or write failure after setup).
 	onDown func(peer sim.PartyID, err error)
 
@@ -50,6 +52,7 @@ type mux struct {
 	quit      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	flushWG   sync.WaitGroup // the flushers alone, so close can await their final drain
 
 	mu    sync.Mutex
 	conns []net.Conn
@@ -65,14 +68,16 @@ type peerLink struct {
 	conn  net.Conn
 	br    *bufio.Reader
 
-	mu      sync.Mutex
-	pending []byte // concatenated encoded frames awaiting one batched write
-	frames  int
-	kick    chan struct{} // capacity 1: flush now (first frame or batch full)
+	mu       sync.Mutex
+	pending  []byte // concatenated encoded frames awaiting one batched write
+	spare    []byte // last flushed batch, recycled to avoid regrowing pending
+	frames   int
+	kick     chan struct{} // capacity 1: outbox went non-empty
+	kickFull chan struct{} // capacity 1: outbox reached the flush threshold
 }
 
 func newMux(id sim.PartyID, n int, addrs []string, cluster uint64, opts Options,
-	handler func(from sim.PartyID, payload any), onDown func(peer sim.PartyID, err error)) *mux {
+	handler func(from sim.PartyID, body []byte) error, onDown func(peer sim.PartyID, err error)) *mux {
 	m := &mux{
 		id: id, n: n, addrs: addrs, cluster: cluster, opts: opts,
 		stats: opts.Stats, handler: handler, onDown: onDown,
@@ -83,8 +88,8 @@ func newMux(id sim.PartyID, n int, addrs []string, cluster uint64, opts Options,
 		if p == id {
 			continue
 		}
-		m.peers[p] = &peerLink{m: m, peer: p,
-			ready: make(chan struct{}), kick: make(chan struct{}, 1)}
+		m.peers[p] = &peerLink{m: m, peer: p, ready: make(chan struct{}),
+			kick: make(chan struct{}, 1), kickFull: make(chan struct{}, 1)}
 	}
 	return m
 }
@@ -128,6 +133,7 @@ func (m *mux) start(ln net.Listener) error {
 	}
 	for _, l := range m.peers {
 		m.wg.Add(2)
+		m.flushWG.Add(1)
 		go m.readLoop(l)
 		go m.flushLoop(l)
 	}
@@ -214,8 +220,9 @@ func (m *mux) register(peer sim.PartyID, conn net.Conn, br *bufio.Reader) error 
 }
 
 // enqueue appends one encoded frame to the peer's outbox. It never blocks:
-// the flusher owns the socket, and backpressure is applied by the *peer's*
-// bounded session queues, not here.
+// the flusher owns the socket, and backpressure is applied per link by the
+// flusher's write, never across links. The frame bytes are copied, so
+// callers may reuse their encode buffers.
 func (m *mux) enqueue(to sim.PartyID, frame []byte) {
 	l := m.peers[to]
 	if l == nil {
@@ -225,9 +232,14 @@ func (m *mux) enqueue(to sim.PartyID, frame []byte) {
 	first := l.frames == 0
 	l.pending = append(l.pending, frame...)
 	l.frames++
-	full := len(l.pending) >= m.opts.MaxBatchBytes
+	ready := batchReady(l.frames, len(l.pending), m.opts.FlushOccupancy, m.opts.MaxBatchBytes)
 	l.mu.Unlock()
-	if first || full {
+	if ready {
+		select {
+		case l.kickFull <- struct{}{}:
+		default:
+		}
+	} else if first {
 		select {
 		case l.kick <- struct{}{}:
 		default:
@@ -244,49 +256,127 @@ func (m *mux) broadcast(frame []byte) {
 	}
 }
 
-// flushLoop coalesces a link's outbox into one conn.Write per wakeup: the
-// flush tick bounds latency, the kick channel delivers new-work and
-// batch-full wakeups early. While a write is in flight new frames pile up
-// in the outbox, so batches grow exactly when the link is the bottleneck.
+// Adaptive flush policy, as pure functions so the table tests can pin the
+// decisions without a cluster.
+//
+// The flusher tracks an EWMA of frames-per-flush. On a quiet link (EWMA
+// below the occupancy target) the first queued frame flushes immediately —
+// batching would only add latency no batch will ever repay, and immediate
+// flushes still batch whatever piled up during the previous write. On a
+// busy link the flusher holds the first frame up to FlushInterval, cutting
+// the batch short the moment occupancy (frames or bytes) crosses the
+// threshold. The loop is self-correcting: a coalescing wait that times out
+// with a thin batch drags the EWMA back under the target and the link
+// returns to immediate flushing.
+
+// shouldCoalesce reports whether the recent frames-per-flush average makes
+// waiting for a fuller batch worthwhile: only when history says a wait
+// tends to fill the occupancy target rather than burn the interval.
+func shouldCoalesce(ewma float64, occupancy int) bool { return ewma >= float64(occupancy) }
+
+// updateEWMA folds one flush's frame count into the running average
+// (quarter-weight on the new sample; empty flushes carry no signal).
+func updateEWMA(prev float64, frames int) float64 {
+	if frames <= 0 {
+		return prev
+	}
+	if prev == 0 {
+		return float64(frames)
+	}
+	return 0.75*prev + 0.25*float64(frames)
+}
+
+// batchReady reports whether the outbox has hit either flush threshold.
+func batchReady(frames, bytes, occupancy, maxBytes int) bool {
+	return frames >= occupancy || bytes >= maxBytes
+}
+
+// flushLoop coalesces a link's outbox into one conn.Write per wakeup,
+// pacing itself by the adaptive policy above. kick wakes it when the outbox
+// goes non-empty; kickFull cuts a coalescing wait short the moment the
+// occupancy threshold is hit. Stale kicks (the frames they announced were
+// already flushed) cost one no-op flush and are otherwise harmless, so the
+// loop never tries to drain them.
 func (m *mux) flushLoop(l *peerLink) {
 	defer m.wg.Done()
-	ticker := time.NewTicker(m.opts.FlushInterval)
-	defer ticker.Stop()
+	defer m.flushWG.Done()
+	timer := time.NewTimer(m.opts.FlushInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var ewma float64
 	for {
 		select {
-		case <-ticker.C:
 		case <-l.kick:
+			if shouldCoalesce(ewma, m.opts.FlushOccupancy) {
+				// Busy link: hold for a fuller batch, up to FlushInterval.
+				timer.Reset(m.opts.FlushInterval)
+				select {
+				case <-l.kickFull:
+					if !timer.Stop() {
+						<-timer.C
+					}
+					if s := m.stats; s != nil {
+						s.BatchesCoalesced.Add(1)
+					}
+				case <-timer.C:
+				case <-m.quit:
+					l.flush()
+					return
+				}
+			}
+		case <-l.kickFull:
+			if s := m.stats; s != nil {
+				s.BatchesCoalesced.Add(1)
+			}
 		case <-m.quit:
 			l.flush() // best-effort final drain so queued decides reach peers
 			return
 		}
-		if err := l.flush(); err != nil {
+		n, err := l.flush()
+		if err != nil {
 			if !m.closed() {
 				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", m.id, l.peer, err))
 			}
 			return
 		}
+		ewma = updateEWMA(ewma, n)
 	}
 }
 
-func (l *peerLink) flush() error {
+// flush writes the outbox in one syscall and reports how many frames it
+// carried. The flushed buffer is recycled as the next pending buffer, so a
+// steady-state link reuses two batch buffers forever.
+func (l *peerLink) flush() (int, error) {
 	l.mu.Lock()
 	batch, frames := l.pending, l.frames
-	l.pending, l.frames = nil, 0
+	l.pending, l.frames = l.spare[:0], 0
+	l.spare = nil
 	l.mu.Unlock()
 	if frames == 0 {
-		return nil
+		l.mu.Lock()
+		if l.spare == nil {
+			l.spare = batch[:0]
+		}
+		l.mu.Unlock()
+		return 0, nil
 	}
 	l.conn.SetWriteDeadline(time.Now().Add(l.m.opts.RoundTimeout))
 	if _, err := l.conn.Write(batch); err != nil {
-		return err
+		return 0, err
 	}
 	if s := l.m.stats; s != nil {
 		s.Batches.Add(1)
 		s.BatchFrames.Add(int64(frames))
 		s.BatchBytes.Add(int64(len(batch)))
 	}
-	return nil
+	l.mu.Lock()
+	if l.spare == nil {
+		l.spare = batch[:0]
+	}
+	l.mu.Unlock()
+	return frames, nil
 }
 
 // readLoop turns one link into handler calls. No read deadline: an idle
@@ -294,8 +384,9 @@ func (l *peerLink) flush() error {
 // engines' round timeout.
 func (m *mux) readLoop(l *peerLink) {
 	defer m.wg.Done()
+	var arena transport.ReadArena
 	for {
-		body, err := transport.ReadFrame(l.br)
+		body, err := transport.ReadFrameArena(l.br, &arena)
 		if err != nil {
 			if !m.closed() {
 				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
@@ -308,14 +399,15 @@ func (m *mux) readLoop(l *peerLink) {
 			}
 			return
 		}
-		payload, err := wire.Decode(body[1:])
-		if err != nil {
+		// The wire body is handed over still encoded; the handler routes it
+		// to the owning shard by the peeked session id and the shard's worker
+		// decodes it there, off this link's critical path.
+		if err := m.handler(l.peer, body[1:]); err != nil {
 			if !m.closed() {
 				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
 			}
 			return
 		}
-		m.handler(l.peer, payload)
 	}
 }
 
@@ -333,11 +425,12 @@ func (m *mux) closed() bool {
 func (m *mux) close() {
 	m.closeOnce.Do(func() {
 		close(m.quit)
-		// Give each flusher one scheduling slot to drain its outbox before
-		// the sockets close under it; decides queued by terminal engines are
-		// small and this is best-effort (a peer that misses one fails the
-		// session by timeout, never silently).
-		time.Sleep(10 * time.Millisecond)
+		// Wait for every flusher's final drain before the sockets close
+		// under them: decides queued by terminal engines must hit the wire,
+		// or a peer mid-assembly loses them and hangs until its drain
+		// deadline. The writes are bounded by the usual write deadline, so
+		// this cannot block shutdown indefinitely.
+		m.flushWG.Wait()
 		if m.ln != nil {
 			m.ln.Close()
 		}
@@ -352,21 +445,26 @@ func (m *mux) close() {
 	m.wg.Wait()
 }
 
-// sessionFrame wraps an encoded wire session body in the mux envelope: one
-// length-prefixed FrameMuxSession frame, ready for enqueue. The returned
-// slice is immutable by convention — broadcasts share it across links.
-func sessionFrame(payload any) ([]byte, error) {
+// appendSessionFrame appends one mux session frame — the length-prefixed
+// FrameMuxSession envelope around the payload's wire encoding — to dst and
+// returns the extended slice, byte-identical to transport.AppendFrame over
+// the assembled body but without the intermediate body allocation. enqueue
+// copies, so callers (the engines' hot path) reuse one scratch buffer.
+func appendSessionFrame(dst []byte, payload any) ([]byte, error) {
 	sz, err := wire.EncodedSize(payload)
 	if err != nil {
 		return nil, err
 	}
-	body := make([]byte, 0, sz+1)
-	body = append(body, transport.FrameMuxSession)
-	body, err = wire.Append(body, payload)
-	if err != nil {
-		return nil, err
-	}
-	return transport.AppendFrame(nil, body), nil
+	dst = wire.AppendUvarint(dst, uint64(sz+1))
+	dst = append(dst, transport.FrameMuxSession)
+	return wire.Append(dst, payload)
+}
+
+// sessionFrame is appendSessionFrame into a fresh slice: one frame, ready
+// for enqueue. The returned slice is immutable by convention — broadcasts
+// share it across links.
+func sessionFrame(payload any) ([]byte, error) {
+	return appendSessionFrame(nil, payload)
 }
 
 func encodeMuxHello(from, to sim.PartyID, n int, cluster uint64) []byte {

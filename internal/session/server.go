@@ -7,15 +7,21 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"time"
 
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
 	"treeaa/internal/tree"
+	"treeaa/internal/wire"
 )
 
-// The client API is length-prefixed JSON over TCP: each request and each
-// response is uvarint(len) followed by len bytes of JSON. One connection
-// carries any number of request/response pairs in order. Three ops:
+// The client API speaks the binary wire codec over TCP: each request is one
+// length-prefixed frame (transport framing) around a ClientSubmit,
+// ClientWait or ClientStatus payload, and each response is one framed
+// ClientOutcome. One connection carries any number of request/response
+// pairs in order. Three ops:
 //
 //	submit  admit a session (sid 0 = auto-assign); wait=true blocks for the
 //	        terminal Outcome, wait=false returns the assigned sid at once
@@ -24,6 +30,10 @@ import (
 //
 // OK reports request-level success (the daemon processed the op); a session
 // that failed or expired still answers OK with the failure in State/Err.
+//
+// The legacy protocol — uvarint(len)-prefixed JSON of Request/Response, the
+// same three ops — is still served when Options.JSONClientAPI is set, and
+// spoken by DialJSONClient.
 
 // maxClientRequest bounds one request frame; specs are tiny, so anything
 // bigger is a confused or hostile client.
@@ -83,6 +93,14 @@ func (d *Daemon) serveClient(conn net.Conn) {
 		}
 	}()
 	br := bufio.NewReader(conn)
+	if d.opts.JSONClientAPI {
+		d.serveJSONClient(conn, br)
+		return
+	}
+	d.serveBinaryClient(conn, br)
+}
+
+func (d *Daemon) serveJSONClient(conn net.Conn, br *bufio.Reader) {
 	for {
 		var req Request
 		if err := readJSON(br, &req); err != nil {
@@ -93,6 +111,85 @@ func (d *Daemon) serveClient(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveBinaryClient is the default request loop: framed wire payloads in
+// both directions. A frame that fails to decode tears the connection down
+// (framing is lost); a well-formed frame of the wrong type answers with an
+// error outcome and keeps the connection.
+func (d *Daemon) serveBinaryClient(conn net.Conn, br *bufio.Reader) {
+	for {
+		body, err := transport.ReadFrame(br)
+		if err != nil || len(body) > maxClientRequest {
+			return
+		}
+		payload, err := wire.Decode(body)
+		if err != nil {
+			return
+		}
+		var resp Response
+		if req, ok := clientRequest(payload); ok {
+			resp = d.handleRequest(req)
+		} else {
+			resp = Response{Err: fmt.Sprintf("unexpected %T on client connection", payload)}
+		}
+		out, err := wire.Encode(outcomeFrame(resp))
+		if err != nil {
+			return
+		}
+		frame := transport.AppendFrame(nil, out)
+		if _, err := conn.Write(frame); err != nil {
+			return
+		}
+		d.opts.Stats.ClientBytes.Add(int64(len(frame)))
+	}
+}
+
+// clientRequest maps a decoded client-plane payload onto the op Request the
+// shared handler consumes.
+func clientRequest(payload any) (Request, bool) {
+	switch p := payload.(type) {
+	case wire.ClientSubmit:
+		return Request{Op: "submit", SID: p.SID, Tree: p.Tree, Seed: p.Seed, T: p.T,
+			Inputs: p.Inputs, TTLMS: int64(p.TTLMillis), Wait: p.Wait}, true
+	case wire.ClientWait:
+		return Request{Op: "wait", SID: p.SID}, true
+	case wire.ClientStatus:
+		return Request{Op: "status", SID: p.SID}, true
+	}
+	return Request{}, false
+}
+
+// stateByte maps a Response state string back onto the wire's State value;
+// request-level errors carry no state and map to ClientStateNone.
+func stateByte(s string) byte {
+	for st := StatePending; st <= StateExpired; st++ {
+		if st.String() == s {
+			return byte(st)
+		}
+	}
+	return wire.ClientStateNone
+}
+
+// outcomeFrame converts a Response into its wire form. Outputs sort by
+// party, which is also what the codec's canonical encoding requires.
+func outcomeFrame(resp Response) wire.ClientOutcome {
+	out := wire.ClientOutcome{OK: resp.OK, SID: resp.SID, State: stateByte(resp.State),
+		Err: resp.Err, LatencyNS: resp.LatencyNS,
+		Rounds: resp.Rounds, Msgs: resp.Messages, Bytes: resp.Bytes}
+	if len(resp.Outputs) > 0 {
+		pairs := make([]wire.OutputPair, 0, len(resp.Outputs))
+		for k, v := range resp.Outputs {
+			id, err := strconv.Atoi(k)
+			if err != nil {
+				continue
+			}
+			pairs = append(pairs, wire.OutputPair{Party: sim.PartyID(id), V: tree.VertexID(v)})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Party < pairs[j].Party })
+		out.Outputs = pairs
+	}
+	return out
 }
 
 func (d *Daemon) handleRequest(req Request) Response {

@@ -8,9 +8,10 @@
 //
 // # Architecture
 //
-//	client ──TCP──▶ server.go ──▶ Manager ──▶ engine (one goroutine/session)
-//	                                 ▲              │ outbound frames
-//	                                 │ inbound      ▼
+//	client ──TCP──▶ server.go ──▶ Manager ──▶ shard pool (engines as state
+//	                                 ▲              │ machines, one worker
+//	                                 │ inbound      │ goroutine per shard)
+//	                                 │              ▼ outbound frames
 //	                              mux.go ◀──── per-peer outbox + flusher
 //	                                 │
 //	                           peer daemons
@@ -18,11 +19,14 @@
 // Every frame on a peer link is a transport-framed wire session payload
 // (wire.SessionMsg / SessionEOR / SessionOpen / SessionAbort /
 // SessionDecide) carrying its session id, so one link interleaves every
-// session's rounds. The mux reader demultiplexes inbound frames to
-// per-session engines through bounded queues (backpressure: a daemon that
-// falls behind on one link stops reading it, which stalls the peers'
-// flushers, not the whole process); the flusher coalesces all sessions'
-// outbound frames into one batched conn.Write per peer per flush tick.
+// session's rounds. Engines are passive state machines packed onto a small
+// pool of shard workers (sessions hash to shards by id); link readers peek
+// the session id from the still-encoded frame and hand the raw bytes to the
+// owning shard with no decode, no copy, and no global lock on the data
+// path. The flusher coalesces all sessions' outbound frames into one
+// batched conn.Write per peer, adapting per link: it batches only while the
+// link's flush-size average says waits actually fill batches, and flushes
+// immediately on quiet links where waiting would just add latency.
 //
 // The engines replicate internal/transport's round loop exactly — encode
 // once per payload, count messages and bytes at send (self-delivery

@@ -1,0 +1,282 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"treeaa/internal/sim"
+)
+
+// shard is one worker of the engine pool. Sessions hash to shards by id
+// (sid mod Shards); each shard owns its sessions' engines, their pending
+// buffers (frames that outran the SessionOpen) and their tombstones, and
+// steps ready engines from a run queue on one dedicated worker goroutine.
+// The data plane — deliver, from the link readers — takes only this shard's
+// mutex, never the manager's: per-frame contention on the global session
+// table was a top serve-profile cost of the goroutine-per-session model.
+//
+// Lock order: Manager.mu before shard.mu, never the reverse. The worker
+// holds shard.mu only to swap queues; engine stepping runs unlocked and may
+// call into the manager (fail, finishSeat), which takes Manager.mu.
+type shard struct {
+	m *Manager
+
+	mu         sync.Mutex
+	engines    map[uint64]*engine
+	dirty      []*engine // engines with queued work, deduplicated via engine.queued
+	dirtySpare []*engine
+	pending    map[uint64]*pendingBuf
+	pendingN   int
+	tombstone  map[uint64]time.Time
+
+	kick chan struct{} // capacity 1: the dirty list became non-empty
+	quit chan struct{}
+	done chan struct{}
+}
+
+// pendingBuf buffers raw frames for a session whose open has not arrived
+// yet (the open travels origin→peer while round-1 data arrives over every
+// link). Bounded per session and per shard; overflow drops the session id.
+type pendingBuf struct {
+	since time.Time
+	evs   []rawEvent
+}
+
+func newShard(m *Manager) *shard {
+	return &shard{
+		m:         m,
+		engines:   make(map[uint64]*engine),
+		pending:   make(map[uint64]*pendingBuf),
+		tombstone: make(map[uint64]time.Time),
+		kick:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// pendingPerSession bounds the frames buffered for one not-yet-opened
+// session: at most one round of traffic can precede the open on any link,
+// so a deep buffer only ever holds garbage.
+func (sh *shard) pendingPerSession() int { return sh.m.d.opts.QueueDepth / 4 }
+
+func (sh *shard) pendingTotal() int { return 16 * sh.m.d.opts.QueueDepth }
+
+// deliver hands one raw in-session frame to the owning engine's queue and
+// marks the engine ready. Unknown ids buffer (the open may still be in
+// flight); tombstoned ids drop silently — late frames after eviction are
+// expected, not errors.
+func (sh *shard) deliver(from sim.PartyID, sid uint64, body []byte) {
+	sh.mu.Lock()
+	eng := sh.engines[sid]
+	if eng == nil {
+		if _, dead := sh.tombstone[sid]; !dead {
+			sh.bufferPendingLocked(sid, rawEvent{from: from, body: body})
+		}
+		sh.mu.Unlock()
+		return
+	}
+	eng.in = append(eng.in, rawEvent{from: from, body: body})
+	sh.enqueueDirtyLocked(eng)
+	sh.mu.Unlock()
+}
+
+func (sh *shard) bufferPendingLocked(sid uint64, ev rawEvent) {
+	pb := sh.pending[sid]
+	if pb == nil {
+		if sh.pendingN >= sh.pendingTotal() {
+			return // shard-wide pressure: drop, the open will time the session out
+		}
+		pb = &pendingBuf{since: time.Now()}
+		sh.pending[sid] = pb
+	}
+	if len(pb.evs) >= sh.pendingPerSession() {
+		// A session this chatty before its open is broken; drop it wholesale.
+		sh.pendingN -= len(pb.evs)
+		delete(sh.pending, sid)
+		sh.tombstone[sid] = time.Now()
+		return
+	}
+	pb.evs = append(pb.evs, ev)
+	sh.pendingN++
+}
+
+func (sh *shard) enqueueDirtyLocked(eng *engine) {
+	if eng.queued || eng.gone {
+		return
+	}
+	eng.queued = true
+	sh.dirty = append(sh.dirty, eng)
+	select {
+	case sh.kick <- struct{}{}:
+	default:
+	}
+}
+
+// register adds an admitted session's engine and queues it for its first
+// step, absorbing any frames that outran the admission in arrival order. A
+// session that went terminal before registration (eviction or a peer's
+// rejection racing the admit) is buried instead.
+func (sh *shard) register(eng *engine) {
+	sh.mu.Lock()
+	if eng.s.terminal.Load() {
+		eng.gone = true
+		sh.buryLocked(eng.s.sid)
+		sh.mu.Unlock()
+		return
+	}
+	sh.engines[eng.s.sid] = eng
+	if pb := sh.pending[eng.s.sid]; pb != nil {
+		delete(sh.pending, eng.s.sid)
+		sh.pendingN -= len(pb.evs)
+		eng.in = append(eng.in, pb.evs...)
+	}
+	sh.enqueueDirtyLocked(eng)
+	sh.mu.Unlock()
+}
+
+// wake queues the engine for a prompt run — the terminal transition calls
+// this so an externally failed or evicted engine retires without waiting
+// for the sweep.
+func (sh *shard) wake(eng *engine) {
+	sh.mu.Lock()
+	sh.enqueueDirtyLocked(eng)
+	sh.mu.Unlock()
+}
+
+// bury tombstones a session id so late frames drop instead of buffering.
+func (sh *shard) bury(sid uint64) {
+	sh.mu.Lock()
+	sh.buryLocked(sid)
+	sh.mu.Unlock()
+}
+
+func (sh *shard) buryLocked(sid uint64) {
+	sh.tombstone[sid] = time.Now()
+	if pb := sh.pending[sid]; pb != nil {
+		sh.pendingN -= len(pb.evs)
+		delete(sh.pending, sid)
+	}
+}
+
+// dead reports whether sid was recently buried (the recently-used check for
+// client-chosen session ids).
+func (sh *shard) dead(sid uint64) bool {
+	sh.mu.Lock()
+	_, ok := sh.tombstone[sid]
+	sh.mu.Unlock()
+	return ok
+}
+
+// remove retires an engine: out of the run queue's reach, id tombstoned.
+func (sh *shard) remove(eng *engine) {
+	sh.mu.Lock()
+	eng.gone = true
+	delete(sh.engines, eng.s.sid)
+	sh.tombstone[eng.s.sid] = time.Now()
+	sh.mu.Unlock()
+}
+
+// worker is the shard's loop: drain the run queue on every kick, and sweep
+// (barrier timeouts, pending and tombstone GC) on a coarse tick.
+func (sh *shard) worker(sweepEvery time.Duration) {
+	defer close(sh.done)
+	ticker := time.NewTicker(sweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sh.quit:
+			return
+		case <-sh.kick:
+			sh.drain()
+		case <-ticker.C:
+			sh.drain()
+			sh.sweep(time.Now())
+		}
+	}
+}
+
+// drain runs every dirty engine until the queue stays empty. The swap keeps
+// shard.mu out of the stepping path, and the spare list makes the steady
+// state allocation-free.
+func (sh *shard) drain() {
+	for {
+		sh.mu.Lock()
+		if len(sh.dirty) == 0 {
+			sh.mu.Unlock()
+			return
+		}
+		batch := sh.dirty
+		sh.dirty = sh.dirtySpare[:0]
+		sh.mu.Unlock()
+		for i, eng := range batch {
+			sh.run(eng)
+			batch[i] = nil
+		}
+		sh.dirtySpare = batch[:0]
+	}
+}
+
+// run gives one engine its turn: swap its queue out under the lock, step it
+// unlocked, retire it if the seat finished. The in/inSpare double buffer
+// mirrors the mux outbox — no per-turn allocation.
+func (sh *shard) run(eng *engine) {
+	sh.mu.Lock()
+	if eng.gone {
+		sh.mu.Unlock()
+		return
+	}
+	evs := eng.in
+	eng.in = eng.inSpare
+	eng.inSpare = evs[:0]
+	eng.queued = false
+	sh.mu.Unlock()
+
+	alive := eng.run(evs)
+	for i := range evs {
+		evs[i] = rawEvent{} // release the frame bytes for GC
+	}
+	if !alive {
+		sh.remove(eng)
+	}
+}
+
+// sweep enforces barrier deadlines and collects stale pending buffers and
+// old tombstones. Engine round state is worker-owned, and sweep runs on the
+// worker, so the deadline reads need no lock.
+func (sh *shard) sweep(now time.Time) {
+	var victims []*engine
+	sh.mu.Lock()
+	for _, eng := range sh.engines {
+		if eng.s.terminal.Load() || (eng.round > 0 && now.After(eng.barrierDeadline)) {
+			victims = append(victims, eng)
+		}
+	}
+	for sid, pb := range sh.pending {
+		if now.Sub(pb.since) > sh.m.d.opts.SetupTimeout {
+			sh.pendingN -= len(pb.evs)
+			delete(sh.pending, sid)
+			sh.tombstone[sid] = now
+		}
+	}
+	linger := 2 * sh.m.d.opts.DefaultTTL
+	for sid, t := range sh.tombstone {
+		if now.Sub(t) > linger {
+			delete(sh.tombstone, sid)
+		}
+	}
+	sh.mu.Unlock()
+	for _, eng := range victims {
+		if !eng.s.terminal.Load() {
+			sh.m.fail(eng.s, StateFailed, fmt.Sprintf(
+				"daemon %d: round %d barrier timed out after %v",
+				sh.m.d.id, eng.round, sh.m.d.opts.RoundTimeout), true)
+		}
+		sh.remove(eng)
+	}
+}
+
+func (sh *shard) stop() {
+	close(sh.quit)
+	<-sh.done
+}

@@ -58,6 +58,13 @@ func goldenPayloads() map[string]any {
 		"session_abort": SessionAbort{SID: 2<<48 | 1, Reason: "deadline exceeded"},
 		"session_decide": SessionDecide{SID: 1<<48 | 42, Party: 3, V: 12,
 			DoneRound: 5, TermRound: 6, Msgs: 1234, Bytes: 1 << 17},
+		"client_submit": ClientSubmit{SID: 3<<48 | 9, Tree: "spider:3:3", Seed: -1,
+			T: 1, Inputs: "0,4,8,12", TTLMillis: 120_000, Wait: true},
+		"client_wait":   ClientWait{SID: 3<<48 | 9},
+		"client_status": ClientStatus{SID: 3<<48 | 9},
+		"client_outcome": ClientOutcome{OK: true, SID: 3<<48 | 9, State: 2,
+			LatencyNS: 41_250_000, Rounds: 6, Msgs: 1234, Bytes: 1 << 17,
+			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 1, V: 4}, {Party: 3, V: 7}}},
 	}
 }
 

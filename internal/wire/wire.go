@@ -129,6 +129,14 @@ func Append(dst []byte, payload any) ([]byte, error) {
 		return appendSessionAbort(dst, m)
 	case SessionDecide:
 		return appendSessionDecide(dst, m)
+	case ClientSubmit:
+		return appendClientSubmit(dst, m)
+	case ClientWait:
+		return appendClientQuery(dst, TypeClientWait, m.SID), nil
+	case ClientStatus:
+		return appendClientQuery(dst, TypeClientStatus, m.SID), nil
+	case ClientOutcome:
+		return appendClientOutcome(dst, m)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
 	}
@@ -145,7 +153,8 @@ func EncodedSize(payload any) (int, error) {
 	switch payload.(type) {
 	case gradecast.SendMsg, gradecast.EchoMsg, gradecast.VoteMsg,
 		realaa.DLPSWMsg, crashaa.ValueMsg, baseline.VertexMsg, exactaa.ChainMsg,
-		SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide:
+		SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide,
+		ClientSubmit, ClientWait, ClientStatus, ClientOutcome:
 		return s.Size(), nil
 	}
 	return 0, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
@@ -191,6 +200,12 @@ func Decode(b []byte) (any, error) {
 		payload, rest, err = decodeSessionAbort(rest)
 	case TypeSessionDecide:
 		payload, rest, err = decodeSessionDecide(rest)
+	case TypeClientSubmit:
+		payload, rest, err = decodeClientSubmit(rest)
+	case TypeClientWait, TypeClientStatus:
+		payload, rest, err = decodeClientQuery(rest, typ)
+	case TypeClientOutcome:
+		payload, rest, err = decodeClientOutcome(rest)
 	default:
 		return nil, malformed("unknown type 0x%02x", typ)
 	}

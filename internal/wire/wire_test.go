@@ -52,6 +52,18 @@ func samplePayloads() []any {
 		SessionAbort{SID: 0, Reason: ""},
 		SessionDecide{SID: 5, Party: 3, V: 12, DoneRound: 4, TermRound: 5, Msgs: 1234, Bytes: 1 << 20},
 		SessionDecide{SID: 1, Party: 0, V: 0, DoneRound: 1, TermRound: 1, Msgs: 0, Bytes: 0},
+		ClientSubmit{SID: 0, Tree: "spider:3:3", Seed: 1, T: 0, Inputs: "0,4,8,12",
+			TTLMillis: 120_000, Wait: true},
+		ClientSubmit{SID: 3<<48 | 9, Tree: "random:20", Seed: -1 << 40, T: 6,
+			Inputs: "", TTLMillis: 0, Wait: false},
+		ClientWait{SID: 3<<48 | 9},
+		ClientWait{SID: 0},
+		ClientStatus{SID: math.MaxUint64},
+		ClientOutcome{OK: false, SID: 0, State: ClientStateNone, Err: "unknown session"},
+		ClientOutcome{OK: true, SID: 3<<48 | 9, State: 2, LatencyNS: 41_250_000,
+			Rounds: 6, Msgs: 1234, Bytes: 1 << 17,
+			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 2, V: 7}}},
+		ClientOutcome{OK: true, SID: 1, State: 0},
 	}
 }
 
@@ -234,6 +246,16 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		SessionDecide{SID: 1, Party: -1, DoneRound: 1, TermRound: 1},
 		SessionDecide{SID: 1, Party: 0, DoneRound: 0, TermRound: 1},
 		SessionDecide{SID: 1, Party: 0, DoneRound: 1, TermRound: 1, Msgs: -1},
+		SessionMsg{SID: 1, Round: 1, Payload: ClientWait{SID: 1}}, // no client nesting
+		ClientSubmit{SID: 1, Tree: "path:4", T: -1},
+		ClientOutcome{OK: true, SID: 1, State: 5},
+		ClientOutcome{OK: true, SID: 1, State: 0, LatencyNS: -1},
+		ClientOutcome{OK: true, SID: 1, State: 0, Rounds: -1},
+		ClientOutcome{OK: true, SID: 1, State: 0, Msgs: -1},
+		ClientOutcome{OK: true, SID: 1, State: 0,
+			Outputs: []OutputPair{{Party: 2, V: 1}, {Party: 2, V: 1}}}, // not ascending
+		ClientOutcome{OK: true, SID: 1, State: 0,
+			Outputs: []OutputPair{{Party: -1, V: 1}}},
 	}
 	for _, p := range cases {
 		if enc, err := Encode(p); err == nil {
