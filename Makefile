@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke serve-smoke chaos-soak cover bench bench-sim bench-serve bench-compare fuzz fuzz-short prop check examples experiments clean
+.PHONY: all build test race race-sim node-smoke serve-smoke rolling-restart chaos-soak cover bench bench-sim bench-serve bench-compare fuzz fuzz-short prop check examples experiments clean
 
-all: build test race-sim node-smoke serve-smoke chaos-soak
+all: build test race-sim node-smoke serve-smoke chaos-soak rolling-restart
 
 build:
 	$(GO) build ./...
@@ -35,8 +35,29 @@ node-smoke:
 # Serving-layer smoke: a 3-daemon loopback deployment hosting 100 concurrent
 # sessions multiplexed over the shared links; exits non-zero if any session
 # fails to decide or any Result diverges from the sequential sim.Run oracle.
+# The second run turns on the journal and the observability endpoint and
+# asserts /healthz and /metrics from the outside with curl while the
+# cluster lingers.
 serve-smoke:
 	$(GO) run ./cmd/serve -cluster 3 -sessions 100 -tree spider:3:3
+	@set -e; \
+	$(GO) run ./cmd/serve -cluster 3 -sessions 100 -tree spider:3:3 \
+		-journal-dir "$$(mktemp -d)" -metrics 127.0.0.1:9309 -linger 8s & pid=$$!; \
+	ok=0; for i in $$(seq 1 60); do \
+		if curl -sf http://127.0.0.1:9309/healthz 2>/dev/null | grep -q ok; then ok=1; break; fi; \
+		sleep 0.25; done; \
+	if [ $$ok -ne 1 ]; then echo "serve-smoke: /healthz never became ready" >&2; kill $$pid 2>/dev/null; exit 1; fi; \
+	for fam in treeaa_sessions_decided_total treeaa_journal_appends_total; do \
+		if ! curl -sf http://127.0.0.1:9309/metrics | grep -q "^$$fam"; then \
+			echo "serve-smoke: /metrics missing $$fam" >&2; kill $$pid 2>/dev/null; exit 1; fi; done; \
+	wait $$pid; \
+	echo "serve-smoke: /healthz and /metrics asserted over HTTP"
+
+# Rolling-restart durability smoke: a journaled 4-daemon loopback cluster
+# under continuous closed-loop load, each daemon restarted in turn; fails
+# on any oracle mismatch or a restart the mesh fails to absorb.
+rolling-restart:
+	$(GO) run ./cmd/serve -cluster 4 -rolling -sessions 16 -tree spider:3:3
 
 # Chaos safety soak (~30s): the race-instrumented chaos/transport suites
 # (reconnect-resend, crash-restart byte-identity, golden fault schedules),
@@ -63,17 +84,18 @@ bench-sim:
 	$(GO) test -run xxx -bench SimRound -benchmem .
 
 # Serving-layer closed-loop load bench: sweeps a worker grid against a
-# 4-daemon loopback cluster and snapshots sessions/sec + latency
-# percentiles as BENCH_service.json (the E-serve table's source).
+# 4-daemon loopback cluster — journal off, then on — and snapshots
+# sessions/sec + latency percentiles as BENCH_service.json (the E-serve
+# and E-durable tables' source).
 bench-serve:
-	$(GO) run ./cmd/serve-bench -json > BENCH_service.json
+	$(GO) run ./cmd/serve-bench -json -journal-dir auto > BENCH_service.json
 	@cat BENCH_service.json
 
 # Serving-layer perf regression gate: rerun the bench grid and fail if any
 # cell drops below 80% of the committed BENCH_service.json sessions/sec.
 # (Machine-sensitive — run on hardware comparable to the committed rows.)
 bench-compare:
-	$(GO) run ./cmd/serve-bench -json -compare BENCH_service.json > /dev/null
+	$(GO) run ./cmd/serve-bench -json -journal-dir auto -compare BENCH_service.json > /dev/null
 
 # Short fuzz pass over every fuzz target (tree parsing, Prüfer codec,
 # Euler-list invariants, hull/safe-area cross-checks, wire decoding).

@@ -9,10 +9,12 @@
 //
 // With -json it emits the measurement rows as JSON on stdout — the format
 // committed as BENCH_service.json — sweeping a small worker grid so the
-// file shows how throughput and tail latency move with concurrency. With
-// -compare FILE the fresh rows are checked against the committed ones and
-// the run exits nonzero on a >20% sessions/sec regression in any cell —
-// the `make bench-compare` gate.
+// file shows how throughput and tail latency move with concurrency; with
+// -journal-dir the grid runs a second time with the write-ahead journal on,
+// so the file also records the durability overhead. With -compare FILE the
+// fresh rows are checked against the committed ones and the run exits
+// nonzero on a >20% sessions/sec regression in any cell (>50% for the
+// fsync-bound journal cells) — the `make bench-compare` gate.
 package main
 
 import (
@@ -22,10 +24,12 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"treeaa/internal/cli"
+	"treeaa/internal/journal"
 	"treeaa/internal/metrics"
 	"treeaa/internal/session"
 	"treeaa/internal/sim"
@@ -53,6 +57,11 @@ type Row struct {
 	ElapsedNS     int64   `json:"elapsed_ns"`
 }
 
+var (
+	syncFlag  time.Duration
+	levelFlag session.JournalLevel
+)
+
 func main() {
 	var (
 		n        = flag.Int("cluster", 4, "daemons in the loopback deployment")
@@ -62,21 +71,31 @@ func main() {
 		tFlag    = flag.Int("t", 0, "corruption budget of the driven sessions")
 		seed     = flag.Int64("seed", 1, "tree-spec seed")
 		jsonOut  = flag.Bool("json", false, "sweep a worker grid and emit JSON rows (BENCH_service.json format)")
+		jdirSync = flag.Duration("journal-sync", 0, "journal group-commit interval (0 = journal default)")
+		jdir     = flag.String("journal-dir", "", "run with the write-ahead journal under this directory ('auto' = temp dir); rows gain a /journal suffix")
+		jlevel   = flag.String("journal-level", "full", "journal capture level: full (frames too) or sealed (admissions+seals only); sealed rows gain a /journal-sealed suffix")
 		compare  = flag.String("compare", "", "committed rows file (BENCH_service.json); with -json, fail on a >20% sessions/sec regression")
 	)
 	var prof cli.Profile
 	prof.RegisterFlags()
 	flag.Parse()
+	syncFlag = *jdirSync
+	lv, err := session.ParseJournalLevel(*jlevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve-bench:", err)
+		os.Exit(1)
+	}
+	levelFlag = lv
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve-bench:", err)
 		os.Exit(1)
 	}
 	if *jsonOut {
-		err = runJSON(*n, *treeSpec, *tFlag, *seed, *duration, *compare)
+		err = runJSON(*n, *treeSpec, *tFlag, *seed, *duration, *compare, *jdir)
 	} else {
 		var row *Row
-		row, err = runCell(*n, *workers, *treeSpec, *tFlag, *seed, *duration)
+		row, err = runCell(*n, *workers, *treeSpec, *tFlag, *seed, *duration, *jdir)
 		if err == nil {
 			fmt.Printf("serve-bench: %s: %d sessions in %v → %.0f sessions/sec; "+
 				"latency p50 %v p90 %v p99 %v; %.1f frames/batch; %d oracle mismatches\n",
@@ -97,20 +116,29 @@ func main() {
 
 // runJSON sweeps a worker grid and writes the rows as indented JSON. With a
 // compare file it then checks every fresh cell against the committed row of
-// the same name and fails on a >20% sessions/sec regression.
-func runJSON(n int, treeSpec string, t int, seed int64, duration time.Duration, compare string) error {
+// the same name and fails past the per-cell regression gate.
+func runJSON(n int, treeSpec string, t int, seed int64, duration time.Duration, compare, journalDir string) error {
+	// With a journal directory the grid runs twice — journal-off, then
+	// journal-on — so the file records the durability overhead alongside
+	// the plain columns.
+	dirs := []string{""}
+	if journalDir != "" {
+		dirs = append(dirs, journalDir)
+	}
 	var rows []*Row
-	for _, w := range []int{8, 64, 256} {
-		row, err := runCell(n, w, treeSpec, t, seed, duration)
-		if err != nil {
-			return err
+	for _, dir := range dirs {
+		for _, w := range []int{8, 64, 256} {
+			row, err := runCell(n, w, treeSpec, t, seed, duration, dir)
+			if err != nil {
+				return err
+			}
+			if row.Mismatches > 0 {
+				return fmt.Errorf("%s: %d oracle mismatches", row.Name, row.Mismatches)
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr, "serve-bench: %s: %.0f sessions/sec, p99 %v, %.0f allocs/session\n",
+				row.Name, row.SessionsSec, time.Duration(row.P99NS), row.AllocsPerSess)
 		}
-		if row.Mismatches > 0 {
-			return fmt.Errorf("%s: %d oracle mismatches", row.Name, row.Mismatches)
-		}
-		rows = append(rows, row)
-		fmt.Fprintf(os.Stderr, "serve-bench: %s: %.0f sessions/sec, p99 %v, %.0f allocs/session\n",
-			row.Name, row.SessionsSec, time.Duration(row.P99NS), row.AllocsPerSess)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -125,7 +153,8 @@ func runJSON(n int, treeSpec string, t int, seed int64, duration time.Duration, 
 
 // compareRows gates on the committed baseline: every fresh row whose name
 // appears in the committed file must hold ≥80% of its committed
-// sessions/sec. Committed cells with no fresh counterpart (or vice versa)
+// sessions/sec (≥50% for journal cells, whose fsync-bound throughput is
+// far noisier). Committed cells with no fresh counterpart (or vice versa)
 // are reported but don't fail — grids may grow.
 func compareRows(fresh []*Row, path string) error {
 	body, err := os.ReadFile(path)
@@ -147,28 +176,56 @@ func compareRows(fresh []*Row, path string) error {
 			fmt.Fprintf(os.Stderr, "serve-bench: compare: %s has no committed baseline\n", r.Name)
 			continue
 		}
-		floor := 0.8 * base.SessionsSec
+		// Journal cells are fsync-bound, and fsync latency on shared or
+		// virtualized disks swings with writeback backlog far more than
+		// CPU-bound cells do — give them a wider gate. 50% still catches
+		// the regression class that matters (a serialized or per-append
+		// fsync path costs 3-5x, not 1.3x).
+		tolerance := 0.8
+		if strings.Contains(r.Name, "/journal") {
+			tolerance = 0.5
+		}
+		floor := tolerance * base.SessionsSec
 		if r.SessionsSec < floor {
 			regressions++
-			fmt.Fprintf(os.Stderr, "serve-bench: REGRESSION %s: %.0f sessions/sec < 80%% of committed %.0f\n",
-				r.Name, r.SessionsSec, base.SessionsSec)
+			fmt.Fprintf(os.Stderr, "serve-bench: REGRESSION %s: %.0f sessions/sec < %.0f%% of committed %.0f\n",
+				r.Name, r.SessionsSec, 100*tolerance, base.SessionsSec)
 		} else {
 			fmt.Fprintf(os.Stderr, "serve-bench: compare ok %s: %.0f sessions/sec vs committed %.0f\n",
 				r.Name, r.SessionsSec, base.SessionsSec)
 		}
 	}
 	if regressions > 0 {
-		return fmt.Errorf("%d cells regressed >20%% vs %s", regressions, path)
+		return fmt.Errorf("%d cells regressed past the gate vs %s", regressions, path)
 	}
 	return nil
 }
 
 // runCell drives one closed-loop cell: workers clients, each submitting
 // sessions back to back against the cluster until the duration elapses.
-func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.Duration) (*Row, error) {
+// journalDir != "" turns the write-ahead journal on, measuring the
+// durability overhead against the journal-off cells of the same shape
+// ("auto" journals into a discarded temp dir).
+func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.Duration, journalDir string) (*Row, error) {
+	syncInterval := syncFlag
 	tr, err := cli.ParseTreeSpec(treeSpec, seed)
 	if err != nil {
 		return nil, err
+	}
+	name := fmt.Sprintf("serve/n=%d/workers=%d", n, workers)
+	if journalDir == "auto" {
+		dir, err := os.MkdirTemp("", "treeaa-bench-journal-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		journalDir = dir
+	}
+	if journalDir != "" {
+		name += "/journal"
+		if levelFlag == session.JournalSealed {
+			name += "-sealed"
+		}
 	}
 	specFor := func(i int) session.Spec {
 		return session.Spec{Tree: treeSpec, Seed: seed, T: t,
@@ -185,8 +242,12 @@ func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.D
 	}
 
 	stats := &metrics.ServeStats{}
+	jstats := &journal.Stats{}
 	c, err := session.StartCluster(n, session.Options{
-		MaxSessions: workers + n, Stats: stats})
+		MaxSessions: workers + n, Stats: stats, JournalDir: journalDir,
+		JournalStats:        jstats,
+		JournalLevel:        levelFlag,
+		JournalSyncInterval: syncInterval})
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +312,10 @@ func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.D
 		return nil, firstErr
 	}
 
+	if journalDir != "" {
+		fmt.Fprintf(os.Stderr, "serve-bench: journal: %d appends, %d syncs, last fsync %v, depth %d\n",
+			jstats.Appends.Load(), jstats.Syncs.Load(), time.Duration(jstats.LastSyncNS.Load()), jstats.Depth.Load())
+	}
 	lat := metrics.Summarize(latencies)
 	var allocsPer, bytesPer float64
 	if sessions > 0 {
@@ -258,7 +323,7 @@ func runCell(n, workers int, treeSpec string, t int, seed int64, duration time.D
 		bytesPer = float64(stats.BatchBytes.Load()+stats.ClientBytes.Load()) / float64(sessions)
 	}
 	return &Row{
-		Name:          fmt.Sprintf("serve/n=%d/workers=%d", n, workers),
+		Name:          name,
 		N:             n,
 		Workers:       workers,
 		Tree:          treeSpec,

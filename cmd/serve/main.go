@@ -24,6 +24,24 @@
 //
 //	serve -cluster 3 -sessions 100 -tree spider:3:3
 //
+// Durability: -journal-dir enables the write-ahead session journal. Each
+// daemon journals admissions, inbound frames and outcome seals to
+// <dir>/daemon-<id>, and on restart replays the log — sealed sessions
+// restore their decided Results byte-identically, live ones re-step their
+// engines deterministically. -journal-level picks the tradeoff: "full"
+// (default) logs every frame for deterministic replay of live sessions;
+// "sealed" logs only admissions and seals — the same durable-ack contract
+// for decided sessions at a fraction of the write volume (EXPERIMENTS.md
+// E-durable). Observability: -metrics ADDR serves /metrics
+// (Prometheus text) and /healthz; -session-log writes one JSON line per
+// session lifecycle event.
+//
+// The -rolling mode is the durability smoke: a journaled loopback cluster
+// under continuous load while every daemon is gracefully restarted in
+// turn; any oracle mismatch or lost decided session exits nonzero:
+//
+//	serve -cluster 4 -rolling -sessions 64 -tree spider:3:3
+//
 // SIGINT/SIGTERM shut down gracefully: admissions stop, in-flight sessions
 // drain (up to -drain-timeout), then the mesh and client listeners close.
 package main
@@ -33,17 +51,21 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"treeaa/internal/cli"
+	"treeaa/internal/journal"
 	"treeaa/internal/metrics"
+	"treeaa/internal/obs"
 	"treeaa/internal/session"
 	"treeaa/internal/sim"
 )
@@ -69,6 +91,12 @@ func main() {
 		shards     = flag.Int("shards", 0, "engine-pool width (0 = one per core, capped at 16)")
 		flushOcc   = flag.Int("flush-occupancy", 0, "frames that cut a coalescing flush short (0 = default 32)")
 		jsonAPI    = flag.Bool("json-api", false, "serve the legacy length-prefixed JSON client API instead of the binary protocol")
+		journalDir = flag.String("journal-dir", "", "enable the write-ahead session journal under this directory (per-daemon subdirs)")
+		journalLvl = flag.String("journal-level", "full", "journal capture level: full (replayable frames) or sealed (admissions+seals only, lower overhead)")
+		metricsAt  = flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
+		sessionLog = flag.String("session-log", "", "write per-session JSON lifecycle logs to this file ('-' = stderr)")
+		linger     = flag.Duration("linger", 0, "cluster mode: keep the cluster and metrics endpoint up this long after the smoke")
+		rolling    = flag.Bool("rolling", false, "cluster mode: rolling-restart smoke — restart each daemon in turn under load")
 	)
 	var prof cli.Profile
 	prof.RegisterFlags()
@@ -81,18 +109,35 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	jlevel, err := session.ParseJournalLevel(*journalLvl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+
 	opts := session.Options{
 		MaxSessions: *maxSess, QueueDepth: *queueDepth,
 		FlushInterval: *flushEvery, MaxBatchBytes: *batchBytes,
 		DefaultTTL: *defaultTTL, SetupTimeout: *setupTO,
 		RoundTimeout: *roundTO, DrainTimeout: *drainTO,
 		Shards: *shards, FlushOccupancy: *flushOcc, JSONClientAPI: *jsonAPI,
-		Stats: &metrics.ServeStats{},
+		JournalDir: *journalDir, JournalLevel: jlevel,
+		Stats: &metrics.ServeStats{}, JournalStats: &journal.Stats{},
 	}
-	if *cluster > 0 {
-		err = runSmoke(ctx, *cluster, *sessions, *treeSpec, *tFlag, *seed, opts)
-	} else {
-		err = runSeat(ctx, *id, *peersFile, *clientAddr, opts)
+	var logClose func() error
+	opts.SessionLog, logClose, err = sessionLogger(*sessionLog)
+	if err == nil {
+		switch {
+		case *rolling:
+			err = runRolling(ctx, *cluster, *sessions, *treeSpec, *tFlag, *seed, *metricsAt, opts)
+		case *cluster > 0:
+			err = runSmoke(ctx, *cluster, *sessions, *treeSpec, *tFlag, *seed, *metricsAt, *linger, opts)
+		default:
+			err = runSeat(ctx, *id, *peersFile, *clientAddr, *metricsAt, opts)
+		}
+	}
+	if logClose != nil {
+		logClose()
 	}
 	stopProf()
 	if err != nil {
@@ -101,8 +146,46 @@ func main() {
 	}
 }
 
+// sessionLogger builds the per-session structured logger for -session-log.
+func sessionLogger(path string) (*slog.Logger, func() error, error) {
+	switch path {
+	case "":
+		return nil, nil, nil
+	case "-":
+		return obs.NewSessionLogger(os.Stderr), nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-session-log: %w", err)
+	}
+	return obs.NewSessionLogger(f), f.Close, nil
+}
+
+// serveObs binds the observability endpoint, if requested. ready is the
+// /healthz probe; the returned closer is a no-op when -metrics is unset.
+func serveObs(addr string, id int, opts session.Options, ready func() error) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	jstats := opts.JournalStats
+	if opts.JournalDir == "" {
+		jstats = nil // no journal, no treeaa_journal_* families
+	}
+	srv, err := obs.Serve(addr, obs.Options{
+		DaemonID: id,
+		Serve:    opts.Stats,
+		Journal:  jstats,
+		Ready:    ready,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("serve: metrics on http://%s/metrics, health on /healthz\n", srv.Addr())
+	return func() { srv.Close() }, nil
+}
+
 // runSeat runs one daemon until the context cancels.
-func runSeat(ctx context.Context, id int, peersFile, clientAddr string, opts session.Options) error {
+func runSeat(ctx context.Context, id int, peersFile, clientAddr, metricsAt string, opts session.Options) error {
 	if peersFile == "" {
 		return fmt.Errorf("-peers is required (or use -cluster)")
 	}
@@ -114,6 +197,11 @@ func runSeat(ctx context.Context, id int, peersFile, clientAddr string, opts ses
 	if err != nil {
 		return err
 	}
+	closeObs, err := serveObs(metricsAt, id, opts, d.Health)
+	if err != nil {
+		return err
+	}
+	defer closeObs()
 	errCh := make(chan error, 1)
 	go func() { errCh <- d.Run(ctx) }()
 	select {
@@ -127,10 +215,24 @@ func runSeat(ctx context.Context, id int, peersFile, clientAddr string, opts ses
 	return err
 }
 
+// clusterHealth builds a /healthz probe covering every daemon of an
+// in-process cluster.
+func clusterHealth(c *session.Cluster, n int) func() error {
+	return func() error {
+		for i := 0; i < n; i++ {
+			if err := c.Daemon(i).Health(); err != nil {
+				return fmt.Errorf("daemon %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+}
+
 // runSmoke starts n daemons in-process, drives sessions concurrent sessions
 // through their client APIs, and verifies every Result against the
 // sequential oracle. Any mismatch or failed session exits nonzero.
-func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed int64, opts session.Options) error {
+func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed int64,
+	metricsAt string, linger time.Duration, opts session.Options) error {
 	if sessions < 1 {
 		return fmt.Errorf("-sessions must be ≥ 1")
 	}
@@ -160,6 +262,11 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 		return err
 	}
 	defer c.Stop()
+	closeObs, err := serveObs(metricsAt, 0, opts, clusterHealth(c, n))
+	if err != nil {
+		return err
+	}
+	defer closeObs()
 	fmt.Printf("serve: %d-daemon loopback cluster up, driving %d concurrent sessions of %s\n",
 		n, sessions, treeSpec)
 
@@ -229,6 +336,165 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 	fmt.Printf("serve: cluster totals: %s\n", c.Daemons[0].Stats())
 	if len(failures) > 0 {
 		return fmt.Errorf("%d of %d sessions failed the oracle check", len(failures), sessions)
+	}
+	if linger > 0 {
+		fmt.Printf("serve: lingering %v for external scrapes\n", linger)
+		select {
+		case <-time.After(linger):
+		case <-ctx.Done():
+		}
+	}
+	return nil
+}
+
+// runRolling is the rolling-restart smoke: a journaled n-daemon cluster
+// under continuous closed-loop load while each daemon is gracefully
+// restarted in turn. Workers retry transient window errors (dials and
+// rejections while a seat is down or the mesh degraded); the hard failures
+// are an oracle mismatch on any decided session or a cluster that stops
+// making progress.
+func runRolling(ctx context.Context, n, workers int, treeSpec string, t int, seed int64,
+	metricsAt string, opts session.Options) error {
+	if n < 2 {
+		return fmt.Errorf("-rolling needs -cluster ≥ 2, got %d", n)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-sessions must be ≥ 1")
+	}
+	if workers > 64 {
+		workers = 64 // closed-loop workers, not total sessions
+	}
+	if opts.JournalDir == "" {
+		dir, err := os.MkdirTemp("", "treeaa-rolling-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts.JournalDir = dir
+	}
+	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	if err != nil {
+		return err
+	}
+	specFor := func(i int) session.Spec {
+		return session.Spec{Tree: treeSpec, Seed: seed, T: t,
+			Inputs: cli.RotateInputs(tr, n, i), TTL: 2 * time.Minute}
+	}
+	oracles := make(map[string]*sim.Result)
+	for i := 0; i < tr.NumVertices(); i++ {
+		s := specFor(i)
+		want, err := session.Oracle(n, s)
+		if err != nil {
+			return fmt.Errorf("oracle %d: %w", i, err)
+		}
+		oracles[s.Inputs] = want
+	}
+	if opts.MaxSessions < workers*2+n {
+		opts.MaxSessions = workers*2 + n
+	}
+	c, err := session.StartCluster(n, opts)
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+	closeObs, err := serveObs(metricsAt, 0, opts, clusterHealth(c, n))
+	if err != nil {
+		return err
+	}
+	defer closeObs()
+	fmt.Printf("serve: rolling restart over %d journaled daemons, %d closed-loop workers\n", n, workers)
+
+	var (
+		stop       atomic.Bool
+		decided    atomic.Int64
+		retried    atomic.Int64
+		mismatches atomic.Int64
+		mu         sync.Mutex
+		firstBad   string
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; !stop.Load(); i += workers {
+				s := specFor(i)
+				// Redial every iteration: the target's client port moves
+				// across restarts, and a drained daemon resets old conns.
+				cl, err := session.DialClient(c.ClientAddr(w%n), 2*time.Second)
+				if err != nil {
+					retried.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				resp, err := cl.Submit(s, 0, true)
+				cl.Close()
+				if err != nil {
+					// Degraded/draining rejections and torn connections are
+					// the expected restart-window noise; keep the load up.
+					retried.Add(1)
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				got, err := resp.SimResult()
+				if err != nil {
+					retried.Add(1) // failed/expired in the window: retryable
+					continue
+				}
+				if !reflect.DeepEqual(got, oracles[s.Inputs]) {
+					mismatches.Add(1)
+					mu.Lock()
+					if firstBad == "" {
+						firstBad = fmt.Sprintf("worker %d session %d: decided Result diverges from oracle", w, i)
+					}
+					mu.Unlock()
+					return
+				}
+				decided.Add(1)
+			}
+		}()
+	}
+
+	rollErr := func() error {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted")
+			}
+			before := decided.Load()
+			fmt.Printf("serve: restarting daemon %d (decided so far: %d)\n", i, before)
+			if err := c.Restart(i); err != nil {
+				return fmt.Errorf("rolling restart of daemon %d: %w", i, err)
+			}
+			// The mesh must heal and the load must demonstrably progress
+			// past the restart before the next seat goes down.
+			deadline := time.Now().Add(opts.SetupTimeout + 30*time.Second)
+			for {
+				healthy := clusterHealth(c, n)() == nil
+				if healthy && decided.Load() > before {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("no decided sessions after restarting daemon %d (healthy=%v)", i, healthy)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		return nil
+	}()
+	stop.Store(true)
+	wg.Wait()
+
+	fmt.Printf("serve: rolling restart done: %d decided, %d retried in restart windows, %d mismatches\n",
+		decided.Load(), retried.Load(), mismatches.Load())
+	if rollErr != nil {
+		return rollErr
+	}
+	if mismatches.Load() > 0 {
+		return fmt.Errorf("rolling restart: %s", firstBad)
+	}
+	if decided.Load() == 0 {
+		return fmt.Errorf("rolling restart: no session decided at all")
 	}
 	return nil
 }

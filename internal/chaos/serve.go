@@ -62,9 +62,12 @@ func (r *ServeReport) Passed() bool {
 //
 // Only delay faults are accepted — latency, stalls, partitions — because
 // they preserve per-link FIFO order, which is all the mux assumes. Drop and
-// crash clauses are rejected up front: the serving layer deliberately has no
-// reconnect-with-resume path (a dead link fails the deployment loudly), so a
-// plan that destroys connections tests the wrong contract.
+// crash clauses are rejected up front: a dead link fails every in-flight
+// session on the surviving side by design (the mux redials, but sessions do
+// not resume mid-round), so an in-band plan that destroys connections tests
+// the wrong contract. Daemon death is a first-class scenario with its own
+// harness — RunServeKillRestart — which asserts the journal's durability
+// contract instead of delay-transparency.
 func RunServe(spec ServeSpec) (*ServeReport, error) {
 	rep := &ServeReport{Tree: spec.Tree, N: spec.N, T: spec.T, Seed: spec.Seed,
 		Plan: spec.Plan, Sessions: spec.Sessions}

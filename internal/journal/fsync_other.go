@@ -1,0 +1,9 @@
+//go:build !linux
+
+package journal
+
+import "os"
+
+func preallocate(*os.File, int) {}
+
+func datasync(f *os.File) error { return f.Sync() }

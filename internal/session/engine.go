@@ -64,6 +64,13 @@ type engine struct {
 	inboxScratch    []sim.Message
 	frameScratch    []byte
 
+	// Replay state: journaled inbound frames a restarted daemon re-steps the
+	// engine from before any live traffic. While mute is set the engine's
+	// outbound sends are suppressed — peers received them in the previous
+	// incarnation, and duplicates would trip their duplicate-EOR checks.
+	replay []rawEvent
+	mute   bool
+
 	// Queue state, guarded by shard.mu.
 	in      []rawEvent
 	inSpare []rawEvent
@@ -106,6 +113,24 @@ func (e *engine) run(evs []rawEvent) bool {
 	if e.s.terminal.Load() {
 		return false
 	}
+	// A restored engine first re-steps through its journaled inputs, muted:
+	// deterministic machines over identical inputs reproduce the pre-crash
+	// state byte for byte, without re-sending what peers already hold. Live
+	// frames that raced in before registration are processed after, unmuted.
+	if len(e.replay) > 0 {
+		rep := e.replay
+		e.replay = nil
+		e.mute = true
+		ok := e.runEvents(rep)
+		e.mute = false
+		if !ok {
+			return false
+		}
+	}
+	return e.runEvents(evs)
+}
+
+func (e *engine) runEvents(evs []rawEvent) bool {
 	if !e.started && !e.begin() {
 		return false
 	}
@@ -203,7 +228,7 @@ func (e *engine) advance() bool {
 			e.m.finishSeat(e.s, wire.SessionDecide{
 				SID: e.s.sid, Party: e.m.d.id, V: v,
 				DoneRound: e.doneRound, TermRound: e.round, Msgs: e.msgs, Bytes: e.bytes,
-			})
+			}, e.mute)
 			return false // seat complete; engine retires
 		}
 		if e.round+1 > e.maxRounds {
@@ -268,7 +293,7 @@ func (e *engine) stepRound(r int) bool {
 			if to == d.id {
 				cur.byParty[d.id] = append(cur.byParty[d.id],
 					sim.Message{From: d.id, To: to, Round: r, Payload: raw.Payload})
-			} else {
+			} else if !e.mute {
 				d.mux.enqueue(to, frame)
 			}
 		}
@@ -281,7 +306,9 @@ func (e *engine) stepRound(r int) bool {
 		return false
 	}
 	e.frameScratch = eor
-	d.mux.broadcast(eor)
+	if !e.mute {
+		d.mux.broadcast(eor)
+	}
 
 	e.round = r
 	e.barrierDeadline = time.Now().Add(d.opts.RoundTimeout)
@@ -303,14 +330,19 @@ func (m *Manager) setRunning(s *session) bool {
 // finishSeat reports this seat's terminal record. On the origin it feeds the
 // assembly directly (the session stays Running until all n records are in);
 // on a peer it ships the SessionDecide to the origin and marks the local
-// session Decided — the origin owns the authoritative Outcome.
-func (m *Manager) finishSeat(s *session, dec wire.SessionDecide) {
+// session Decided — the origin owns the authoritative Outcome. A muted
+// (replaying) seat re-derives its local state without re-sending the decide:
+// the origin heard it in the previous incarnation or has already failed the
+// session its own way.
+func (m *Manager) finishSeat(s *session, dec wire.SessionDecide, mute bool) {
 	if s.origin == m.d.id {
 		m.handleDecide(m.d.id, dec)
 		return
 	}
-	if frame, err := sessionFrame(dec); err == nil {
-		m.d.mux.enqueue(s.origin, frame)
+	if !mute {
+		if frame, err := sessionFrame(dec); err == nil {
+			m.d.mux.enqueue(s.origin, frame)
+		}
 	}
 	m.mu.Lock()
 	m.terminalLocked(s, StateDecided, "")

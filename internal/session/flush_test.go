@@ -118,7 +118,8 @@ func startTestMeshes(t *testing.T, n int, opts Options,
 				if !muxes[me].closed() {
 					t.Errorf("link %d-%d down: %v", me, peer, err)
 				}
-			})
+			},
+			func(peer sim.PartyID) {})
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, n)

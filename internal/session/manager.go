@@ -2,13 +2,17 @@ package session
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"treeaa/internal/journal"
 	"treeaa/internal/metrics"
 	"treeaa/internal/sim"
+	"treeaa/internal/tree"
 	"treeaa/internal/wire"
 )
 
@@ -32,6 +36,10 @@ type session struct {
 	result  *sim.Result
 	latency time.Duration
 	waiters []chan Outcome
+
+	// Durability state (journaled daemons only).
+	sealed  bool            // a terminal seal record has been appended
+	durable <-chan struct{} // closed once the seal is fsynced; nil = no gating
 }
 
 // Manager owns a daemon's session table: admission control, lifecycle
@@ -49,9 +57,20 @@ type Manager struct {
 	reap     deadlineHeap // terminal sessions ordered by linger end
 	inflight int          // non-terminal sessions, the admission-control quantity
 	nextSeq  uint64
-	draining bool  // drain window: local submits refused, peer opens still admitted
-	stopped  bool  // drain complete: the mux is about to die, refuse everything
-	downErr  error // first dead peer link; poisons all future admissions
+	draining bool // drain window: local submits refused, peer opens still admitted
+	stopped  bool // drain complete: the mux is about to die, refuse everything
+	// degraded tracks currently-down peer links. Admissions are refused while
+	// any link is down; the mux's redial loop clears entries as links return,
+	// so a peer restart degrades the daemon instead of poisoning it forever.
+	degraded map[sim.PartyID]error
+
+	// Durability plumbing. jw is nil on journal-less daemons. replaying is
+	// true only during journal replay, before the mux exists: journal writes
+	// are suppressed (replay must not re-journal itself) and restored engines
+	// collect in restored until registerRestored runs them.
+	jw        *journal.Writer
+	replaying bool
+	restored  []*engine
 
 	evictQuit chan struct{}
 	evictDone chan struct{}
@@ -62,6 +81,7 @@ func newManager(d *Daemon) *Manager {
 		d:         d,
 		table:     make(map[uint64]*session),
 		nextSeq:   1,
+		degraded:  make(map[sim.PartyID]error),
 		evictQuit: make(chan struct{}),
 		evictDone: make(chan struct{}),
 	}
@@ -96,10 +116,9 @@ func (m *Manager) Submit(spec Spec, sid uint64) (uint64, error) {
 	}
 	m.mu.Lock()
 	m.stats().Submitted.Add(1)
-	if m.downErr != nil {
-		err := m.downErr
+	if err := m.degradedLocked(); err != nil {
 		m.mu.Unlock()
-		return 0, fmt.Errorf("session: cluster degraded: %w", err)
+		return 0, err
 	}
 	if m.draining {
 		m.mu.Unlock()
@@ -167,7 +186,28 @@ func (m *Manager) admitLocked(sid uint64, origin sim.PartyID, ps parsedSpec) (*s
 	heap.Push(&m.expiry, deadlineEntry{at: s.deadline.UnixNano(), sid: sid})
 	m.inflight++
 	m.stats().Admitted.Add(1)
+	// Write-ahead: the admission hits the journal before any frame of this
+	// session can (the open broadcast happens after this returns), so replay
+	// always sees the open first. The absolute deadline is journaled so a
+	// restart does not restart the TTL clock.
+	if m.jw != nil && !m.replaying {
+		m.jw.Append(wire.JournalOpen{
+			SID: sid, Origin: origin, Tree: ps.spec.Tree, Seed: ps.spec.Seed,
+			T: ps.spec.T, Inputs: ps.spec.Inputs,
+			TTLMillis:        uint64(ps.deadline / time.Millisecond),
+			DeadlineUnixNano: s.deadline.UnixNano(),
+		})
+	}
+	m.logSession(s, "session admitted")
 	return s, nil
+}
+
+// logSession emits one structured per-session log line, if configured.
+func (m *Manager) logSession(s *session, msg string) {
+	if lg := m.d.opts.SessionLog; lg != nil {
+		lg.Info(msg, "daemon", int(m.d.id), "sid", fmt.Sprintf("%#x", s.sid),
+			"origin", int(s.origin), "state", s.state.String(), "reason", s.reason)
+	}
 }
 
 // handleRaw is the mux handler: every inbound wire body, still encoded,
@@ -183,6 +223,7 @@ func (m *Manager) handleRaw(from sim.PartyID, body []byte) error {
 	}
 	switch typ {
 	case wire.TypeSessionMsg, wire.TypeSessionEOR:
+		m.journalFrame(from, body)
 		m.shardOf(sid).deliver(from, sid, body)
 		return nil
 	}
@@ -192,13 +233,27 @@ func (m *Manager) handleRaw(from sim.PartyID, body []byte) error {
 	}
 	switch p := payload.(type) {
 	case wire.SessionOpen:
+		// Not journaled as a frame: admission writes a JournalOpen carrying
+		// the resolved absolute deadline, which replay re-admits from.
 		m.openRemote(from, p)
 	case wire.SessionAbort:
+		m.journalFrame(from, body)
 		m.handleAbort(p)
 	case wire.SessionDecide:
+		m.journalFrame(from, body)
 		m.handleDecide(from, p)
 	}
 	return nil
+}
+
+// journalFrame write-ahead-logs one inbound session-plane frame so replay
+// can re-step the engines from the exact inputs they saw. Runs on the link
+// reader goroutines; the journal serializes internally.
+func (m *Manager) journalFrame(from sim.PartyID, body []byte) {
+	if m.jw == nil || m.replaying || m.d.opts.JournalLevel == JournalSealed {
+		return
+	}
+	m.jw.Append(wire.JournalFrame{From: from, Body: body})
 }
 
 // openRemote admits (or rejects) a session announced by a peer daemon. A
@@ -230,7 +285,7 @@ func (m *Manager) openRemote(from sim.PartyID, open wire.SessionOpen) {
 	// cluster's in-flight sessions finish, and its poll loop waits for
 	// sessions admitted here. Once the drain has completed the mux is about
 	// to die, so admitting would strand a seat whose frames go nowhere.
-	if m.stopped || m.downErr != nil {
+	if m.stopped || len(m.degraded) > 0 {
 		reject(fmt.Sprintf("daemon %d: not accepting sessions", m.d.id))
 		return
 	}
@@ -349,11 +404,67 @@ func (m *Manager) terminalLocked(s *session, st State, reason string) {
 		m.stats().Failed.Add(1)
 	}
 	m.stats().AddSessionLatency(s.latency)
+	m.sealLocked(s)
+	m.logSession(s, "session terminal")
 	out := m.outcomeLocked(s)
-	for _, w := range s.waiters {
-		w <- out // buffered, never blocks
-	}
+	waiters := s.waiters
 	s.waiters = nil
+	deliverOutcome(s.durable, waiters, out)
+}
+
+// sealLocked journals the terminal transition. Origin-side decided seals
+// commit — waiters are released only once the seal is fsynced, making "the
+// client saw decided" a durable fact — while non-origin seals, failures
+// and expiries append without a ticket (no client ack is gated on them;
+// after a crash they are re-derived by replay or re-derived as failures).
+func (m *Manager) sealLocked(s *session) {
+	if m.jw == nil || m.replaying || s.sealed {
+		return
+	}
+	s.sealed = true
+	seal := wire.JournalSeal{SID: s.sid, State: byte(s.state), Reason: s.reason,
+		LatencyNS: s.latency.Nanoseconds()}
+	if r := s.result; r != nil {
+		seal.HasResult = true
+		seal.Rounds, seal.Msgs, seal.Bytes = r.Rounds, r.Messages, r.Bytes
+		for p, v := range r.Outputs {
+			if vid, ok := v.(tree.VertexID); ok {
+				seal.Outputs = append(seal.Outputs, wire.OutputPair{Party: p, V: vid})
+			}
+		}
+		sort.Slice(seal.Outputs, func(i, j int) bool {
+			return seal.Outputs[i].Party < seal.Outputs[j].Party
+		})
+	}
+	if s.state == StateDecided && s.origin == m.d.id {
+		// Only the origin acks the client, so only the origin needs the
+		// fsync barrier. Non-origin seals ride the next group commit.
+		if ticket, err := m.jw.Commit(seal); err == nil {
+			s.durable = ticket
+		}
+	} else {
+		m.jw.Append(seal)
+	}
+}
+
+// deliverOutcome sends the outcome to each waiter (channels are buffered,
+// sends never block), gated on seal durability when a ticket exists.
+func deliverOutcome(durable <-chan struct{}, waiters []chan Outcome, out Outcome) {
+	if len(waiters) == 0 {
+		return
+	}
+	if durable == nil {
+		for _, w := range waiters {
+			w <- out
+		}
+		return
+	}
+	go func() {
+		<-durable
+		for _, w := range waiters {
+			w <- out
+		}
+	}()
 }
 
 func (m *Manager) outcomeLocked(s *session) Outcome {
@@ -376,12 +487,20 @@ func (m *Manager) fail(s *session, st State, reason string, broadcast bool) {
 }
 
 func (m *Manager) broadcastAbort(sid uint64, reason string) {
+	// No mux during journal replay: the cluster already heard these aborts in
+	// the previous incarnation, or will fail the sessions by its own timeouts.
+	if m.d.mux == nil {
+		return
+	}
 	if frame, err := sessionFrame(wire.SessionAbort{SID: sid, Reason: reason}); err == nil {
 		m.d.mux.broadcast(frame)
 	}
 }
 
 func (m *Manager) abortTo(peer sim.PartyID, sid uint64, reason string) {
+	if m.d.mux == nil {
+		return
+	}
 	if frame, err := sessionFrame(wire.SessionAbort{SID: sid, Reason: reason}); err == nil {
 		m.d.mux.enqueue(peer, frame)
 	}
@@ -409,26 +528,25 @@ func (m *Manager) Wait(sid uint64) (<-chan Outcome, error) {
 	}
 	ch := make(chan Outcome, 1)
 	if s.state.Terminal() {
-		ch <- m.outcomeLocked(s)
+		// Same durability gate as the terminal transition: a decided outcome
+		// is observable only after its seal is on stable storage.
+		deliverOutcome(s.durable, []chan Outcome{ch}, m.outcomeLocked(s))
 	} else {
 		s.waiters = append(s.waiters, ch)
 	}
 	return ch, nil
 }
 
-// linkDown poisons the manager after a peer link died: every in-flight
-// session spans all daemons, so all of them fail, and future admissions are
-// refused (the mux has no resend/reconnect path — that is the dedicated
-// transport's job, not the serving layer's). During a drain the failure
-// sweep is skipped: peers that finished draining hang up as soon as their
-// final flush lands, and the decides that complete our sessions may already
-// be buffered on other links — a session that really lost its decides still
-// expires at the drain deadline instead.
+// linkDown degrades the manager after a peer link died: every in-flight
+// session spans all daemons, so all of them fail, and admissions are
+// refused until the mux's redial loop restores the link (linkUp). During a
+// drain the failure sweep is skipped: peers that finished draining hang up
+// as soon as their final flush lands, and the decides that complete our
+// sessions may already be buffered on other links — a session that really
+// lost its decides still expires at the drain deadline instead.
 func (m *Manager) linkDown(peer sim.PartyID, err error) {
 	m.mu.Lock()
-	if m.downErr == nil {
-		m.downErr = err
-	}
+	m.degraded[peer] = err
 	var victims []*session
 	if !m.draining {
 		for _, s := range m.table {
@@ -441,6 +559,42 @@ func (m *Manager) linkDown(peer sim.PartyID, err error) {
 		m.terminalLocked(s, StateFailed, fmt.Sprintf("peer link down: %v", err))
 	}
 	m.mu.Unlock()
+}
+
+// linkUp clears a peer's degraded entry once its link is (re)established.
+func (m *Manager) linkUp(peer sim.PartyID) {
+	m.mu.Lock()
+	delete(m.degraded, peer)
+	m.mu.Unlock()
+}
+
+// degradedLocked returns the admission-refusal error while any link is down.
+func (m *Manager) degradedLocked() error {
+	for p, err := range m.degraded {
+		return fmt.Errorf("session: cluster degraded (link to daemon %d down, retry shortly): %w", p, err)
+	}
+	return nil
+}
+
+// Health reports daemon readiness: nil once replay is complete, every peer
+// link is up, and the daemon is accepting work. The obs /healthz endpoint
+// surfaces the error text.
+func (m *Manager) Health() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.replaying {
+		return errors.New("replaying journal")
+	}
+	if err := m.degradedLocked(); err != nil {
+		return err
+	}
+	if m.stopped {
+		return errors.New("stopped")
+	}
+	if m.draining {
+		return errors.New("draining")
+	}
+	return nil
 }
 
 // deadlineEntry schedules one session for an eviction action at a fixed

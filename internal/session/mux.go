@@ -19,16 +19,24 @@ import (
 //	u32(n) | u64(cluster hash, big-endian)
 //
 // One duplex connection serves each unordered daemon pair — the lower id
-// dials — so a 4-daemon cluster runs every session over 6 connections,
-// total, forever. All subsequent frames in both directions are
-// FrameMuxSession envelopes around wire session bodies.
+// dials — so a 4-daemon cluster runs every session over 6 connections.
+// All subsequent frames in both directions are FrameMuxSession envelopes
+// around wire session bodies.
+//
+// Links are generational: when one dies (peer crash, restart, network
+// fault) the lower-id side redials with backoff and the higher-id side
+// accepts a replacement, bumping the link generation so goroutines of the
+// dead incarnation unwind without disturbing the new one. The session
+// layer hears onDown/onUp transitions and degrades admission rather than
+// the whole daemon.
 const muxVersion byte = 1
 
 var muxMagic = [4]byte{'T', 'A', 'A', 'S'}
 
 // mux owns a daemon's peer links: the mesh handshake, one reader per link
-// (demultiplexing into the handler), and one flusher per link (coalescing
-// every session's outbound frames into batched writes).
+// (demultiplexing into the handler), one flusher per link (coalescing
+// every session's outbound frames into batched writes), and the redial
+// loop that restores links the peer's restart tore down.
 type mux struct {
 	id      sim.PartyID
 	n       int
@@ -45,6 +53,8 @@ type mux struct {
 	handler func(from sim.PartyID, body []byte) error
 	// onDown reports a dead link (read or write failure after setup).
 	onDown func(peer sim.PartyID, err error)
+	// onUp reports a link restored after a failure (and the initial mesh).
+	onUp func(peer sim.PartyID)
 
 	peers map[sim.PartyID]*peerLink
 	ln    net.Listener
@@ -58,17 +68,23 @@ type mux struct {
 	conns []net.Conn
 }
 
-// peerLink is one duplex daemon-pair link: the shared connection, and the
-// outbox the flusher drains.
+// peerLink is one duplex daemon-pair link: the current connection (one
+// generation at a time), and the outbox the flusher drains.
 type peerLink struct {
 	m    *mux
 	peer sim.PartyID
 
-	ready chan struct{} // closed when conn is set
-	conn  net.Conn
-	br    *bufio.Reader
+	ready     chan struct{} // closed when the link first comes up
+	readyOnce sync.Once
 
-	mu       sync.Mutex
+	mu        sync.Mutex
+	conn      net.Conn
+	br        *bufio.Reader
+	gen       int           // incremented per registered connection
+	up        bool          // current generation is live
+	genQuit   chan struct{} // closed when the current generation dies
+	redialing bool          // a redial goroutine is already running
+
 	pending  []byte // concatenated encoded frames awaiting one batched write
 	spare    []byte // last flushed batch, recycled to avoid regrowing pending
 	frames   int
@@ -77,10 +93,11 @@ type peerLink struct {
 }
 
 func newMux(id sim.PartyID, n int, addrs []string, cluster uint64, opts Options,
-	handler func(from sim.PartyID, body []byte) error, onDown func(peer sim.PartyID, err error)) *mux {
+	handler func(from sim.PartyID, body []byte) error,
+	onDown func(peer sim.PartyID, err error), onUp func(peer sim.PartyID)) *mux {
 	m := &mux{
 		id: id, n: n, addrs: addrs, cluster: cluster, opts: opts,
-		stats: opts.Stats, handler: handler, onDown: onDown,
+		stats: opts.Stats, handler: handler, onDown: onDown, onUp: onUp,
 		peers: make(map[sim.PartyID]*peerLink, n-1),
 		quit:  make(chan struct{}),
 	}
@@ -96,7 +113,9 @@ func newMux(id sim.PartyID, n int, addrs []string, cluster uint64, opts Options,
 
 // start builds the mesh over the given bound listener: accept links from
 // lower-id peers, dial higher-id peers, then wait until every link is up.
-// On success the per-link readers and flushers are running.
+// On success the per-link readers and flushers are running. Lower-id peers
+// of a restarted daemon reach it by their own redial loops, so start
+// tolerates them arriving any time within SetupTimeout.
 func (m *mux) start(ln net.Listener) error {
 	m.ln = ln
 	deadline := time.Now().Add(m.opts.SetupTimeout)
@@ -106,19 +125,7 @@ func (m *mux) start(ln net.Listener) error {
 		if p <= m.id {
 			continue
 		}
-		conn, err := m.opts.Dialer(m.addrs[p], deadline)
-		if err != nil {
-			return fmt.Errorf("session: daemon %d dialing daemon %d at %s: %w", m.id, p, m.addrs[p], err)
-		}
-		conn = m.wrap(p, conn)
-		m.track(conn)
-		hb := encodeMuxHello(m.id, p, m.n, m.cluster)
-		conn.SetWriteDeadline(deadline)
-		if _, err := conn.Write(hb); err != nil {
-			return fmt.Errorf("session: daemon %d handshake to daemon %d: %w", m.id, p, err)
-		}
-		conn.SetWriteDeadline(time.Time{})
-		if err := m.register(p, conn, bufio.NewReaderSize(conn, 64<<10)); err != nil {
+		if err := m.dial(p, deadline); err != nil {
 			return err
 		}
 	}
@@ -131,11 +138,27 @@ func (m *mux) start(ln net.Listener) error {
 			return fmt.Errorf("session: daemon %d: no link from daemon %d within %v", m.id, p, m.opts.SetupTimeout)
 		}
 	}
-	for _, l := range m.peers {
-		m.wg.Add(2)
-		m.flushWG.Add(1)
-		go m.readLoop(l)
-		go m.flushLoop(l)
+	return nil
+}
+
+// dial connects to one higher-id peer and registers the link.
+func (m *mux) dial(p sim.PartyID, deadline time.Time) error {
+	conn, err := m.opts.Dialer(m.addrs[p], deadline)
+	if err != nil {
+		return fmt.Errorf("session: daemon %d dialing daemon %d at %s: %w", m.id, p, m.addrs[p], err)
+	}
+	conn = m.wrap(p, conn)
+	m.track(conn)
+	hb := encodeMuxHello(m.id, p, m.n, m.cluster)
+	conn.SetWriteDeadline(deadline)
+	if _, err := conn.Write(hb); err != nil {
+		conn.Close()
+		return fmt.Errorf("session: daemon %d handshake to daemon %d: %w", m.id, p, err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	if err := m.register(p, conn, bufio.NewReaderSize(conn, 64<<10), false); err != nil {
+		conn.Close()
+		return err
 	}
 	return nil
 }
@@ -170,7 +193,10 @@ func (m *mux) acceptLoop(ln net.Listener) {
 }
 
 // handshakeIn validates an inbound hello and registers the connection as
-// the unique link from its claimed (lower-id) peer.
+// the unique link from its claimed (lower-id) peer. A hello for a link that
+// is already up replaces it: the only legitimate source of this connection
+// is the peer itself, so a duplicate means the peer restarted while our
+// half of the old connection is still undead.
 func (m *mux) handshakeIn(conn net.Conn) {
 	defer m.wg.Done()
 	conn.SetReadDeadline(time.Now().Add(m.opts.SetupTimeout))
@@ -202,33 +228,133 @@ func (m *mux) handshakeIn(conn net.Conn) {
 	if wrapped != conn {
 		m.track(wrapped)
 	}
-	if err := m.register(from, wrapped, br); err != nil {
+	if err := m.register(from, wrapped, br, true); err != nil {
 		conn.Close()
 	}
 }
 
-func (m *mux) register(peer sim.PartyID, conn net.Conn, br *bufio.Reader) error {
+// register installs a connection as the link's next generation and starts
+// its reader and flusher. With replace set, a live previous generation is
+// torn down first (peer-restart case); without it, a live link rejects the
+// duplicate.
+func (m *mux) register(peer sim.PartyID, conn net.Conn, br *bufio.Reader, replace bool) error {
+	if m.closed() {
+		return fmt.Errorf("session: daemon %d is closed", m.id)
+	}
 	l := m.peers[peer]
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.conn != nil {
-		return fmt.Errorf("session: duplicate link from daemon %d", peer)
+	if l.up {
+		if !replace {
+			l.mu.Unlock()
+			return fmt.Errorf("session: duplicate link from daemon %d", peer)
+		}
+		l.markDownLocked()
 	}
 	l.conn, l.br = conn, br
-	close(l.ready)
+	l.gen++
+	l.up = true
+	l.genQuit = make(chan struct{})
+	// Frames queued for the dead incarnation are stale: the sessions they
+	// belonged to have been failed (or will resend via their own protocol
+	// rounds). Carrying them over would interleave two incarnations' traffic.
+	l.pending, l.frames = l.pending[:0], 0
+	gen, genQuit := l.gen, l.genQuit
+	l.mu.Unlock()
+	m.wg.Add(2)
+	m.flushWG.Add(1)
+	go m.readLoop(l, gen, br)
+	go m.flushLoop(l, gen, genQuit, conn)
+	l.readyOnce.Do(func() { close(l.ready) })
+	if m.onUp != nil && !m.closed() {
+		m.onUp(peer)
+	}
 	return nil
+}
+
+// markDownLocked retires the current generation: the connection dies, its
+// goroutines unwind (flushers via genQuit, readers via the closed socket),
+// and queued frames are dropped. Caller holds l.mu.
+func (l *peerLink) markDownLocked() {
+	if !l.up {
+		return
+	}
+	l.up = false
+	close(l.genQuit)
+	l.conn.Close()
+	l.pending, l.frames = l.pending[:0], 0
+}
+
+// linkFailed handles a read or write failure on a specific generation. A
+// stale generation (already replaced or already failed) is ignored. The
+// lower-id side owns redialing, mirroring the initial mesh direction.
+func (m *mux) linkFailed(l *peerLink, gen int, err error) {
+	l.mu.Lock()
+	if l.gen != gen || !l.up {
+		l.mu.Unlock()
+		return
+	}
+	l.markDownLocked()
+	redial := l.peer > m.id && !l.redialing && !m.closed()
+	if redial {
+		l.redialing = true
+	}
+	l.mu.Unlock()
+	if !m.closed() && m.onDown != nil {
+		m.onDown(l.peer, err)
+	}
+	if s := m.stats; s != nil {
+		s.LinkDowns.Add(1)
+	}
+	if redial {
+		m.wg.Add(1)
+		go m.redialLoop(l)
+	}
+}
+
+// redialLoop restores a link to a higher-id peer with capped exponential
+// backoff, giving up only when the mux closes. A restarting peer rebinds
+// its listener late in recovery, so early attempts failing is the norm.
+func (m *mux) redialLoop(l *peerLink) {
+	defer m.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		l.redialing = false
+		l.mu.Unlock()
+	}()
+	backoff := 25 * time.Millisecond
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+		if err := m.dial(l.peer, time.Now().Add(m.opts.SetupTimeout)); err == nil {
+			if s := m.stats; s != nil {
+				s.LinkRedials.Add(1)
+			}
+			return
+		}
+	}
 }
 
 // enqueue appends one encoded frame to the peer's outbox. It never blocks:
 // the flusher owns the socket, and backpressure is applied per link by the
 // flusher's write, never across links. The frame bytes are copied, so
-// callers may reuse their encode buffers.
+// callers may reuse their encode buffers. Frames for a down link are
+// dropped — the session layer has already failed the affected sessions.
 func (m *mux) enqueue(to sim.PartyID, frame []byte) {
 	l := m.peers[to]
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
+	if !l.up {
+		l.mu.Unlock()
+		return
+	}
 	first := l.frames == 0
 	l.pending = append(l.pending, frame...)
 	l.frames++
@@ -296,8 +422,9 @@ func batchReady(frames, bytes, occupancy, maxBytes int) bool {
 // goes non-empty; kickFull cuts a coalescing wait short the moment the
 // occupancy threshold is hit. Stale kicks (the frames they announced were
 // already flushed) cost one no-op flush and are otherwise harmless, so the
-// loop never tries to drain them.
-func (m *mux) flushLoop(l *peerLink) {
+// loop never tries to drain them. One flusher runs per link generation;
+// genQuit retires it when the generation dies.
+func (m *mux) flushLoop(l *peerLink, gen int, genQuit chan struct{}, conn net.Conn) {
 	defer m.wg.Done()
 	defer m.flushWG.Done()
 	timer := time.NewTimer(m.opts.FlushInterval)
@@ -321,8 +448,10 @@ func (m *mux) flushLoop(l *peerLink) {
 						s.BatchesCoalesced.Add(1)
 					}
 				case <-timer.C:
+				case <-genQuit:
+					return
 				case <-m.quit:
-					l.flush()
+					l.flush(gen, conn)
 					return
 				}
 			}
@@ -330,15 +459,24 @@ func (m *mux) flushLoop(l *peerLink) {
 			if s := m.stats; s != nil {
 				s.BatchesCoalesced.Add(1)
 			}
+		case <-genQuit:
+			return
 		case <-m.quit:
-			l.flush() // best-effort final drain so queued decides reach peers
+			l.flush(gen, conn) // best-effort final drain so queued decides reach peers
 			return
 		}
-		n, err := l.flush()
-		if err != nil {
-			if !m.closed() {
-				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", m.id, l.peer, err))
+		n, stale, err := l.flush(gen, conn)
+		if stale {
+			// A replacement generation owns the outbox now; hand it any kick
+			// this loop consumed so its flusher wakes, then retire.
+			select {
+			case l.kick <- struct{}{}:
+			default:
 			}
+			return
+		}
+		if err != nil {
+			m.linkFailed(l, gen, fmt.Errorf("session: link %d→%d: %w", m.id, l.peer, err))
 			return
 		}
 		ewma = updateEWMA(ewma, n)
@@ -347,65 +485,69 @@ func (m *mux) flushLoop(l *peerLink) {
 
 // flush writes the outbox in one syscall and reports how many frames it
 // carried. The flushed buffer is recycled as the next pending buffer, so a
-// steady-state link reuses two batch buffers forever.
-func (l *peerLink) flush() (int, error) {
+// steady-state link reuses two batch buffers forever. A stale generation's
+// flush is a silent no-op: the outbox now belongs to the replacement.
+func (l *peerLink) flush(gen int, conn net.Conn) (n int, stale bool, err error) {
 	l.mu.Lock()
+	if l.gen != gen {
+		l.mu.Unlock()
+		return 0, true, nil
+	}
 	batch, frames := l.pending, l.frames
 	l.pending, l.frames = l.spare[:0], 0
 	l.spare = nil
 	l.mu.Unlock()
 	if frames == 0 {
-		l.mu.Lock()
-		if l.spare == nil {
-			l.spare = batch[:0]
-		}
-		l.mu.Unlock()
-		return 0, nil
+		l.recycle(batch)
+		return 0, false, nil
 	}
-	l.conn.SetWriteDeadline(time.Now().Add(l.m.opts.RoundTimeout))
-	if _, err := l.conn.Write(batch); err != nil {
-		return 0, err
+	conn.SetWriteDeadline(time.Now().Add(l.m.opts.RoundTimeout))
+	if _, err := conn.Write(batch); err != nil {
+		return 0, false, err
 	}
 	if s := l.m.stats; s != nil {
 		s.Batches.Add(1)
 		s.BatchFrames.Add(int64(frames))
 		s.BatchBytes.Add(int64(len(batch)))
 	}
+	l.recycle(batch)
+	return frames, false, nil
+}
+
+func (l *peerLink) recycle(batch []byte) {
 	l.mu.Lock()
 	if l.spare == nil {
 		l.spare = batch[:0]
 	}
 	l.mu.Unlock()
-	return frames, nil
 }
 
-// readLoop turns one link into handler calls. No read deadline: an idle
-// link is healthy (no sessions in flight), and per-session liveness is the
-// engines' round timeout.
-func (m *mux) readLoop(l *peerLink) {
+// readLoop turns one link generation into handler calls. No read deadline:
+// an idle link is healthy (no sessions in flight), and per-session liveness
+// is the engines' round timeout.
+func (m *mux) readLoop(l *peerLink, gen int, br *bufio.Reader) {
 	defer m.wg.Done()
 	var arena transport.ReadArena
+	fail := func(err error) {
+		if !m.closed() {
+			m.linkFailed(l, gen, err)
+		}
+	}
 	for {
-		body, err := transport.ReadFrameArena(l.br, &arena)
+		body, err := transport.ReadFrameArena(br, &arena)
 		if err != nil {
-			if !m.closed() {
-				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
-			}
+			fail(fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
 			return
 		}
 		if body[0] != transport.FrameMuxSession {
-			if !m.closed() {
-				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: unexpected frame type 0x%02x", l.peer, m.id, body[0]))
-			}
+			fail(fmt.Errorf("session: link %d→%d: unexpected frame type 0x%02x", l.peer, m.id, body[0]))
 			return
 		}
 		// The wire body is handed over still encoded; the handler routes it
 		// to the owning shard by the peeked session id and the shard's worker
 		// decodes it there, off this link's critical path.
 		if err := m.handler(l.peer, body[1:]); err != nil {
-			if !m.closed() {
-				m.onDown(l.peer, fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
-			}
+			fail(fmt.Errorf("session: link %d→%d: %w", l.peer, m.id, err))
 			return
 		}
 	}
@@ -420,29 +562,47 @@ func (m *mux) closed() bool {
 	}
 }
 
-// close tears the mux down: final flushes are triggered by quit, then the
-// sockets die and every loop exits. Safe to call more than once.
-func (m *mux) close() {
+// close tears the mux down gracefully: final flushes are triggered by quit,
+// then the sockets die and every loop exits. Safe to call more than once.
+func (m *mux) close() { m.shutdown(false) }
+
+// kill tears the mux down abruptly — sockets first, no final flush — the
+// in-process stand-in for the process dying under kill -9. Peers observe
+// exactly what a crash gives them: connections reset mid-stream.
+func (m *mux) kill() { m.shutdown(true) }
+
+func (m *mux) shutdown(abrupt bool) {
 	m.closeOnce.Do(func() {
-		close(m.quit)
-		// Wait for every flusher's final drain before the sockets close
-		// under them: decides queued by terminal engines must hit the wire,
-		// or a peer mid-assembly loses them and hangs until its drain
-		// deadline. The writes are bounded by the usual write deadline, so
-		// this cannot block shutdown indefinitely.
-		m.flushWG.Wait()
-		if m.ln != nil {
-			m.ln.Close()
-		}
-		m.mu.Lock()
-		conns := m.conns
-		m.conns = nil
-		m.mu.Unlock()
-		for _, c := range conns {
-			c.Close()
+		if abrupt {
+			// Sockets die before quit: flushers wake to dead connections and
+			// queued frames are lost, as they would be in a real crash.
+			m.closeConns()
+			close(m.quit)
+		} else {
+			close(m.quit)
+			// Wait for every flusher's final drain before the sockets close
+			// under them: decides queued by terminal engines must hit the wire,
+			// or a peer mid-assembly loses them and hangs until its drain
+			// deadline. The writes are bounded by the usual write deadline, so
+			// this cannot block shutdown indefinitely.
+			m.flushWG.Wait()
+			m.closeConns()
 		}
 	})
 	m.wg.Wait()
+}
+
+func (m *mux) closeConns() {
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	m.mu.Lock()
+	conns := m.conns
+	m.conns = nil
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // appendSessionFrame appends one mux session frame — the length-prefixed

@@ -28,6 +28,15 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden wire frames")
 
+// mustEncode builds a nested golden body; the fixed payloads are known-good.
+func mustEncode(p any) []byte {
+	b, err := Encode(p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 // goldenDir is the repo-root testdata/wire directory (this package lives at
 // internal/wire).
 const goldenDir = "../../testdata/wire"
@@ -65,6 +74,14 @@ func goldenPayloads() map[string]any {
 		"client_outcome": ClientOutcome{OK: true, SID: 3<<48 | 9, State: 2,
 			LatencyNS: 41_250_000, Rounds: 6, Msgs: 1234, Bytes: 1 << 17,
 			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 1, V: 4}, {Party: 3, V: 7}}},
+		"journal_open": JournalOpen{SID: 2<<48 | 77, Origin: 1, Tree: "spider:3:3",
+			Seed: -3, T: 1, Inputs: "0,4,8,12", TTLMillis: 120_000,
+			DeadlineUnixNano: 1_754_000_000_123_456_789},
+		"journal_frame": JournalFrame{From: 2, Body: mustEncode(
+			SessionEOR{SID: 2<<48 | 77, Round: 4, Done: true})},
+		"journal_seal": JournalSeal{SID: 2<<48 | 77, State: 2,
+			LatencyNS: 93_000_000, HasResult: true, Rounds: 6, Msgs: 1234, Bytes: 1 << 17,
+			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 2, V: 7}}},
 	}
 }
 

@@ -137,6 +137,12 @@ func Append(dst []byte, payload any) ([]byte, error) {
 		return appendClientQuery(dst, TypeClientStatus, m.SID), nil
 	case ClientOutcome:
 		return appendClientOutcome(dst, m)
+	case JournalOpen:
+		return appendJournalOpen(dst, m)
+	case JournalFrame:
+		return appendJournalFrame(dst, m)
+	case JournalSeal:
+		return appendJournalSeal(dst, m)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
 	}
@@ -154,7 +160,8 @@ func EncodedSize(payload any) (int, error) {
 	case gradecast.SendMsg, gradecast.EchoMsg, gradecast.VoteMsg,
 		realaa.DLPSWMsg, crashaa.ValueMsg, baseline.VertexMsg, exactaa.ChainMsg,
 		SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide,
-		ClientSubmit, ClientWait, ClientStatus, ClientOutcome:
+		ClientSubmit, ClientWait, ClientStatus, ClientOutcome,
+		JournalOpen, JournalFrame, JournalSeal:
 		return s.Size(), nil
 	}
 	return 0, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
@@ -206,6 +213,12 @@ func Decode(b []byte) (any, error) {
 		payload, rest, err = decodeClientQuery(rest, typ)
 	case TypeClientOutcome:
 		payload, rest, err = decodeClientOutcome(rest)
+	case TypeJournalOpen:
+		payload, rest, err = decodeJournalOpen(rest)
+	case TypeJournalFrame:
+		payload, rest, err = decodeJournalFrame(rest)
+	case TypeJournalSeal:
+		payload, rest, err = decodeJournalSeal(rest)
 	default:
 		return nil, malformed("unknown type 0x%02x", typ)
 	}

@@ -64,6 +64,20 @@ func samplePayloads() []any {
 			Rounds: 6, Msgs: 1234, Bytes: 1 << 17,
 			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 2, V: 7}}},
 		ClientOutcome{OK: true, SID: 1, State: 0},
+		JournalOpen{SID: 2<<48 | 77, Origin: 1, Tree: "spider:3:3", Seed: -3, T: 1,
+			Inputs: "0,4,8,12", TTLMillis: 120_000, DeadlineUnixNano: 1_754_000_000_123_456_789},
+		JournalOpen{SID: 1, Origin: 0, Tree: "path:4", Seed: 0, T: 0,
+			Inputs: "", TTLMillis: 0, DeadlineUnixNano: -1},
+		JournalFrame{From: 2, Body: mustEncode(SessionEOR{SID: 2<<48 | 77, Round: 4, Done: true})},
+		JournalFrame{From: 0, Body: mustEncode(SessionMsg{SID: 9, Round: 1,
+			Payload: gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5}})},
+		JournalFrame{From: 1, Body: mustEncode(SessionDecide{SID: 5, Party: 1, V: 12,
+			DoneRound: 4, TermRound: 5, Msgs: 1234, Bytes: 1 << 20})},
+		JournalSeal{SID: 2<<48 | 77, State: 2, LatencyNS: 93_000_000, HasResult: true,
+			Rounds: 6, Msgs: 1234, Bytes: 1 << 17,
+			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 2, V: 7}}},
+		JournalSeal{SID: 3, State: 3, Reason: "deadline exceeded", LatencyNS: 0},
+		JournalSeal{SID: 4, State: 4, Reason: "daemon shutting down", LatencyNS: 1},
 	}
 }
 
@@ -256,6 +270,19 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 			Outputs: []OutputPair{{Party: 2, V: 1}, {Party: 2, V: 1}}}, // not ascending
 		ClientOutcome{OK: true, SID: 1, State: 0,
 			Outputs: []OutputPair{{Party: -1, V: 1}}},
+		JournalOpen{SID: 1, Origin: -1, Tree: "path:4"},
+		JournalOpen{SID: 1, Origin: 0, Tree: "path:4", T: -1},
+		JournalFrame{From: 0, Body: nil},                                     // empty body is not a session frame
+		JournalFrame{From: 0, Body: mustEncode(gradecast.SendMsg{Tag: "t"})}, // leaf, not session-plane
+		JournalFrame{From: 0, Body: mustEncode(ClientWait{SID: 1})},          // client plane barred
+		SessionMsg{SID: 1, Round: 1, Payload: JournalSeal{SID: 1, State: 2}}, // no journal nesting
+		JournalSeal{SID: 1, State: 0},                                        // not terminal
+		JournalSeal{SID: 1, State: 5},                                        // out of range
+		JournalSeal{SID: 1, State: 2, LatencyNS: -1},
+		JournalSeal{SID: 1, State: 2, HasResult: true, Rounds: -1},
+		JournalSeal{SID: 1, State: 2, HasResult: true, Msgs: -1},
+		JournalSeal{SID: 1, State: 2, HasResult: true,
+			Outputs: []OutputPair{{Party: 2, V: 1}, {Party: 2, V: 1}}}, // not ascending
 	}
 	for _, p := range cases {
 		if enc, err := Encode(p); err == nil {
