@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke serve-smoke rolling-restart chaos-soak cover bench bench-sim bench-serve bench-compare fuzz fuzz-short prop check examples experiments clean
+.PHONY: all build test race race-sim node-smoke overlay-smoke serve-smoke rolling-restart chaos-soak cover bench bench-sim bench-serve bench-compare scale-bench fuzz fuzz-short prop check examples experiments clean
 
-all: build test race-sim node-smoke serve-smoke chaos-soak rolling-restart
+all: build test race-sim node-smoke overlay-smoke serve-smoke chaos-soak rolling-restart
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,15 @@ node-smoke:
 	$(GO) run ./cmd/node -cluster 3 -tree path:16
 	$(GO) run ./cmd/node -cluster 7 -t 2 -tree path:40 -adversary splitvote
 
+# Tree-overlay smoke: the same multi-process cmd/node deployments routed
+# over a communication tree instead of the full mesh (leaves hold one
+# connection), then a run with a mid-protocol sub-leader crash that must
+# fail over and still agree.
+overlay-smoke:
+	$(GO) run ./cmd/node -cluster 7 -tree path:16 -overlay tree:2
+	$(GO) run ./cmd/node -cluster 9 -t 2 -tree spider:3:3 -overlay tree:3 \
+		-chaos 'crash:p1@r2'
+
 # Serving-layer smoke: a 3-daemon loopback deployment hosting 100 concurrent
 # sessions multiplexed over the shared links; exits non-zero if any session
 # fails to decide or any Result diverges from the sequential sim.Run oracle.
@@ -42,12 +51,13 @@ serve-smoke:
 	$(GO) run ./cmd/serve -cluster 3 -sessions 100 -tree spider:3:3
 	@set -e; \
 	$(GO) run ./cmd/serve -cluster 3 -sessions 100 -tree spider:3:3 \
-		-journal-dir "$$(mktemp -d)" -metrics 127.0.0.1:9309 -linger 8s & pid=$$!; \
+		-journal-dir "$$(mktemp -d)" -metrics 127.0.0.1:9309 -overlay tree:2 -linger 8s & pid=$$!; \
 	ok=0; for i in $$(seq 1 60); do \
 		if curl -sf http://127.0.0.1:9309/healthz 2>/dev/null | grep -q ok; then ok=1; break; fi; \
 		sleep 0.25; done; \
 	if [ $$ok -ne 1 ]; then echo "serve-smoke: /healthz never became ready" >&2; kill $$pid 2>/dev/null; exit 1; fi; \
-	for fam in treeaa_sessions_decided_total treeaa_journal_appends_total; do \
+	for fam in treeaa_sessions_decided_total treeaa_journal_appends_total \
+			treeaa_overlay_relayed_total treeaa_overlay_failovers_total treeaa_overlay_branching; do \
 		if ! curl -sf http://127.0.0.1:9309/metrics | grep -q "^$$fam"; then \
 			echo "serve-smoke: /metrics missing $$fam" >&2; kill $$pid 2>/dev/null; exit 1; fi; done; \
 	wait $$pid; \
@@ -91,11 +101,22 @@ bench-serve:
 	$(GO) run ./cmd/serve-bench -json -journal-dir auto > BENCH_service.json
 	@cat BENCH_service.json
 
+# Mesh-vs-tree scaling sweep: drives the crash-fault AA workload over the
+# full TCP mesh (n = 16, 64) and the tree overlay (n = 128, 256, 512) on
+# loopback, every run oracle-checked, and snapshots conns/node, frames,
+# bytes and round latency as BENCH_scale.json (the E-scale table's source).
+scale-bench:
+	$(GO) run ./cmd/scale-bench -json > BENCH_scale.json
+	@cat BENCH_scale.json
+
 # Serving-layer perf regression gate: rerun the bench grid and fail if any
-# cell drops below 80% of the committed BENCH_service.json sessions/sec.
+# cell drops below 80% of the committed BENCH_service.json sessions/sec,
+# then rerun the scaling sweep and fail any row whose physical frames/round
+# exceeds 1.25x its committed BENCH_scale.json value.
 # (Machine-sensitive — run on hardware comparable to the committed rows.)
 bench-compare:
 	$(GO) run ./cmd/serve-bench -json -journal-dir auto -compare BENCH_service.json > /dev/null
+	$(GO) run ./cmd/scale-bench -json -compare BENCH_scale.json > /dev/null
 
 # Short fuzz pass over every fuzz target (tree parsing, Prüfer codec,
 # Euler-list invariants, hull/safe-area cross-checks, wire decoding).

@@ -46,6 +46,7 @@ import (
 	"treeaa/internal/cli"
 	"treeaa/internal/core"
 	"treeaa/internal/metrics"
+	"treeaa/internal/overlay"
 	"treeaa/internal/sim"
 	"treeaa/internal/transport"
 	"treeaa/internal/tree"
@@ -53,17 +54,18 @@ import (
 
 func main() {
 	var (
-		id        = flag.Int("id", -1, "this process's party id (line number in -peers)")
-		peersFile = flag.String("peers", "", "peers file: one host:port per line, line i = party i")
-		tFlag     = flag.Int("t", 0, "Byzantine budget (corrupted set is the highest t ids)")
-		treeSpec  = flag.String("tree", "path:40", "input space tree spec (as in cmd/treeaa)")
-		inputSpec = flag.String("inputs", "", "comma-separated input vertex labels (default: spread)")
-		advName   = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
-		seed      = flag.Int64("seed", 1, "seed for random trees / noise adversaries / chaos")
-		cluster   = flag.Int("cluster", 0, "spawn an n-party loopback cluster of this binary and check agreement")
-		chaosSpec = flag.String("chaos", "", "chaos plan (see internal/chaos); must match across all seats")
-		setupTO   = flag.Duration("setup-timeout", 10*time.Second, "mesh construction budget")
-		roundTO   = flag.Duration("round-timeout", 30*time.Second, "per-round traffic budget (also the reconnect budget)")
+		id          = flag.Int("id", -1, "this process's party id (line number in -peers)")
+		peersFile   = flag.String("peers", "", "peers file: one host:port per line, line i = party i")
+		tFlag       = flag.Int("t", 0, "Byzantine budget (corrupted set is the highest t ids)")
+		treeSpec    = flag.String("tree", "path:40", "input space tree spec (as in cmd/treeaa)")
+		inputSpec   = flag.String("inputs", "", "comma-separated input vertex labels (default: spread)")
+		advName     = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
+		seed        = flag.Int64("seed", 1, "seed for random trees / noise adversaries / chaos")
+		cluster     = flag.Int("cluster", 0, "spawn an n-party loopback cluster of this binary and check agreement")
+		chaosSpec   = flag.String("chaos", "", "chaos plan (see internal/chaos); must match across all seats")
+		overlaySpec = flag.String("overlay", "", "route traffic over a communication tree instead of the full mesh (tree or tree:<branching>); crash-fault only")
+		setupTO     = flag.Duration("setup-timeout", 10*time.Second, "mesh construction budget")
+		roundTO     = flag.Duration("round-timeout", 30*time.Second, "per-round traffic budget (also the reconnect budget)")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM cancel the context, which unwinds the endpoint's
@@ -73,9 +75,9 @@ func main() {
 	defer stop()
 	var err error
 	if *cluster > 0 {
-		err = runCluster(ctx, *cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
+		err = runCluster(ctx, *cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
 	} else {
-		err = runSeat(ctx, *id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *setupTO, *roundTO)
+		err = runSeat(ctx, *id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "node:", err)
@@ -85,7 +87,7 @@ func main() {
 
 // runSeat runs one party (or the adversary host seat) of a deployment.
 func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inputSpec, advName string, seed int64,
-	chaosSpec string, setupTO, roundTO time.Duration) error {
+	chaosSpec, overlaySpec string, setupTO, roundTO time.Duration) error {
 	if peersFile == "" {
 		return fmt.Errorf("-peers is required (or use -cluster)")
 	}
@@ -128,6 +130,10 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 		if corruptSet[p] {
 			return fmt.Errorf("chaos plan crashes party %d, which the adversary corrupts", p)
 		}
+	}
+	if overlaySpec != "" {
+		return runOverlaySeat(ctx, id, addrs, t, tr, treeSpec, inputSpec, advName, inputs, seed,
+			plan, chaosSpec, overlaySpec, setupTO, roundTO)
 	}
 
 	stats := &metrics.WireStats{}
@@ -183,12 +189,93 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 	return nil
 }
 
+// runOverlaySeat runs one honest party over the tree overlay: interior
+// seats (root, sub-leaders) listen and relay, leaves only dial their
+// parent. The fleet is honest by construction — the overlay refuses
+// adversaries — and the only chaos the relay fabric can host is the crash
+// clause, injected through the overlay's own seat supervisor.
+func runOverlaySeat(ctx context.Context, id int, addrs []string, t int, tr *tree.Tree,
+	treeSpec, inputSpec, advName string, inputs []tree.VertexID, seed int64,
+	plan *chaos.Plan, chaosSpec, overlaySpec string, setupTO, roundTO time.Duration) error {
+	if advName != "none" {
+		return fmt.Errorf("-overlay: the tree overlay runs honest fleets only; a rushing " +
+			"adversary needs the full mesh's global view — drop -adversary or drop -overlay")
+	}
+	if !plan.CrashOnly() {
+		return fmt.Errorf("-overlay: chaos plan %q injects link-level faults; the overlay's "+
+			"connections are internal relay hops — only crash:pP@rR clauses apply", chaosSpec)
+	}
+	branching, err := overlay.ParseSpec(overlaySpec)
+	if err != nil {
+		return err
+	}
+	n := len(addrs)
+	lay, err := overlay.NewLayout(n, branching)
+	if err != nil {
+		return err
+	}
+	m, err := core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: sim.PartyID(id), Input: inputs[id]})
+	if err != nil {
+		return err
+	}
+
+	wires := &metrics.WireStats{}
+	ostats := &metrics.OverlayStats{}
+	// The overlay spec joins the session hash: a fleet mixing mesh and tree
+	// seats — or two branching factors — refuses to pair at the handshake.
+	ocfg := overlay.ProcessConfig{
+		Ctx: ctx,
+		ID:  sim.PartyID(id), N: n, Addrs: addrs,
+		Machine: m, MaxRounds: core.Rounds(tr) + 2,
+		Session: transport.DeriveSession(append([]string{"overlay", overlaySpec, treeSpec, inputSpec,
+			fmt.Sprint(n), fmt.Sprint(t), fmt.Sprint(seed),
+			chaosSpec, setupTO.String(), roundTO.String()}, addrs...)...),
+		Opts: overlay.Options{
+			Branching: branching, SetupTimeout: setupTO, RoundTimeout: roundTO,
+			Stats: ostats, Wire: wires, CrashPlan: plan.Crashes,
+			Restart: func(p sim.PartyID) (sim.Machine, error) {
+				return core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: p, Input: inputs[p]})
+			},
+		},
+	}
+	position := "leaf"
+	switch {
+	case sim.PartyID(id) == overlay.Root:
+		position = "root"
+	case lay.IsSubleader(sim.PartyID(id)):
+		position = "sub-leader"
+	}
+	fmt.Printf("node %d: party (%s of tree:%d overlay), n=%d t=%d tree=%s, listening on %s\n",
+		id, position, lay.Branching, n, t, treeSpec, addrs[id])
+	res, err := overlay.RunProcess(ocfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d: execution %d rounds, sent %d protocol msgs / %d bytes\n",
+		id, res.Rounds, res.Messages, res.Bytes)
+	fmt.Printf("node %d: wire: %s\n", id, wires)
+	fmt.Printf("node %d: overlay: %s\n", id, ostats)
+	v := res.Output.(tree.VertexID)
+	fmt.Printf("node %d: output %s (done round %d)\n", id, tr.Label(v), res.DoneRound)
+	fmt.Printf("RESULT id=%d role=party output=%s rounds=%d\n", id, tr.Label(v), res.Rounds)
+	return nil
+}
+
 // runCluster spawns a whole deployment of this binary on loopback ports and
 // checks the protocol's guarantees across the collected outputs.
 func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName string, seed int64,
-	chaosSpec string, setupTO, roundTO time.Duration) error {
+	chaosSpec, overlaySpec string, setupTO, roundTO time.Duration) error {
 	if t < 0 || (t > 0 && n <= 3*t) {
 		return fmt.Errorf("need n > 3t, got n=%d t=%d", n, t)
+	}
+	if overlaySpec != "" {
+		// Fail fast before spawning children; each seat re-validates.
+		if _, err := overlay.ParseSpec(overlaySpec); err != nil {
+			return err
+		}
+		if advName != "none" {
+			return fmt.Errorf("-overlay: the tree overlay runs honest fleets only — drop -adversary or drop -overlay")
+		}
 	}
 	tr, err := cli.ParseTreeSpec(treeSpec, seed)
 	if err != nil {
@@ -208,6 +295,9 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName stri
 		return err
 	} else if err := plan.Validate(n); err != nil {
 		return err
+	} else if overlaySpec != "" && !plan.CrashOnly() {
+		return fmt.Errorf("-overlay: chaos plan %q injects link-level faults; the overlay's "+
+			"connections are internal relay hops — only crash:pP@rR clauses apply", chaosSpec)
 	}
 
 	// Reserve one loopback port per party, then release them for the
@@ -264,8 +354,8 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName stri
 			cmd := exec.CommandContext(ctx, self, "-id", fmt.Sprint(seat), "-peers", peersFile,
 				"-t", fmt.Sprint(t), "-tree", treeSpec, "-inputs", inputSpec,
 				"-adversary", advName, "-seed", fmt.Sprint(seed),
-				"-chaos", chaosSpec, "-setup-timeout", setupTO.String(),
-				"-round-timeout", roundTO.String())
+				"-chaos", chaosSpec, "-overlay", overlaySpec,
+				"-setup-timeout", setupTO.String(), "-round-timeout", roundTO.String())
 			// On Ctrl-C, forward SIGTERM so each seat unwinds through its own
 			// signal handler (drain, shutdown) instead of being SIGKILLed.
 			cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }

@@ -1,0 +1,296 @@
+// Command scale-bench measures how the networked substrate scales with
+// fleet size: the full TCP mesh (internal/transport) against the
+// communication-tree overlay (internal/overlay), both driven in-process on
+// loopback with the crash-fault AA workload — one small broadcast per party
+// per round, so fleet size rather than protocol weight is what the numbers
+// move with.
+//
+// The mesh holds n·(n−1)/2 connections and pushes O(n²) physical frames
+// per round; past a few hundred parties the file-descriptor bill alone
+// (two fds per connection plus goroutine stacks) hits the process limit —
+// the all-to-all wall. The tree holds one connection per edge (n−1 total,
+// O(branching) per node) and its end-of-round traffic aggregates at
+// sub-leaders, so fleets the mesh cannot even establish complete in
+// seconds. Every run is checked byte-identical against the sequential
+// sim.Run oracle before its row is reported.
+//
+//	scale-bench                        # human-readable rows
+//	scale-bench -json > BENCH_scale.json
+//	scale-bench -json -compare BENCH_scale.json > /dev/null
+//
+// With -compare the fresh rows gate against the committed file: a row
+// whose physical frames/round exceeds 1.25× its committed counterpart
+// (equivalently, drops below the 80% efficiency floor) fails the run —
+// the `make scale-bench-compare` regression gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"treeaa/internal/crashaa"
+	"treeaa/internal/metrics"
+	"treeaa/internal/overlay"
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+)
+
+// Row is one measured (mode, n) cell. Frames and bytes are physical —
+// counted at the socket, handshakes and control traffic included — while
+// Messages is the logical protocol count the engine would report; the gap
+// between the two is exactly what the substrate costs.
+type Row struct {
+	Name           string  `json:"name"` // "mesh/n64", "tree/n256"
+	Mode           string  `json:"mode"` // mesh | tree
+	N              int     `json:"n"`
+	Branching      int     `json:"branching,omitempty"` // tree only
+	Rounds         int     `json:"rounds"`
+	ConnsPerNode   int     `json:"conns_per_node"` // peak simultaneous per-node links
+	Frames         int64   `json:"frames"`         // physical frames sent, whole run
+	FramesPerRound float64 `json:"frames_per_round"`
+	Bytes          int64   `json:"bytes"`    // physical bytes sent
+	Messages       int64   `json:"messages"` // logical protocol messages, whole run
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	RoundP50NS     float64 `json:"round_p50_ns"`
+	RoundP99NS     float64 `json:"round_p99_ns"`
+}
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit rows as JSON on stdout (the BENCH_scale.json format)")
+		compare  = flag.String("compare", "", "committed rows file; with -json, fail any row whose frames/round exceeds 1.25x its committed value")
+		meshNs   = flag.String("mesh", "16,64", "comma-separated mesh fleet sizes")
+		treeNs   = flag.String("tree", "128,256,512", "comma-separated tree-overlay fleet sizes")
+		branch   = flag.Int("branching", 0, "tree branching factor (0 = ceil(sqrt(n-1)) per fleet)")
+		iters    = flag.Int("iterations", 3, "crash-fault AA iterations per run")
+		failover = flag.Duration("failover-timeout", 30*time.Second, "tree parent-silence budget (generous: a busy shared core must not read as a dead parent)")
+	)
+	flag.Parse()
+	if err := run(*jsonOut, *compare, *meshNs, *treeNs, *branch, *iters, *failover); err != nil {
+		fmt.Fprintln(os.Stderr, "scale-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jsonOut bool, compare, meshNs, treeNs string, branch, iters int, failover time.Duration) error {
+	meshSizes, err := parseSizes(meshNs)
+	if err != nil {
+		return fmt.Errorf("-mesh: %w", err)
+	}
+	treeSizes, err := parseSizes(treeNs)
+	if err != nil {
+		return fmt.Errorf("-tree: %w", err)
+	}
+
+	var rows []*Row
+	for _, n := range meshSizes {
+		row, err := runMesh(n, iters)
+		if err != nil {
+			return fmt.Errorf("mesh n=%d: %w", n, err)
+		}
+		rows = append(rows, report(jsonOut, row))
+	}
+	for _, n := range treeSizes {
+		row, err := runTree(n, branch, iters, failover)
+		if err != nil {
+			return fmt.Errorf("tree n=%d: %w", n, err)
+		}
+		rows = append(rows, report(jsonOut, row))
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	}
+	if compare != "" {
+		return compareRows(rows, compare)
+	}
+	return nil
+}
+
+// machines builds one fleet of crash-fault AA machines; each driver gets a
+// fresh set because machines hold state.
+func machines(n, iters int) ([]sim.Machine, error) {
+	ms := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		m, err := crashaa.NewMachine(crashaa.Config{N: n, ID: sim.PartyID(i),
+			Iterations: iters, Input: float64(i % 17)})
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// oracle runs the sequential engine for the same fleet — the byte-identity
+// reference every measured run must reproduce.
+func oracle(n, iters int) (*sim.Result, sim.Config, error) {
+	cfg := sim.Config{N: n, MaxCorrupt: 1, MaxRounds: iters + 2}
+	ms, err := machines(n, iters)
+	if err != nil {
+		return nil, cfg, err
+	}
+	want, err := sim.Run(cfg, ms)
+	return want, cfg, err
+}
+
+func runMesh(n, iters int) (*Row, error) {
+	want, cfg, err := oracle(n, iters)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := machines(n, iters)
+	if err != nil {
+		return nil, err
+	}
+	wires := &metrics.WireStats{}
+	lat := &metrics.ChaosStats{}
+	start := time.Now()
+	got, err := transport.LocalCluster(cfg, ms, transport.Options{Stats: wires, Chaos: lat})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(got, want) {
+		return nil, fmt.Errorf("result diverges from the sim.Run oracle")
+	}
+	sum := lat.RoundLatency()
+	return &Row{
+		Name: fmt.Sprintf("mesh/n%d", n), Mode: "mesh", N: n,
+		Rounds: got.Rounds, ConnsPerNode: n - 1,
+		Frames: wires.FramesSent.Load(), FramesPerRound: perRound(wires.FramesSent.Load(), got.Rounds),
+		Bytes: wires.BytesSent.Load(), Messages: int64(got.Messages),
+		ElapsedNS: elapsed.Nanoseconds(), RoundP50NS: sum.P50, RoundP99NS: sum.P99,
+	}, nil
+}
+
+func runTree(n, branch, iters int, failover time.Duration) (*Row, error) {
+	lay, err := overlay.NewLayout(n, branch)
+	if err != nil {
+		return nil, err
+	}
+	want, cfg, err := oracle(n, iters)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := machines(n, iters)
+	if err != nil {
+		return nil, err
+	}
+	wires := &metrics.WireStats{}
+	stats := &metrics.OverlayStats{}
+	start := time.Now()
+	got, err := overlay.Cluster(cfg, ms, overlay.Options{
+		Branching: lay.Branching, Stats: stats, Wire: wires, FailoverTimeout: failover,
+		// Hundreds of goroutine seats sharing one core can take tens of
+		// seconds just to drain the join thundering-herd; the default 10s
+		// setup budget is sized for real fleets, not this test rig.
+		SetupTimeout: 2 * time.Minute,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(got, want) {
+		return nil, fmt.Errorf("result diverges from the sim.Run oracle")
+	}
+	if peak := stats.PeakConns(); peak > lay.MaxDegree() {
+		return nil, fmt.Errorf("peak %d conns/node exceeds the layout degree %d", peak, lay.MaxDegree())
+	}
+	sum := stats.RoundLatency()
+	return &Row{
+		Name: fmt.Sprintf("tree/n%d", n), Mode: "tree", N: n, Branching: lay.Branching,
+		Rounds: got.Rounds, ConnsPerNode: stats.PeakConns(),
+		Frames: wires.FramesSent.Load(), FramesPerRound: perRound(wires.FramesSent.Load(), got.Rounds),
+		Bytes: wires.BytesSent.Load(), Messages: int64(got.Messages),
+		ElapsedNS: elapsed.Nanoseconds(), RoundP50NS: sum.P50, RoundP99NS: sum.P99,
+	}, nil
+}
+
+func perRound(frames int64, rounds int) float64 {
+	if rounds == 0 {
+		return 0
+	}
+	return float64(frames) / float64(rounds)
+}
+
+func report(jsonOut bool, row *Row) *Row {
+	w := os.Stdout
+	if jsonOut {
+		w = os.Stderr // keep stdout pure JSON
+	}
+	extra := ""
+	if row.Mode == "tree" {
+		extra = fmt.Sprintf(" (branching %d)", row.Branching)
+	}
+	fmt.Fprintf(w, "scale-bench: %s%s: %d rounds in %v; %d conns/node; %d frames (%.0f/round, %d bytes) carrying %d logical msgs; round p50 %v p99 %v\n",
+		row.Name, extra, row.Rounds, time.Duration(row.ElapsedNS).Round(time.Millisecond),
+		row.ConnsPerNode, row.Frames, row.FramesPerRound, row.Bytes, row.Messages,
+		time.Duration(row.RoundP50NS).Round(time.Microsecond), time.Duration(row.RoundP99NS).Round(time.Microsecond))
+	return row
+}
+
+// compareRows gates fresh rows against the committed baseline: a row's
+// frames/round may grow to at most 1.25x its committed value (the 80%
+// efficiency floor). Rows present on only one side are reported but don't
+// fail — grids may grow.
+func compareRows(fresh []*Row, path string) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-compare: %w", err)
+	}
+	var committed []*Row
+	if err := json.Unmarshal(body, &committed); err != nil {
+		return fmt.Errorf("-compare %s: %w", path, err)
+	}
+	baseline := make(map[string]*Row, len(committed))
+	for _, r := range committed {
+		baseline[r.Name] = r
+	}
+	var regressions int
+	for _, r := range fresh {
+		base, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "scale-bench: %s: no committed row (new cell)\n", r.Name)
+			continue
+		}
+		if base.FramesPerRound > 0 && r.FramesPerRound > base.FramesPerRound*1.25 {
+			fmt.Fprintf(os.Stderr, "scale-bench: REGRESSION %s: %.0f frames/round vs %.0f committed (>1.25x)\n",
+				r.Name, r.FramesPerRound, base.FramesPerRound)
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d frames/round regressions past the 1.25x gate", regressions)
+	}
+	return nil
+}
+
+func parseSizes(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("fleet size %q: want an integer >= 2", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no fleet sizes in %q", spec)
+	}
+	return out, nil
+}

@@ -66,6 +66,7 @@ import (
 	"treeaa/internal/journal"
 	"treeaa/internal/metrics"
 	"treeaa/internal/obs"
+	"treeaa/internal/overlay"
 	"treeaa/internal/session"
 	"treeaa/internal/sim"
 )
@@ -94,6 +95,7 @@ func main() {
 		journalDir = flag.String("journal-dir", "", "enable the write-ahead session journal under this directory (per-daemon subdirs)")
 		journalLvl = flag.String("journal-level", "full", "journal capture level: full (replayable frames) or sealed (admissions+seals only, lower overhead)")
 		metricsAt  = flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
+		overlayAt  = flag.String("overlay", "", "communication-tree fabric spec (tree or tree:<branching>): joins the cluster hash and exports the overlay metric families")
 		sessionLog = flag.String("session-log", "", "write per-session JSON lifecycle logs to this file ('-' = stderr)")
 		linger     = flag.Duration("linger", 0, "cluster mode: keep the cluster and metrics endpoint up this long after the smoke")
 		rolling    = flag.Bool("rolling", false, "cluster mode: rolling-restart smoke — restart each daemon in turn under load")
@@ -114,6 +116,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+	if *overlayAt != "" {
+		if _, err := overlay.ParseSpec(*overlayAt); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
 
 	opts := session.Options{
 		MaxSessions: *maxSess, QueueDepth: *queueDepth,
@@ -123,6 +131,7 @@ func main() {
 		Shards: *shards, FlushOccupancy: *flushOcc, JSONClientAPI: *jsonAPI,
 		JournalDir: *journalDir, JournalLevel: jlevel,
 		Stats: &metrics.ServeStats{}, JournalStats: &journal.Stats{},
+		OverlaySpec: *overlayAt, OverlayStats: &metrics.OverlayStats{},
 	}
 	var logClose func() error
 	opts.SessionLog, logClose, err = sessionLogger(*sessionLog)
@@ -162,8 +171,9 @@ func sessionLogger(path string) (*slog.Logger, func() error, error) {
 }
 
 // serveObs binds the observability endpoint, if requested. ready is the
-// /healthz probe; the returned closer is a no-op when -metrics is unset.
-func serveObs(addr string, id int, opts session.Options, ready func() error) (func(), error) {
+// /healthz probe, n the deployment's daemon count (it shapes the overlay
+// gauges); the returned closer is a no-op when -metrics is unset.
+func serveObs(addr string, id, n int, opts session.Options, ready func() error) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
@@ -171,12 +181,26 @@ func serveObs(addr string, id int, opts session.Options, ready func() error) (fu
 	if opts.JournalDir == "" {
 		jstats = nil // no journal, no treeaa_journal_* families
 	}
-	srv, err := obs.Serve(addr, obs.Options{
+	oopts := obs.Options{
 		DaemonID: id,
 		Serve:    opts.Stats,
 		Journal:  jstats,
 		Ready:    ready,
-	})
+	}
+	if opts.OverlaySpec != "" {
+		branching, err := overlay.ParseSpec(opts.OverlaySpec)
+		if err != nil {
+			return nil, err
+		}
+		lay, err := overlay.NewLayout(n, branching)
+		if err != nil {
+			return nil, fmt.Errorf("-overlay: %w", err)
+		}
+		oopts.Overlay = opts.OverlayStats
+		oopts.OverlayDepth = lay.Depth()
+		oopts.OverlayBranching = lay.Branching
+	}
+	srv, err := obs.Serve(addr, oopts)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +221,7 @@ func runSeat(ctx context.Context, id int, peersFile, clientAddr, metricsAt strin
 	if err != nil {
 		return err
 	}
-	closeObs, err := serveObs(metricsAt, id, opts, d.Health)
+	closeObs, err := serveObs(metricsAt, id, len(addrs), opts, d.Health)
 	if err != nil {
 		return err
 	}
@@ -262,7 +286,7 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 		return err
 	}
 	defer c.Stop()
-	closeObs, err := serveObs(metricsAt, 0, opts, clusterHealth(c, n))
+	closeObs, err := serveObs(metricsAt, 0, n, opts, clusterHealth(c, n))
 	if err != nil {
 		return err
 	}
@@ -397,7 +421,7 @@ func runRolling(ctx context.Context, n, workers int, treeSpec string, t int, see
 		return err
 	}
 	defer c.Stop()
-	closeObs, err := serveObs(metricsAt, 0, opts, clusterHealth(c, n))
+	closeObs, err := serveObs(metricsAt, 0, n, opts, clusterHealth(c, n))
 	if err != nil {
 		return err
 	}

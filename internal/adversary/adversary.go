@@ -212,11 +212,11 @@ func (a *RandomNoise) Step(r int, _ []sim.Message, _ map[sim.PartyID][]sim.Messa
 	}
 	iter := (rr-1)/3 + 1
 	phase := (rr - 1) % 3
-	randVec := func() map[sim.PartyID]float64 {
-		vals := map[sim.PartyID]float64{}
+	randVec := func() gradecast.Vec {
+		var vals gradecast.Vec
 		for l := 0; l < a.N; l++ {
 			if a.rng.Intn(2) == 0 {
-				vals[sim.PartyID(l)] = float64(a.rng.Intn(2*maxVal) - maxVal/2)
+				vals = append(vals, gradecast.VecEntry{ID: sim.PartyID(l), Val: float64(a.rng.Intn(2*maxVal) - maxVal/2)})
 			}
 		}
 		return vals

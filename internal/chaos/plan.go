@@ -331,6 +331,14 @@ func (p *Plan) NeedsReconnect() bool {
 	return len(p.Drops) > 0 || len(p.Crashes) > 0
 }
 
+// CrashOnly reports whether crashes are the only faults in the plan. The
+// tree overlay injects crashes through its own seat supervisor but exposes
+// no seam for link-level faults: its connections are overlay-internal
+// relay hops, not the party-to-party links the injector's clauses name.
+func (p *Plan) CrashOnly() bool {
+	return p.Latency == nil && len(p.Stalls) == 0 && len(p.Drops) == 0 && len(p.Partitions) == 0
+}
+
 // parseParty decodes "p3" (the p is mandatory — it keeps parties and rounds
 // visually distinct inside a clause).
 func parseParty(s string) (sim.PartyID, error) {

@@ -31,6 +31,7 @@ package gradecast
 
 import (
 	"math"
+	"sort"
 
 	"treeaa/internal/sim"
 )
@@ -64,12 +65,45 @@ func (m SendMsg) Size() int {
 	return 2 + sim.UvarintLen(uint64(len(m.Tag))) + len(m.Tag) + sim.UvarintLen(uint64(m.Iter)) + 8
 }
 
+// VecEntry is one (leader, value) pair of a vector message.
+type VecEntry struct {
+	ID  sim.PartyID
+	Val float64
+}
+
+// Vec is a value vector: one entry per leader the sender attributes a value
+// to, sorted by strictly ascending leader id. Missing leaders mean ⊥. The
+// flat sorted form matches the wire encoding exactly, so encoding never
+// sorts and decoding allocates one exact-size slice instead of a
+// map[PartyID]float64 per message — the decode-side map was ~34% of the
+// serve path's allocations. Construct with CopyVals (or append entries in
+// ascending id order); never mutate a Vec after it has been sent.
+type Vec []VecEntry
+
+// Get returns the value attributed to leader id, if any, by binary search
+// over the sorted entries.
+func (v Vec) Get(id sim.PartyID) (float64, bool) {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v) && v[lo].ID == id {
+		return v[lo].Val, true
+	}
+	return 0, false
+}
+
 // EchoMsg is the phase-2 message: for each leader the sender received a
 // phase-1 value from, the value it received. Missing leaders mean ⊥.
 type EchoMsg struct {
 	Tag  string
 	Iter int
-	Vals map[sim.PartyID]float64
+	Vals Vec
 }
 
 // Size implements sim.Sizer with the exact internal/wire encoded length;
@@ -82,7 +116,7 @@ func (m EchoMsg) Size() int { return vectorSize(m.Tag, m.Iter, len(m.Vals)) }
 type VoteMsg struct {
 	Tag  string
 	Iter int
-	Vals map[sim.PartyID]float64
+	Vals Vec
 }
 
 // Size implements sim.Sizer (see EchoMsg.Size).
@@ -119,19 +153,19 @@ func CollectSends(inbox []sim.Message, tag string, iter int) map[sim.PartyID]flo
 }
 
 // CollectEchoes extracts phase-2 echo vectors keyed by echoing party.
-func CollectEchoes(inbox []sim.Message, tag string, iter int) map[sim.PartyID]map[sim.PartyID]float64 {
+func CollectEchoes(inbox []sim.Message, tag string, iter int) map[sim.PartyID]Vec {
 	return collectVectors(inbox, tag, iter, false)
 }
 
 // CollectVotes extracts phase-3 vote vectors keyed by voting party.
-func CollectVotes(inbox []sim.Message, tag string, iter int) map[sim.PartyID]map[sim.PartyID]float64 {
+func CollectVotes(inbox []sim.Message, tag string, iter int) map[sim.PartyID]Vec {
 	return collectVectors(inbox, tag, iter, true)
 }
 
-func collectVectors(inbox []sim.Message, tag string, iter int, votes bool) map[sim.PartyID]map[sim.PartyID]float64 {
-	got := make(map[sim.PartyID]map[sim.PartyID]float64)
+func collectVectors(inbox []sim.Message, tag string, iter int, votes bool) map[sim.PartyID]Vec {
+	got := make(map[sim.PartyID]Vec)
 	for _, m := range inbox {
-		var vals map[sim.PartyID]float64
+		var vals Vec
 		var mTag string
 		var mIter int
 		if votes {
@@ -160,7 +194,7 @@ func collectVectors(inbox []sim.Message, tag string, iter int, votes bool) map[s
 // ComputeVotes derives this party's phase-3 vote vector from the echo
 // vectors received: for each leader, if some value was echoed by at least
 // n-t parties, vote for it; otherwise vote ⊥ (leader omitted).
-func ComputeVotes(n, t int, echoes map[sim.PartyID]map[sim.PartyID]float64) map[sim.PartyID]float64 {
+func ComputeVotes(n, t int, echoes map[sim.PartyID]Vec) Vec {
 	var ta Tally
 	return ta.ComputeVotes(n, t, flatten(echoes))
 }
@@ -168,7 +202,7 @@ func ComputeVotes(n, t int, echoes map[sim.PartyID]map[sim.PartyID]float64) map[
 // ComputeGrades derives the final (value, grade) per leader from the vote
 // vectors received: grade 2 for ≥ n-t matching votes, grade 1 for ≥ t+1,
 // grade 0 (and no value) otherwise.
-func ComputeGrades(n, t int, votes map[sim.PartyID]map[sim.PartyID]float64) map[sim.PartyID]Result {
+func ComputeGrades(n, t int, votes map[sim.PartyID]Vec) map[sim.PartyID]Result {
 	var ta Tally
 	grades := ta.ComputeGrades(nil, n, t, flatten(votes))
 	out := make(map[sim.PartyID]Result, n)
@@ -180,8 +214,8 @@ func ComputeGrades(n, t int, votes map[sim.PartyID]map[sim.PartyID]float64) map[
 
 // flatten materializes a received-vector map as a slice for the
 // slice-based tallies underneath the map-based entry points above.
-func flatten(m map[sim.PartyID]map[sim.PartyID]float64) []map[sim.PartyID]float64 {
-	vecs := make([]map[sim.PartyID]float64, 0, len(m))
+func flatten(m map[sim.PartyID]Vec) []Vec {
+	vecs := make([]Vec, 0, len(m))
 	for _, vec := range m {
 		vecs = append(vecs, vec)
 	}
@@ -196,9 +230,10 @@ func flatten(m map[sim.PartyID]map[sim.PartyID]float64) []map[sim.PartyID]float6
 // buffers for the lifetime of the execution. The zero value is ready to
 // use. A Tally must not be shared between machines or used concurrently.
 type Tally struct {
-	sends  map[sim.PartyID]float64
-	vecs   []map[sim.PartyID]float64
-	counts []valCount
+	sends   map[sim.PartyID]float64
+	vecs    []Vec
+	counts  []valCount
+	cursors []int
 }
 
 // CollectSends is the package-level CollectSends collecting into a reused
@@ -224,21 +259,21 @@ func (ta *Tally) CollectSends(inbox []sim.Message, tag string, iter int) map[sim
 // echoing party, in inbox order. The inbox must be sorted by sender (the
 // order the sim delivers): deduplication relies on each sender's messages
 // being consecutive. The slice is reused by the next Collect call.
-func (ta *Tally) CollectEchoes(inbox []sim.Message, tag string, iter int) []map[sim.PartyID]float64 {
+func (ta *Tally) CollectEchoes(inbox []sim.Message, tag string, iter int) []Vec {
 	return ta.collect(inbox, tag, iter, false)
 }
 
 // CollectVotes is CollectEchoes for the phase-3 vote vectors.
-func (ta *Tally) CollectVotes(inbox []sim.Message, tag string, iter int) []map[sim.PartyID]float64 {
+func (ta *Tally) CollectVotes(inbox []sim.Message, tag string, iter int) []Vec {
 	return ta.collect(inbox, tag, iter, true)
 }
 
-func (ta *Tally) collect(inbox []sim.Message, tag string, iter int, votes bool) []map[sim.PartyID]float64 {
+func (ta *Tally) collect(inbox []sim.Message, tag string, iter int, votes bool) []Vec {
 	ta.vecs = ta.vecs[:0]
 	var last sim.PartyID
 	have := false
 	for _, m := range inbox {
-		var vals map[sim.PartyID]float64
+		var vals Vec
 		if votes {
 			p, ok := m.Payload.(VoteMsg)
 			if !ok || p.Tag != tag || p.Iter != iter {
@@ -262,19 +297,23 @@ func (ta *Tally) collect(inbox []sim.Message, tag string, iter int, votes bool) 
 }
 
 // ComputeVotes is the package-level ComputeVotes over an
-// already-collected vector slice. The returned map is freshly allocated —
+// already-collected vector slice. The returned Vec is freshly allocated —
 // it becomes a wire payload — but the counting scratch is reused.
-func (ta *Tally) ComputeVotes(n, t int, vecs []map[sim.PartyID]float64) map[sim.PartyID]float64 {
-	votes := make(map[sim.PartyID]float64, n)
+func (ta *Tally) ComputeVotes(n, t int, vecs []Vec) Vec {
+	var votes Vec
+	ta.resetCursors(len(vecs))
 	for leader := sim.PartyID(0); int(leader) < n; leader++ {
 		ta.counts = ta.counts[:0]
-		for _, vec := range vecs {
-			if v, ok := vec[leader]; ok {
+		for i, vec := range vecs {
+			if v, ok := ta.advance(vec, i, leader); ok {
 				ta.counts = bump(ta.counts, v)
 			}
 		}
 		if v, c, ok := argmax(ta.counts); ok && c >= n-t {
-			votes[leader] = v
+			if votes == nil {
+				votes = make(Vec, 0, n)
+			}
+			votes = append(votes, VecEntry{ID: leader, Val: v})
 		}
 	}
 	return votes
@@ -283,15 +322,16 @@ func (ta *Tally) ComputeVotes(n, t int, vecs []map[sim.PartyID]float64) map[sim.
 // ComputeGrades is the package-level ComputeGrades over an
 // already-collected vector slice, writing the per-leader results into dst
 // (grown as needed) indexed by leader. It returns dst with length n.
-func (ta *Tally) ComputeGrades(dst []Result, n, t int, vecs []map[sim.PartyID]float64) []Result {
+func (ta *Tally) ComputeGrades(dst []Result, n, t int, vecs []Vec) []Result {
 	if cap(dst) < n {
 		dst = make([]Result, n)
 	}
 	dst = dst[:n]
+	ta.resetCursors(len(vecs))
 	for leader := sim.PartyID(0); int(leader) < n; leader++ {
 		ta.counts = ta.counts[:0]
-		for _, vec := range vecs {
-			if v, ok := vec[leader]; ok {
+		for i, vec := range vecs {
+			if v, ok := ta.advance(vec, i, leader); ok {
 				ta.counts = bump(ta.counts, v)
 			}
 		}
@@ -306,6 +346,32 @@ func (ta *Tally) ComputeGrades(dst []Result, n, t int, vecs []map[sim.PartyID]fl
 		}
 	}
 	return dst
+}
+
+// resetCursors prepares one merge cursor per collected vector: leaders are
+// scanned in ascending order and every Vec is sorted the same way, so each
+// vector is consumed by a single forward pass instead of n map lookups.
+func (ta *Tally) resetCursors(nvecs int) {
+	if cap(ta.cursors) < nvecs {
+		ta.cursors = make([]int, nvecs)
+	}
+	ta.cursors = ta.cursors[:nvecs]
+	clear(ta.cursors)
+}
+
+// advance moves vector i's cursor past entries below leader and reports the
+// value vecs[i] attributes to leader, if any.
+func (ta *Tally) advance(vec Vec, i int, leader sim.PartyID) (float64, bool) {
+	c := ta.cursors[i]
+	for c < len(vec) && vec[c].ID < leader {
+		c++
+	}
+	if c < len(vec) && vec[c].ID == leader {
+		ta.cursors[i] = c + 1
+		return vec[c].Val, true
+	}
+	ta.cursors[i] = c
+	return 0, false
 }
 
 // valCount is one distinct-value frequency. Honest executions see a single
@@ -329,13 +395,19 @@ func bump(counts []valCount, v float64) []valCount {
 	return append(counts, valCount{val: v, count: 1})
 }
 
-// CopyVals returns a copy of a value vector. Message payloads must not share
-// mutable state across machines, so senders copy vectors at the boundary.
-func CopyVals(vals map[sim.PartyID]float64) map[sim.PartyID]float64 {
-	out := make(map[sim.PartyID]float64, len(vals))
-	for k, v := range vals {
-		out[k] = v
+// CopyVals materializes a working map as a sorted Vec payload. Message
+// payloads must not share mutable state across machines, so senders convert
+// at the boundary; the empty vector is canonically nil (matching what
+// wire.Decode produces for a zero-entry vector).
+func CopyVals(vals map[sim.PartyID]float64) Vec {
+	if len(vals) == 0 {
+		return nil
 	}
+	out := make(Vec, 0, len(vals))
+	for k, v := range vals {
+		out = append(out, VecEntry{ID: k, Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

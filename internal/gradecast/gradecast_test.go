@@ -170,7 +170,7 @@ func TestRandomizedAdversaryPreservesProperties(t *testing.T) {
 									vals[sim.PartyID(l)] = float64(advRng.Intn(5))
 								}
 							}
-							payload = EchoMsg{Tag: "gc", Iter: 1, Vals: vals}
+							payload = EchoMsg{Tag: "gc", Iter: 1, Vals: CopyVals(vals)}
 						case 3:
 							vals := map[sim.PartyID]float64{}
 							for l := 0; l < n; l++ {
@@ -178,7 +178,7 @@ func TestRandomizedAdversaryPreservesProperties(t *testing.T) {
 									vals[sim.PartyID(l)] = float64(advRng.Intn(5))
 								}
 							}
-							payload = VoteMsg{Tag: "gc", Iter: 1, Vals: vals}
+							payload = VoteMsg{Tag: "gc", Iter: 1, Vals: CopyVals(vals)}
 						default:
 							continue
 						}
@@ -210,14 +210,14 @@ func TestCollectHelpersFilterTagAndIter(t *testing.T) {
 		{From: 1, Payload: SendMsg{Tag: "b", Iter: 1, Val: 6}},  // wrong tag
 		{From: 2, Payload: SendMsg{Tag: "a", Iter: 2, Val: 7}},  // wrong iter
 		{From: 0, Payload: SendMsg{Tag: "a", Iter: 1, Val: 99}}, // duplicate: first wins
-		{From: 3, Payload: EchoMsg{Tag: "a", Iter: 1, Vals: map[sim.PartyID]float64{0: 5}}},
+		{From: 3, Payload: EchoMsg{Tag: "a", Iter: 1, Vals: Vec{{ID: 0, Val: 5}}}},
 	}
 	got := CollectSends(inbox, "a", 1)
 	if len(got) != 1 || got[0] != 5 {
 		t.Errorf("CollectSends = %v, want {0:5}", got)
 	}
 	echoes := CollectEchoes(inbox, "a", 1)
-	if len(echoes) != 1 || echoes[3][0] != 5 {
+	if v, ok := echoes[3].Get(0); len(echoes) != 1 || !ok || v != 5 {
 		t.Errorf("CollectEchoes = %v", echoes)
 	}
 	if votes := CollectVotes(inbox, "a", 1); len(votes) != 0 {
@@ -227,27 +227,27 @@ func TestCollectHelpersFilterTagAndIter(t *testing.T) {
 
 func TestComputeVotesThreshold(t *testing.T) {
 	n, tc := 4, 1
-	echoes := map[sim.PartyID]map[sim.PartyID]float64{
-		0: {0: 5, 1: 7},
-		1: {0: 5, 1: 8},
-		2: {0: 5},
-		3: {0: 6},
+	echoes := map[sim.PartyID]Vec{
+		0: {{ID: 0, Val: 5}, {ID: 1, Val: 7}},
+		1: {{ID: 0, Val: 5}, {ID: 1, Val: 8}},
+		2: {{ID: 0, Val: 5}},
+		3: {{ID: 0, Val: 6}},
 	}
 	votes := ComputeVotes(n, tc, echoes)
-	if v, ok := votes[0]; !ok || v != 5 {
+	if v, ok := votes.Get(0); !ok || v != 5 {
 		t.Errorf("votes[0] = %v,%v, want 5 (3 >= n-t echoes)", v, ok)
 	}
-	if _, ok := votes[1]; ok {
+	if _, ok := votes.Get(1); ok {
 		t.Errorf("votes[1] present, want ⊥ (no value with n-t echoes)")
 	}
 }
 
 func TestComputeGradesThresholds(t *testing.T) {
 	n, tc := 7, 2
-	mkVotes := func(count int, val float64) map[sim.PartyID]map[sim.PartyID]float64 {
-		votes := map[sim.PartyID]map[sim.PartyID]float64{}
+	mkVotes := func(count int, val float64) map[sim.PartyID]Vec {
+		votes := map[sim.PartyID]Vec{}
 		for i := 0; i < count; i++ {
-			votes[sim.PartyID(i)] = map[sim.PartyID]float64{0: val}
+			votes[sim.PartyID(i)] = Vec{{ID: 0, Val: val}}
 		}
 		return votes
 	}
@@ -288,7 +288,7 @@ func TestSizes(t *testing.T) {
 		t.Errorf("SendMsg size = %d", s)
 	}
 	// header(2) + tag len prefix(1) + tag(2) + iter(1) + count(1) + 2*12.
-	e := EchoMsg{Tag: "ab", Vals: map[sim.PartyID]float64{0: 1, 1: 2}}
+	e := EchoMsg{Tag: "ab", Vals: Vec{{ID: 0, Val: 1}, {ID: 1, Val: 2}}}
 	if s := e.Size(); s != 2+1+2+1+1+24 {
 		t.Errorf("EchoMsg size = %d", s)
 	}
@@ -307,17 +307,17 @@ func TestQuickVoteGradeSoundness(t *testing.T) {
 		// Honest votes: either all vote honestVal or all abstain (honest
 		// voters are consistent by construction of ComputeVotes).
 		allVote := raw&1 == 0
-		votes := map[sim.PartyID]map[sim.PartyID]float64{}
+		votes := map[sim.PartyID]Vec{}
 		for p := 0; p < n-tc; p++ {
 			if allVote {
-				votes[sim.PartyID(p)] = map[sim.PartyID]float64{leader: honestVal}
+				votes[sim.PartyID(p)] = Vec{{ID: leader, Val: honestVal}}
 			} else {
-				votes[sim.PartyID(p)] = map[sim.PartyID]float64{}
+				votes[sim.PartyID(p)] = Vec{}
 			}
 		}
 		// Byzantine votes: arbitrary values.
 		for p := n - tc; p < n; p++ {
-			votes[sim.PartyID(p)] = map[sim.PartyID]float64{leader: float64(rng.Intn(5))}
+			votes[sim.PartyID(p)] = Vec{{ID: leader, Val: float64(rng.Intn(5))}}
 		}
 		g := ComputeGrades(n, tc, votes)[leader]
 		if allVote {
@@ -338,12 +338,12 @@ func TestQuickEchoThreshold(t *testing.T) {
 		n := 4 + int(raw%7)
 		tc := (n - 1) / 3
 		count := int(raw>>8) % (n + 1)
-		echoes := map[sim.PartyID]map[sim.PartyID]float64{}
+		echoes := map[sim.PartyID]Vec{}
 		for p := 0; p < count; p++ {
-			echoes[sim.PartyID(p)] = map[sim.PartyID]float64{0: 42}
+			echoes[sim.PartyID(p)] = Vec{{ID: 0, Val: 42}}
 		}
 		votes := ComputeVotes(n, tc, echoes)
-		v, ok := votes[0]
+		v, ok := votes.Get(0)
 		if count >= n-tc {
 			return ok && v == 42
 		}

@@ -1,0 +1,314 @@
+package overlay
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+)
+
+// Cluster executes machines over the communication tree: one TCP node per
+// party on 127.0.0.1 loopback, connected along the Layout's edges instead
+// of a full mesh. For any configuration it accepts, its Result — outputs,
+// rounds, message and byte counts, trace — is byte-for-byte the Result of
+// sim.Run on the same inputs; the equivalence tests pin that. Message and
+// byte counts are logical (counted at the emitting party per recipient,
+// exactly as the engine counts), independent of how many physical relay
+// hops the overlay spent; the physical side lands in Options.Wire/Stats.
+//
+// Adversaries are rejected outright: a rushing observer must see every
+// honest round-r message before choosing its own, and only the mesh (or the
+// in-process engine) grants that global view — a tree would have to route
+// all traffic through the observer's position. Per-party rate limits and
+// tamper hooks need a global arbiter and are rejected for the same reason
+// as in the tcp transport.
+func Cluster(cfg sim.Config, machines []sim.Machine, opts Options) (*sim.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(machines) != cfg.N {
+		return nil, fmt.Errorf("sim: %d machines for N = %d", len(machines), cfg.N)
+	}
+	if cfg.Adversary != nil {
+		return nil, fmt.Errorf("overlay: a rushing adversary observes all honest traffic before sending; " +
+			"only the full mesh grants that view — use the tcp transport or the in-process engine")
+	}
+	if cfg.MaxMessagesPerParty != 0 {
+		return nil, fmt.Errorf("overlay: MaxMessagesPerParty requires a global rate arbiter; " +
+			"the tree overlay has none — use the in-process transport")
+	}
+	if cfg.Tamper != nil {
+		return nil, fmt.Errorf("overlay: the delivery-seam tamper hook requires a global arbiter " +
+			"between send and delivery; the tree overlay has none — use the in-process transport")
+	}
+	opts = opts.withDefaults()
+	lay, err := NewLayout(cfg.N, opts.Branching)
+	if err != nil {
+		return nil, err
+	}
+	for p, r := range opts.CrashPlan {
+		if p < 0 || int(p) >= cfg.N {
+			return nil, fmt.Errorf("overlay: crash plan names party %d, out of range [0, %d)", p, cfg.N)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("overlay: crash plan round %d for party %d, want > 0", r, p)
+		}
+		if opts.Restart == nil {
+			return nil, fmt.Errorf("overlay: crash plan requires Options.Restart to rebuild machines")
+		}
+	}
+
+	// Bind every interior party's listener first: leaves dial as soon as
+	// they start, and a bind failure should abort before goroutines exist.
+	// Leaves accept nothing, which is the whole point — only root and
+	// sub-leaders pay a listen socket.
+	addrs := make([]string, cfg.N)
+	listeners := make(map[sim.PartyID]net.Listener, lay.Subleaders+1)
+	for p := sim.PartyID(0); int(p) < cfg.N; p++ {
+		if !lay.Interior(p) {
+			continue
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return nil, fmt.Errorf("overlay: binding party %d: %w", p, err)
+		}
+		listeners[p] = ln
+		addrs[p] = ln.Addr().String()
+	}
+	session := newSession()
+
+	// Seat every party's first incarnation before any goroutine runs: the
+	// accept hosts route inbound hellos through the holders, and with one
+	// core scheduling hundreds of goroutines a leaf can easily dial before
+	// its parent's supervisor ever ran — an unseated holder would bounce
+	// the join.
+	holders := make([]*holder, cfg.N)
+	for p := sim.PartyID(0); int(p) < cfg.N; p++ {
+		hold := &holder{}
+		holders[p] = hold
+		nd := newNode(p, lay, machines[p], cfg.MaxRounds, session, addrs, opts)
+		nd.crashRound = opts.CrashPlan[p]
+		hold.set(nd)
+	}
+	var hosts []*host
+	outCh := make(chan outcome, cfg.N)
+	for p := sim.PartyID(0); int(p) < cfg.N; p++ {
+		if ln, ok := listeners[p]; ok {
+			h := newHost(p, ln, lay, session, opts, holders[p])
+			hosts = append(hosts, h)
+			go h.loop()
+		}
+		go func(p sim.PartyID) {
+			res, err := supervise(holders[p].get(), holders[p])
+			outCh <- outcome{id: p, res: res, err: err}
+		}(p)
+	}
+	defer func() {
+		for _, h := range hosts {
+			h.close()
+		}
+		for _, hold := range holders {
+			if nd := hold.get(); nd != nil {
+				nd.shutdown(false)
+			}
+		}
+	}()
+
+	var (
+		nodes []outcome
+		errs  []error
+	)
+	for i := 0; i < cfg.N; i++ {
+		out := <-outCh
+		nodes = append(nodes, out)
+		if out.err != nil {
+			errs = append(errs, out.err)
+			// Unblock peers stuck on the failed party's barrier bits.
+			for _, hold := range holders {
+				if nd := hold.get(); nd != nil {
+					nd.shutdown(false)
+				}
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return merge(cfg, nodes)
+}
+
+type outcome struct {
+	id  sim.PartyID
+	res *nodeResult
+	err error
+}
+
+// holder tracks a party's current node incarnation so the cluster can abort
+// it and the accept host can route inbound handshakes to it.
+type holder struct {
+	mu sync.Mutex
+	nd *node
+}
+
+func (h *holder) set(nd *node) { h.mu.Lock(); h.nd = nd; h.mu.Unlock() }
+
+func (h *holder) get() *node {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nd
+}
+
+// supervise runs one party from its pre-seated first incarnation,
+// restarting it across injected crashes. The restarted incarnation starts
+// blank — fresh machine, zero watermarks, no scheduled crash — and
+// recovers entirely through the handshake replay; only its last
+// incarnation's accounting reaches the merge, mirroring what the engine
+// counts for a party that was "always up".
+func supervise(nd *node, hold *holder) (*nodeResult, error) {
+	for {
+		res, err := nd.run()
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, errCrashed) {
+			return nil, err
+		}
+		m, rerr := nd.opts.Restart(nd.id)
+		if rerr != nil {
+			return nil, fmt.Errorf("overlay: restarting party %d: %w", nd.id, rerr)
+		}
+		nd = newNode(nd.id, nd.lay, m, nd.maxRounds, nd.session, nd.addrs, nd.opts)
+		hold.set(nd)
+	}
+}
+
+// host owns an interior party's listener across incarnations: it validates
+// inbound hellos off the main loop and hands good ones to whichever node
+// currently holds the seat. A dead seat (crashed, restarting) just closes
+// the connection — the dialer's retry loop carries the child until the
+// restarted node is back.
+type host struct {
+	owner   sim.PartyID
+	ln      net.Listener
+	lay     Layout
+	session uint64
+	opts    Options
+	hold    *holder
+}
+
+func newHost(owner sim.PartyID, ln net.Listener, lay Layout, session uint64,
+	opts Options, hold *holder) *host {
+	return &host{owner: owner, ln: ln, lay: lay, session: session, opts: opts, hold: hold}
+}
+
+func (h *host) loop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		go h.handshake(conn)
+	}
+}
+
+func (h *host) handshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(h.opts.SetupTimeout))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	body, err := transport.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	h.opts.Wire.AddRecv(len(body))
+	hel, err := parseHello(body)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if hel.session != h.session || hel.to != h.owner || hel.n != h.lay.N ||
+		hel.branch != h.lay.Branching || hel.from == h.owner ||
+		hel.from < 0 || int(hel.from) >= h.lay.N {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	nd := h.hold.get()
+	if nd == nil || nd.closed() {
+		conn.Close()
+		return
+	}
+	nd.enqueue(levent{hs: &inbound{conn: conn, br: br, h: hel}})
+}
+
+func (h *host) close() { h.ln.Close() }
+
+// newSession draws a random session id; hellos carrying another session are
+// rejected, so two clusters on one machine can never cross-connect even if
+// ports are recycled between runs.
+func newSession() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// A fixed session only weakens stray-connection detection, not
+		// correctness.
+		return 0x7472656561610002
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// merge folds the per-party results into the sim.Result the engine would
+// have produced, checking that every party observed the same termination
+// round — they must, since all decide from the same release bitmaps, so a
+// mismatch is an overlay bug, not a protocol property.
+func merge(cfg sim.Config, nodes []outcome) (*sim.Result, error) {
+	res := &sim.Result{
+		Outputs:   make(map[sim.PartyID]any, len(nodes)),
+		Corrupted: make(map[sim.PartyID]bool),
+	}
+	term := 0
+	for _, out := range nodes {
+		if term == 0 {
+			term = out.res.termRound
+		} else if out.res.termRound != term {
+			return nil, fmt.Errorf("overlay: party %d terminated at round %d, others at %d",
+				out.id, out.res.termRound, term)
+		}
+	}
+	res.Rounds = term
+
+	msgs := make([]int, term+1)
+	bytes := make([]int, term+1)
+	doneAt := make(map[int][]sim.PartyID)
+	for _, out := range nodes {
+		for i := 0; i < term && i < len(out.res.msgs); i++ {
+			msgs[i+1] += out.res.msgs[i]
+			bytes[i+1] += out.res.bytes[i]
+		}
+		res.Outputs[out.id] = out.res.output
+		doneAt[out.res.doneRound] = append(doneAt[out.res.doneRound], out.id)
+	}
+	for r := 1; r <= term; r++ {
+		res.Messages += msgs[r]
+		res.Bytes += bytes[r]
+	}
+	if cfg.Trace != nil {
+		for r := 1; r <= term; r++ {
+			newlyDone := doneAt[r]
+			sort.Slice(newlyDone, func(i, j int) bool { return newlyDone[i] < newlyDone[j] })
+			cfg.Trace.Rounds = append(cfg.Trace.Rounds, sim.TraceRound{
+				Round: r, Messages: msgs[r], Bytes: bytes[r], NewlyDone: newlyDone,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package overlay
+
+import (
+	"reflect"
+	"testing"
+
+	"treeaa/internal/sim"
+)
+
+func TestLayoutTables(t *testing.T) {
+	lay, err := NewLayout(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Subleaders != 3 {
+		t.Fatalf("Subleaders = %d, want 3", lay.Subleaders)
+	}
+	wantParent := map[sim.PartyID]sim.PartyID{
+		0: -1, 1: 0, 2: 0, 3: 0,
+		4: 1, 5: 2, 6: 3, 7: 1, 8: 2, 9: 3,
+	}
+	for p, want := range wantParent {
+		if got := lay.Parent(p); got != want {
+			t.Errorf("Parent(%d) = %d, want %d", p, got, want)
+		}
+	}
+	if got := lay.Children(0); !reflect.DeepEqual(got, []sim.PartyID{1, 2, 3}) {
+		t.Errorf("Children(0) = %v", got)
+	}
+	if got := lay.Children(1); !reflect.DeepEqual(got, []sim.PartyID{4, 7}) {
+		t.Errorf("Children(1) = %v", got)
+	}
+	if got := lay.Children(9); got != nil {
+		t.Errorf("Children(9) = %v, want nil", got)
+	}
+	if got := lay.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	if got := lay.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+}
+
+func TestLayoutAutoBranching(t *testing.T) {
+	lay, err := NewLayout(26, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Branching != 5 { // ceil(√25)
+		t.Fatalf("auto branching for n = 26 is %d, want 5", lay.Branching)
+	}
+	if lay, _ := NewLayout(1, 0); lay.Depth() != 1 || lay.MaxDegree() != 0 {
+		t.Fatalf("lone root: depth %d degree %d", lay.Depth(), lay.MaxDegree())
+	}
+	if _, err := NewLayout(0, 0); err == nil {
+		t.Fatal("n = 0 accepted")
+	}
+	if _, err := NewLayout(4, -1); err == nil {
+		t.Fatal("negative branching accepted")
+	}
+}
+
+// TestLayoutInvariants checks, across a sweep of shapes, that the tree is a
+// tree: every non-root has exactly one parent that lists it as a child, all
+// parties are reachable, and MaxDegree matches the realized link counts.
+func TestLayoutInvariants(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for _, b := range []int{0, 1, 2, 3, 5, 8} {
+			lay, err := NewLayout(n, b)
+			if err != nil {
+				t.Fatalf("n=%d b=%d: %v", n, b, err)
+			}
+			seen := 1 // the root
+			maxDeg := len(lay.Children(Root))
+			for p := sim.PartyID(1); int(p) < n; p++ {
+				par := lay.Parent(p)
+				if par < 0 || int(par) >= n || !lay.Interior(par) {
+					t.Fatalf("n=%d b=%d: Parent(%d) = %d", n, b, p, par)
+				}
+				found := false
+				for _, c := range lay.Children(par) {
+					if c == p {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("n=%d b=%d: %d not in Children(%d)", n, b, p, par)
+				}
+				seen++
+				if deg := len(lay.Children(p)) + 1; deg > maxDeg {
+					maxDeg = deg
+				}
+			}
+			if seen != n {
+				t.Fatalf("n=%d b=%d: %d parties linked", n, b, seen)
+			}
+			if got := lay.MaxDegree(); got != maxDeg {
+				t.Fatalf("n=%d b=%d: MaxDegree = %d, realized %d", n, b, got, maxDeg)
+			}
+		}
+	}
+}
+
+func TestFailoverOrder(t *testing.T) {
+	lay, err := NewLayout(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p, failed sim.PartyID
+		want      []sim.PartyID
+	}{
+		{4, 1, []sim.PartyID{2, 3, 0}},  // leaf loses sub-leader 1: ring onward
+		{5, 2, []sim.PartyID{3, 1, 0}},  // ring wraps
+		{11, 3, []sim.PartyID{1, 2, 0}}, // ring wraps past the end
+		{1, 0, []sim.PartyID{0}},        // sub-leader loses root: redial it
+		{4, 0, []sim.PartyID{0}},        // leaf's last resort died: redial it
+	}
+	for _, c := range cases {
+		if got := lay.Failover(c.p, c.failed); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Failover(%d, %d) = %v, want %v", c.p, c.failed, got, c.want)
+		}
+	}
+	if got := lay.Failover(Root, 1); got != nil {
+		t.Errorf("Failover(root) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,38 @@
+package overlay
+
+import (
+	"fmt"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+)
+
+// Tree is the communication-tree substrate as a transport.Transport: the
+// -transport flag accepts "tree" (automatic branching) or "tree:<b>" next
+// to mem and tcp, and Run hands off to Cluster.
+type Tree struct {
+	Opts Options
+}
+
+// Name implements transport.Transport.
+func (t Tree) Name() string {
+	if t.Opts.Branching > 0 {
+		return fmt.Sprintf("tree:%d", t.Opts.Branching)
+	}
+	return "tree"
+}
+
+// Run implements transport.Transport.
+func (t Tree) Run(cfg sim.Config, machines []sim.Machine) (*sim.Result, error) {
+	return Cluster(cfg, machines, t.Opts)
+}
+
+func init() {
+	transport.Register("tree", func(spec string) (transport.Transport, error) {
+		branching, err := ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		return Tree{Opts: Options{Branching: branching}}, nil
+	})
+}

@@ -16,11 +16,11 @@ func gradecastSend(tag string, iter int, v float64) any {
 }
 
 func gradecastEcho(tag string, iter int, vals map[sim.PartyID]float64) any {
-	return gradecast.EchoMsg{Tag: tag, Iter: iter, Vals: vals}
+	return gradecast.EchoMsg{Tag: tag, Iter: iter, Vals: gradecast.CopyVals(vals)}
 }
 
 func gradecastVote(tag string, iter int, vals map[sim.PartyID]float64) any {
-	return gradecast.VoteMsg{Tag: tag, Iter: iter, Vals: vals}
+	return gradecast.VoteMsg{Tag: tag, Iter: iter, Vals: gradecast.CopyVals(vals)}
 }
 
 func honestRange(inputs []float64, corrupt map[sim.PartyID]bool) (lo, hi float64) {

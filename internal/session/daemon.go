@@ -102,6 +102,16 @@ type Options struct {
 
 	// Stats receives the daemon's counters; shared across daemons in tests.
 	Stats *metrics.ServeStats
+	// OverlaySpec, when set ("tree" or "tree:<branching>"), names the
+	// communication-tree fabric this deployment is configured for. It joins
+	// the cluster hash — daemons disagreeing on the fabric refuse to pair —
+	// and selects the overlay metric families on the /metrics endpoint.
+	// Validation is the CLI's job (overlay.ParseSpec); the manager treats
+	// the spec as an opaque identity component.
+	OverlaySpec string
+	// OverlayStats receives the relay fabric's counters when OverlaySpec is
+	// set, for the observability endpoint to export.
+	OverlayStats *metrics.OverlayStats
 	// WrapConn, when set, wraps every peer connection on the writing side —
 	// the chaos injection seam, same contract as transport.Options.WrapConn.
 	WrapConn func(from, to sim.PartyID, conn net.Conn) net.Conn
@@ -232,7 +242,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 	d.clientLn = clientLn
 
-	cluster := clusterHash(d.peerAddrs)
+	cluster := clusterHash(d.peerAddrs, d.opts.OverlaySpec)
 	d.mgr = newManager(d)
 	// Journal recovery runs before the mux exists: the session table is
 	// rebuilt from disk in isolation, then the mesh comes up and the restored
@@ -341,9 +351,9 @@ func (d *Daemon) Manager() *Manager { return d.mgr }
 func (d *Daemon) Stats() *metrics.ServeStats { return d.opts.Stats }
 
 // clusterHash pins the deployment identity the mux hello checks: same
-// daemon set, same order, or the handshake fails.
-func clusterHash(addrs []string) uint64 {
-	parts := append([]string{"serve", strconv.Itoa(len(addrs))}, addrs...)
+// daemon set, same order, same overlay fabric — or the handshake fails.
+func clusterHash(addrs []string, overlaySpec string) uint64 {
+	parts := append([]string{"serve", overlaySpec, strconv.Itoa(len(addrs))}, addrs...)
 	return transport.DeriveSession(parts...)
 }
 

@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"treeaa/internal/gradecast"
-	"treeaa/internal/sim"
 	"treeaa/internal/wire"
 )
 
@@ -96,7 +95,7 @@ func TestHelloAckRejections(t *testing.T) {
 
 func TestMsgFrameRoundTrip(t *testing.T) {
 	payload := gradecast.EchoMsg{Tag: "treeaa/pf", Iter: 3,
-		Vals: map[sim.PartyID]float64{0: 1.5, 4: -2}}
+		Vals: gradecast.Vec{{ID: 0, Val: 1.5}, {ID: 4, Val: -2}}}
 	body, err := wire.Encode(payload)
 	if err != nil {
 		t.Fatal(err)

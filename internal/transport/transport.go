@@ -10,6 +10,9 @@ package transport
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"treeaa/internal/sim"
 )
@@ -61,10 +64,46 @@ func (t TCP) Run(cfg sim.Config, machines []sim.Machine) (*sim.Result, error) {
 	return LocalCluster(cfg, machines, t.Opts)
 }
 
-// Names lists the selectable transports for flag help text.
-func Names() []string { return []string{"mem", "mem-concurrent", "tcp"} }
+// registry holds externally provided substrates (internal/overlay's tree,
+// for one), keyed by the spec's name — everything before the first ':'.
+// Registration happens in package init functions, guarded anyway so a
+// late Register during tests stays safe.
+var (
+	registryMu sync.Mutex
+	registry   = make(map[string]func(spec string) (Transport, error))
+)
 
-// New resolves a -transport flag value.
+// Register installs a transport factory under a spec name. New hands the
+// factory the full flag value, so a registered substrate can carry
+// parameters after a colon ("tree:16"). Registering a built-in name or the
+// same name twice panics — both are wiring bugs, not runtime conditions.
+func Register(name string, factory func(spec string) (Transport, error)) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	switch name {
+	case "mem", "mem-concurrent", "tcp":
+		panic(fmt.Sprintf("transport: Register(%q) shadows a built-in", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("transport: Register(%q) called twice", name))
+	}
+	registry[name] = factory
+}
+
+// Names lists the selectable transports for flag help text.
+func Names() []string {
+	out := []string{"mem", "mem-concurrent", "tcp"}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out[3:])
+	return out
+}
+
+// New resolves a -transport flag value: a built-in name, or a registered
+// substrate's spec (its name, optionally followed by ':' and parameters).
 func New(name string) (Transport, error) {
 	switch name {
 	case "mem":
@@ -73,7 +112,16 @@ func New(name string) (Transport, error) {
 		return Mem{Concurrent: true}, nil
 	case "tcp":
 		return TCP{}, nil
-	default:
-		return nil, fmt.Errorf("unknown transport %q (have mem, mem-concurrent, tcp)", name)
 	}
+	prefix := name
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		prefix = name[:i]
+	}
+	registryMu.Lock()
+	factory := registry[prefix]
+	registryMu.Unlock()
+	if factory != nil {
+		return factory(name)
+	}
+	return nil, fmt.Errorf("unknown transport %q (have %s)", name, strings.Join(Names(), ", "))
 }

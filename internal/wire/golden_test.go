@@ -46,12 +46,12 @@ const goldenDir = "../../testdata/wire"
 func goldenPayloads() map[string]any {
 	return map[string]any{
 		"gradecast_send": gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5},
-		"gradecast_echo": gradecast.EchoMsg{Tag: "treeaa/proj", Iter: 2, Vals: map[sim.PartyID]float64{
+		"gradecast_echo": gradecast.EchoMsg{Tag: "treeaa/proj", Iter: 2, Vals: gradecast.CopyVals(map[sim.PartyID]float64{
 			0: 1.5, 3: -2.25, 7: 4096, 51: float64(1 << 52),
-		}},
-		"gradecast_vote": gradecast.VoteMsg{Tag: "treeaa/path", Iter: 200, Vals: map[sim.PartyID]float64{
+		})},
+		"gradecast_vote": gradecast.VoteMsg{Tag: "treeaa/path", Iter: 200, Vals: gradecast.CopyVals(map[sim.PartyID]float64{
 			1: 0, 6: math.Pi,
-		}},
+		})},
 		"dlpsw_value":     realaa.DLPSWMsg{Tag: "dlpsw", Iter: 4, Val: -1e9},
 		"crash_value":     crashaa.ValueMsg{Tag: "crash", Iter: 7, Val: 0.125},
 		"baseline_vertex": baseline.VertexMsg{Tag: "baseline", Iter: 5, V: tree.VertexID(39)},
@@ -82,6 +82,10 @@ func goldenPayloads() map[string]any {
 		"journal_seal": JournalSeal{SID: 2<<48 | 77, State: 2,
 			LatencyNS: 93_000_000, HasResult: true, Rounds: 6, Msgs: 1234, Bytes: 1 << 17,
 			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 2, V: 7}}},
+		"relay": RelayMsg{Origin: 5, Dest: sim.Broadcast, Seq: 300, Round: 3,
+			Body: mustEncode(gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5})},
+		"overlay_eor": OverlayEOR{Round: 7, Down: false,
+			Arrived: []byte{0xFF, 0x03}, Done: []byte{0x01}},
 	}
 }
 

@@ -136,7 +136,7 @@ func appendSessionMsg(dst []byte, m SessionMsg) ([]byte, error) {
 	switch m.Payload.(type) {
 	case SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide,
 		ClientSubmit, ClientWait, ClientStatus, ClientOutcome,
-		JournalOpen, JournalFrame, JournalSeal:
+		JournalOpen, JournalFrame, JournalSeal, RelayMsg, OverlayEOR:
 		return nil, fmt.Errorf("wire: session payloads do not nest (%T)", m.Payload)
 	}
 	dst, err := appendSessionHeader(dst, TypeSessionMsg, m.SID, m.Round)
@@ -230,9 +230,9 @@ func decodeSessionMsg(b []byte) (any, []byte, error) {
 	// The nested body must be a complete leaf frame: Decode consumes the
 	// whole remaining buffer and rejects nested session types itself (they
 	// would re-enter this switch; the explicit check keeps the error crisp).
-	// Client-plane frames (0x0D–0x10) and journal records (0x11–0x13) are
-	// likewise barred from peer links.
-	if len(b) >= 2 && b[1] >= TypeSessionMsg && b[1] <= TypeJournalSeal {
+	// Client-plane frames (0x0D–0x10), journal records (0x11–0x13) and
+	// overlay envelopes (0x14–0x15) are likewise barred from peer links.
+	if len(b) >= 2 && b[1] >= TypeSessionMsg && b[1] <= TypeOverlayEOR {
 		return nil, nil, malformed("session payloads do not nest")
 	}
 	payload, err := Decode(b)

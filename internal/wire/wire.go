@@ -42,7 +42,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"treeaa/internal/baseline"
 	"treeaa/internal/crashaa"
@@ -143,6 +142,10 @@ func Append(dst []byte, payload any) ([]byte, error) {
 		return appendJournalFrame(dst, m)
 	case JournalSeal:
 		return appendJournalSeal(dst, m)
+	case RelayMsg:
+		return appendRelay(dst, m)
+	case OverlayEOR:
+		return appendOverlayEOR(dst, m)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
 	}
@@ -161,7 +164,7 @@ func EncodedSize(payload any) (int, error) {
 		realaa.DLPSWMsg, crashaa.ValueMsg, baseline.VertexMsg, exactaa.ChainMsg,
 		SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide,
 		ClientSubmit, ClientWait, ClientStatus, ClientOutcome,
-		JournalOpen, JournalFrame, JournalSeal:
+		JournalOpen, JournalFrame, JournalSeal, RelayMsg, OverlayEOR:
 		return s.Size(), nil
 	}
 	return 0, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
@@ -219,6 +222,10 @@ func Decode(b []byte) (any, error) {
 		payload, rest, err = decodeJournalFrame(rest)
 	case TypeJournalSeal:
 		payload, rest, err = decodeJournalSeal(rest)
+	case TypeRelay:
+		payload, rest, err = decodeRelay(rest)
+	case TypeOverlayEOR:
+		payload, rest, err = decodeOverlayEOR(rest)
 	default:
 		return nil, malformed("unknown type 0x%02x", typ)
 	}
@@ -378,7 +385,10 @@ func decodeScalar(b []byte, typ byte) (any, []byte, error) {
 	}
 }
 
-func appendVector(dst []byte, typ byte, tag string, iter int, vals map[sim.PartyID]float64) ([]byte, error) {
+// appendVector writes a gradecast.Vec, which is already in canonical order:
+// Vecs are sorted by construction, so encoding validates the strictly
+// ascending invariant instead of sorting a map's keys per message.
+func appendVector(dst []byte, typ byte, tag string, iter int, vals gradecast.Vec) ([]byte, error) {
 	dst, err := appendHeader(dst, typ, tag, iter)
 	if err != nil {
 		return nil, err
@@ -387,17 +397,17 @@ func appendVector(dst []byte, typ byte, tag string, iter int, vals map[sim.Party
 		return nil, fmt.Errorf("wire: vector of %d entries exceeds limit", len(vals))
 	}
 	dst = AppendUvarint(dst, uint64(len(vals)))
-	keys := make([]int, 0, len(vals))
-	for k := range vals {
-		keys = append(keys, int(k))
-	}
-	sort.Ints(keys)
-	for _, k := range keys {
-		dst, err = appendID(dst, k)
+	prev := -1
+	for _, e := range vals {
+		if int(e.ID) <= prev {
+			return nil, fmt.Errorf("wire: vector ids not strictly ascending at %d", e.ID)
+		}
+		prev = int(e.ID)
+		dst, err = appendID(dst, int(e.ID))
 		if err != nil {
 			return nil, err
 		}
-		dst = appendFloat(dst, vals[sim.PartyID(k)])
+		dst = appendFloat(dst, e.Val)
 	}
 	return dst, nil
 }
@@ -419,7 +429,12 @@ func decodeVector(b []byte, typ byte) (any, []byte, error) {
 	if count > maxLen || count*12 > uint64(len(b)) {
 		return nil, nil, malformed("vector count %d exceeds buffer", count)
 	}
-	vals := make(map[sim.PartyID]float64, count)
+	// One exact-size flat allocation; the wire order is already the Vec
+	// invariant, so entries land in place with no sorting and no map.
+	var vals gradecast.Vec
+	if count > 0 {
+		vals = make(gradecast.Vec, 0, count)
+	}
 	prev := -1
 	for i := uint64(0); i < count; i++ {
 		var id int
@@ -436,7 +451,7 @@ func decodeVector(b []byte, typ byte) (any, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		vals[sim.PartyID(id)] = v
+		vals = append(vals, gradecast.VecEntry{ID: sim.PartyID(id), Val: v})
 	}
 	if typ == TypeGradecastEcho {
 		return gradecast.EchoMsg{Tag: tag, Iter: iter, Vals: vals}, b, nil

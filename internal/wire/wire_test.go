@@ -25,13 +25,13 @@ func samplePayloads() []any {
 		gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5},
 		gradecast.SendMsg{Tag: "", Iter: 0, Val: math.Inf(-1)},
 		gradecast.SendMsg{Tag: "treeaa/pf/acc", Iter: 300, Val: float64(1 << 52)},
-		gradecast.EchoMsg{Tag: "treeaa/proj", Iter: 2, Vals: map[sim.PartyID]float64{
+		gradecast.EchoMsg{Tag: "treeaa/proj", Iter: 2, Vals: gradecast.CopyVals(map[sim.PartyID]float64{
 			0: 1.5, 3: -2.25, 7: 4096, 51: math.NaN(),
-		}},
-		gradecast.EchoMsg{Tag: "x", Iter: 1, Vals: map[sim.PartyID]float64{}},
-		gradecast.VoteMsg{Tag: "treeaa/path", Iter: 9, Vals: map[sim.PartyID]float64{
+		})},
+		gradecast.EchoMsg{Tag: "x", Iter: 1, Vals: gradecast.Vec{}},
+		gradecast.VoteMsg{Tag: "treeaa/path", Iter: 9, Vals: gradecast.CopyVals(map[sim.PartyID]float64{
 			1: 0, 2: math.Copysign(0, -1), 130: 1e-300,
-		}},
+		})},
 		realaa.DLPSWMsg{Tag: "dlpsw", Iter: 4, Val: -1e9},
 		crashaa.ValueMsg{Tag: "crash", Iter: 7, Val: 0.125},
 		baseline.VertexMsg{Tag: "baseline", Iter: 5, V: tree.VertexID(39)},
@@ -78,6 +78,14 @@ func samplePayloads() []any {
 			Outputs: []OutputPair{{Party: 0, V: 4}, {Party: 2, V: 7}}},
 		JournalSeal{SID: 3, State: 3, Reason: "deadline exceeded", LatencyNS: 0},
 		JournalSeal{SID: 4, State: 4, Reason: "daemon shutting down", LatencyNS: 1},
+		RelayMsg{Origin: 5, Dest: sim.Broadcast, Seq: 300, Round: 3,
+			Body: mustEncode(gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5})},
+		RelayMsg{Origin: 0, Dest: 511, Seq: 1, Round: 1,
+			Body: mustEncode(gradecast.EchoMsg{Tag: "t", Iter: 1,
+				Vals: gradecast.Vec{{ID: 2, Val: -0.5}}})},
+		OverlayEOR{Round: 7, Down: false, Arrived: []byte{0xFF, 0x03}, Done: []byte{0x01}},
+		OverlayEOR{Round: 1, Down: true, Done: []byte{0x0F}},
+		OverlayEOR{Round: 2, Down: true},
 	}
 }
 
@@ -96,13 +104,12 @@ func equalPayload(a, b any) bool {
 	}
 }
 
-func equalVals(a, b map[sim.PartyID]float64) bool {
+func equalVals(a, b gradecast.Vec) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	for k, av := range a {
-		bv, ok := b[k]
-		if !ok || math.Float64bits(av) != math.Float64bits(bv) {
+	for i, av := range a {
+		if b[i].ID != av.ID || math.Float64bits(av.Val) != math.Float64bits(b[i].Val) {
 			return false
 		}
 	}
@@ -193,9 +200,10 @@ func TestSizerMatchesEncoding(t *testing.T) {
 		for j := rng.Intn(200); j > 0; j-- {
 			vals[sim.PartyID(rng.Intn(1<<20))] = rng.NormFloat64()
 		}
+		vec := gradecast.CopyVals(vals)
 		check(gradecast.SendMsg{Tag: tag, Iter: iter, Val: rng.NormFloat64()})
-		check(gradecast.EchoMsg{Tag: tag, Iter: iter, Vals: vals})
-		check(gradecast.VoteMsg{Tag: tag, Iter: iter, Vals: vals})
+		check(gradecast.EchoMsg{Tag: tag, Iter: iter, Vals: vec})
+		check(gradecast.VoteMsg{Tag: tag, Iter: iter, Vals: vec})
 		check(realaa.DLPSWMsg{Tag: tag, Iter: iter, Val: rng.NormFloat64()})
 		check(crashaa.ValueMsg{Tag: tag, Iter: iter, Val: rng.NormFloat64()})
 		check(baseline.VertexMsg{Tag: tag, Iter: iter, V: tree.VertexID(rng.Intn(1 << 20))})
@@ -212,7 +220,7 @@ func TestSizerMatchesEncoding(t *testing.T) {
 
 func TestDecodeRejectsMalformed(t *testing.T) {
 	valid, err := Encode(gradecast.EchoMsg{Tag: "t", Iter: 1,
-		Vals: map[sim.PartyID]float64{1: 1, 2: 2}})
+		Vals: gradecast.Vec{{ID: 1, Val: 1}, {ID: 2, Val: 2}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +257,9 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 	cases := []any{
 		struct{ X int }{1}, // unknown type
 		gradecast.SendMsg{Tag: "t", Iter: -1},
-		gradecast.EchoMsg{Tag: "t", Iter: 1, Vals: map[sim.PartyID]float64{-1: 0}},
+		gradecast.EchoMsg{Tag: "t", Iter: 1, Vals: gradecast.Vec{{ID: -1, Val: 0}}},
+		gradecast.EchoMsg{Tag: "t", Iter: 1, // unsorted Vec is not canonical
+			Vals: gradecast.Vec{{ID: 2, Val: 0}, {ID: 1, Val: 0}}},
 		baseline.VertexMsg{Tag: "t", Iter: 1, V: -2},
 		exactaa.ChainMsg{Tag: "t", Sender: -1},
 		SessionMsg{SID: 1, Round: 0, Payload: gradecast.SendMsg{Tag: "t"}},
@@ -283,6 +293,21 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		JournalSeal{SID: 1, State: 2, HasResult: true, Msgs: -1},
 		JournalSeal{SID: 1, State: 2, HasResult: true,
 			Outputs: []OutputPair{{Party: 2, V: 1}, {Party: 2, V: 1}}}, // not ascending
+		RelayMsg{Origin: 0, Dest: 1, Seq: 0, Round: 1, // seq must be positive
+			Body: mustEncode(gradecast.SendMsg{Tag: "t"})},
+		RelayMsg{Origin: 0, Dest: -2, Seq: 1, Round: 1, // dest below Broadcast
+			Body: mustEncode(gradecast.SendMsg{Tag: "t"})},
+		RelayMsg{Origin: 0, Dest: 1, Seq: 1, Round: 0, // round must be positive
+			Body: mustEncode(gradecast.SendMsg{Tag: "t"})},
+		RelayMsg{Origin: 0, Dest: 1, Seq: 1, Round: 1, Body: nil}, // empty body
+		RelayMsg{Origin: 0, Dest: 1, Seq: 1, Round: 1, // non-leaf body barred
+			Body: mustEncode(SessionEOR{SID: 1, Round: 1})},
+		OverlayEOR{Round: 0, Done: []byte{0x01}},                    // round 0
+		OverlayEOR{Round: 1, Arrived: []byte{0x01, 0x00}},           // trailing zero
+		OverlayEOR{Round: 1, Down: true, Arrived: []byte{0x01}},     // down w/ arrived
+		OverlayEOR{Round: 1, Done: []byte{0x00}},                    // zero byte
+		SessionMsg{SID: 1, Round: 1, Payload: OverlayEOR{Round: 1}}, // no nesting
+		JournalFrame{From: 0, Body: mustEncode(OverlayEOR{Round: 1, Down: true})},
 	}
 	for _, p := range cases {
 		if enc, err := Encode(p); err == nil {
