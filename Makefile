@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke overlay-smoke serve-smoke rolling-restart chaos-soak cover bench bench-sim bench-serve bench-compare scale-bench fuzz fuzz-short prop check examples experiments clean
+.PHONY: all build test race race-sim node-smoke overlay-smoke serve-smoke rolling-restart chaos-soak async-soak cover bench bench-sim bench-serve bench-compare scale-bench fuzz fuzz-short prop check examples experiments clean
 
 all: build test race-sim node-smoke overlay-smoke serve-smoke chaos-soak rolling-restart
 
@@ -81,6 +81,20 @@ chaos-soak:
 	$(GO) run ./cmd/node -cluster 4 -t 1 -tree path:16 -adversary splitvote \
 		-chaos 'lat:500µs±500µs,crash:p1@r2'
 
+# Asynchronous-mode soak: every async suite under the race detector — RBC
+# threshold boundaries, pipeline invariants, the event-driven transport
+# driver, the serving layer's async engines, the checker's async cells, and
+# the chaos latency battery whose headline cell (lat:200ms±150ms on one
+# party's links) aborts the synchronous round barrier but decides
+# asynchronously with validity + 1-agreement — then a multi-process cmd/node
+# async fleet under a real latency plan, plus an async serving smoke. Exits
+# non-zero on any validity/epsilon-agreement violation.
+async-soak:
+	$(GO) test -race -count=1 -run Async ./internal/async/... ./internal/chaos/... \
+		./internal/session/... ./internal/transport/... ./internal/check/ ./internal/wire/
+	$(GO) run ./cmd/node -cluster 4 -tree star:6 -mode async -chaos 'lat:20ms±15ms@p2'
+	$(GO) run ./cmd/serve -cluster 3 -mode async -sessions 50 -tree spider:3:3
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -20
@@ -141,15 +155,17 @@ fuzz-short:
 # Property-based protocol checking (deterministic): a bounded random
 # exploration of (tree, inputs, adversary) cells with per-round invariant
 # evaluation, plus the fixed differential matrix under the race detector.
-# Any violation prints a shrunk one-line repro spec and fails the target.
+# Async-compatible cells additionally run through the event-driven runtime
+# under every adversarial scheduler (-async-every). Any violation prints a
+# shrunk one-line repro spec and fails the target.
 prop:
-	$(GO) test -race -count=1 -run Differential ./internal/check/
-	$(GO) run ./cmd/check -budget 100 -seeds 1-3
+	$(GO) test -race -count=1 -run 'Differential|Async' ./internal/check/
+	$(GO) run ./cmd/check -budget 100 -seeds 1-3 -async-every 4
 
 # Tier-1-adjacent gate: build + vet + tests, a quick serve-bench cell (the
 # serving layer under real closed-loop load, oracle-checked), then the
-# property and short fuzz passes.
-check: build test bench-serve-smoke prop fuzz-short
+# property, short fuzz and async-soak passes.
+check: build test bench-serve-smoke prop fuzz-short async-soak
 
 # One fast serve-bench cell as a smoke: small cluster, short window; fails
 # on any oracle mismatch or client error.

@@ -10,6 +10,13 @@
 //	check -repro 's=1;tree=star:6;n=9;t=2;in=spread;adv=splitvote(per=1)'
 //	check -inject-bad                      # demo: catch + shrink a known-bad adversary
 //	check -json -budget 50                 # one JSON object per cell
+//	check -async-every 1 -async-budget 0   # async battery on every compatible cell
+//
+// Async-compatible cells (no omission filtering, no delivery-seam tamperers)
+// additionally run through the event-driven internal/async runtime under
+// every adversarial scheduler, asserting validity, 1-agreement, Lemma-4 path
+// agreement, per-phase epsilon-agreement and hull non-expansion — the
+// invariants that carry correctness where no round-indexed oracle exists.
 //
 // Cells are explored deterministically: the same -seeds and -budget always
 // visit the same cells. Exit status is 1 if any violation survives, 2 on
@@ -30,17 +37,19 @@ import (
 
 func main() {
 	var (
-		seeds     = flag.String("seeds", "1-3", "generator seeds: comma list and/or A-B ranges (e.g. 1,2,5-8)")
-		budget    = flag.Int("budget", 50, "cells to explore per seed")
-		cells     = flag.String("cells", "", "comma-free ';'-spec cells to run instead of generating ('|'-separated)")
-		repro     = flag.String("repro", "", "run exactly one cell spec (as printed by a violation) and exit")
-		injectBad = flag.Bool("inject-bad", false, "inject a known-bad adversary (burn rule blinded) to demo the shrinker")
-		shrinkB   = flag.Int("shrink-budget", 200, "candidate runs the shrinker may spend per violation")
-		tcpEvery  = flag.Int("tcp-every", 8, "run the TCP differential on every Nth cell (0 = never)")
-		jsonOut   = flag.Bool("json", false, "emit one JSON object per cell instead of text")
+		seeds       = flag.String("seeds", "1-3", "generator seeds: comma list and/or A-B ranges (e.g. 1,2,5-8)")
+		budget      = flag.Int("budget", 50, "cells to explore per seed")
+		cells       = flag.String("cells", "", "comma-free ';'-spec cells to run instead of generating ('|'-separated)")
+		repro       = flag.String("repro", "", "run exactly one cell spec (as printed by a violation) and exit")
+		injectBad   = flag.Bool("inject-bad", false, "inject a known-bad adversary (burn rule blinded) to demo the shrinker")
+		shrinkB     = flag.Int("shrink-budget", 200, "candidate runs the shrinker may spend per violation")
+		tcpEvery    = flag.Int("tcp-every", 8, "run the TCP differential on every Nth cell (0 = never)")
+		asyncEvery  = flag.Int("async-every", 4, "run the async-mode battery on every Nth compatible cell (0 = never)")
+		asyncBudget = flag.Int("async-budget", 0, "delivery budget per async execution (0 = derive from the pipelines)")
+		jsonOut     = flag.Bool("json", false, "emit one JSON object per cell instead of text")
 	)
 	flag.Parse()
-	code, err := run(*seeds, *budget, *cells, *repro, *injectBad, *shrinkB, *tcpEvery, *jsonOut)
+	code, err := run(*seeds, *budget, *cells, *repro, *injectBad, *shrinkB, *tcpEvery, *asyncEvery, *asyncBudget, *jsonOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "check:", err)
 		os.Exit(2)
@@ -55,9 +64,32 @@ func main() {
 // hull.
 const knownBad = "s=1;tree=star:6;n=9;t=2;in=1.1.1.1.1.1.1.1.1;adv=splitvote(per=1)+evil(val=1000000)"
 
-func run(seeds string, budget int, cells, repro string, injectBad bool, shrinkB, tcpEvery int, jsonOut bool) (int, error) {
+func run(seeds string, budget int, cells, repro string, injectBad bool, shrinkB, tcpEvery, asyncEvery, asyncBudget int, jsonOut bool) (int, error) {
 	enc := json.NewEncoder(os.Stdout)
-	explored, violated := 0, 0
+	explored, violated, asyncRan := 0, 0, 0
+
+	// runAsync sends one compatible cell through the event-driven battery;
+	// its violations count against the same exit status as the sync ones.
+	runAsync := func(c *check.Cell) error {
+		res, err := check.RunAsyncCell(c, check.AsyncOptions{Budget: asyncBudget})
+		if err != nil {
+			return fmt.Errorf("async cell %s: %w", c, err)
+		}
+		asyncRan++
+		if jsonOut {
+			enc.Encode(map[string]any{"async": res})
+		}
+		if len(res.Violations) == 0 {
+			return nil
+		}
+		violated++
+		if !jsonOut {
+			for _, v := range res.Violations {
+				fmt.Println(v)
+			}
+		}
+		return nil
+	}
 
 	runOne := func(c *check.Cell, opt check.Options, shrink bool) error {
 		res, err := check.RunCell(c, opt)
@@ -65,6 +97,11 @@ func run(seeds string, budget int, cells, repro string, injectBad bool, shrinkB,
 			return fmt.Errorf("cell %s: %w", c, err)
 		}
 		explored++
+		if asyncEvery > 0 && check.AsyncCompatible(c) && explored%asyncEvery == 0 {
+			if err := runAsync(c); err != nil {
+				return err
+			}
+		}
 		if jsonOut {
 			enc.Encode(res)
 		}
@@ -105,6 +142,13 @@ func run(seeds string, budget int, cells, repro string, injectBad bool, shrinkB,
 		if err := runOne(c, check.Options{TCP: tcpEvery > 0}, false); err != nil {
 			return 0, err
 		}
+		// A repro replays the async battery too (when compatible), so a spec
+		// printed by an async violation reproduces without extra flags.
+		if asyncEvery > 0 && check.AsyncCompatible(c) && explored%asyncEvery != 0 {
+			if err := runAsync(c); err != nil {
+				return 0, err
+			}
+		}
 	case injectBad:
 		c, err := check.Parse(knownBad)
 		if err != nil {
@@ -143,7 +187,7 @@ func run(seeds string, budget int, cells, repro string, injectBad bool, shrinkB,
 	}
 
 	if !jsonOut {
-		fmt.Printf("check: %d cells explored, %d violated\n", explored, violated)
+		fmt.Printf("check: %d cells explored (%d also run async), %d violated\n", explored, asyncRan, violated)
 	}
 	if violated > 0 {
 		return 1, nil

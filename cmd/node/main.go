@@ -24,6 +24,15 @@
 // the same plan — it is part of the session handshake.
 //
 //	node -cluster 4 -tree path:16 -chaos 'lat:1ms±1ms,crash:p1@r2'
+//
+// -mode async replaces the lock-step rounds with the event-driven
+// asynchronous pipeline: no EOR barriers, no round timeouts — every seat
+// dispatches on arrival and decides when its RBC/witness thresholds fill.
+// Async fleets are honest-only (Byzantine async behaviour is exercised
+// in-process by cmd/check) and accept only delay-style chaos (lat, stall,
+// partition); drop and crash clauses are refused with an explanation.
+//
+//	node -cluster 4 -tree star:6 -mode async -chaos 'lat:200ms±150ms@p2'
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"time"
 
 	"treeaa/internal/adversary"
+	"treeaa/internal/async"
 	"treeaa/internal/chaos"
 	"treeaa/internal/cli"
 	"treeaa/internal/core"
@@ -60,6 +70,7 @@ func main() {
 		treeSpec    = flag.String("tree", "path:40", "input space tree spec (as in cmd/treeaa)")
 		inputSpec   = flag.String("inputs", "", "comma-separated input vertex labels (default: spread)")
 		advName     = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
+		mode        = flag.String("mode", "sync", "execution mode: sync (lock-step rounds) or async (event-driven, honest fleets only)")
 		seed        = flag.Int64("seed", 1, "seed for random trees / noise adversaries / chaos")
 		cluster     = flag.Int("cluster", 0, "spawn an n-party loopback cluster of this binary and check agreement")
 		chaosSpec   = flag.String("chaos", "", "chaos plan (see internal/chaos); must match across all seats")
@@ -74,10 +85,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var err error
-	if *cluster > 0 {
-		err = runCluster(ctx, *cluster, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
+	if *mode != "sync" && *mode != "async" {
+		err = fmt.Errorf("-mode %q: want sync or async", *mode)
+	} else if *cluster > 0 {
+		err = runCluster(ctx, *cluster, *tFlag, *treeSpec, *inputSpec, *advName, *mode, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
 	} else {
-		err = runSeat(ctx, *id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
+		err = runSeat(ctx, *id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *mode, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "node:", err)
@@ -86,7 +99,7 @@ func main() {
 }
 
 // runSeat runs one party (or the adversary host seat) of a deployment.
-func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inputSpec, advName string, seed int64,
+func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inputSpec, advName, mode string, seed int64,
 	chaosSpec, overlaySpec string, setupTO, roundTO time.Duration) error {
 	if peersFile == "" {
 		return fmt.Errorf("-peers is required (or use -cluster)")
@@ -130,6 +143,13 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 		if corruptSet[p] {
 			return fmt.Errorf("chaos plan crashes party %d, which the adversary corrupts", p)
 		}
+	}
+	if mode == "async" {
+		if err := checkAsyncFlags(advName, overlaySpec, plan); err != nil {
+			return err
+		}
+		return runAsyncSeat(ctx, id, addrs, t, tr, treeSpec, inputSpec, inputs, seed,
+			plan, chaosSpec, setupTO, roundTO)
 	}
 	if overlaySpec != "" {
 		return runOverlaySeat(ctx, id, addrs, t, tr, treeSpec, inputSpec, advName, inputs, seed,
@@ -189,6 +209,67 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 	return nil
 }
 
+// checkAsyncFlags rejects the flag combinations -mode async cannot honor,
+// each with the reason: adversary hosting needs the rushing adversary's
+// round-global view, the overlay relays round-batched traffic, and drop or
+// crash chaos requires the round-indexed recovery paths — all three are
+// artifacts of the lock-step schedule async mode abolishes.
+func checkAsyncFlags(advName, overlaySpec string, plan *chaos.Plan) error {
+	if advName != "none" {
+		return fmt.Errorf("-mode async: async fleets are honest-only (the rushing adversary " +
+			"is defined against lock-step rounds); Byzantine async behaviour is exercised " +
+			"in-process by cmd/check — drop -adversary or use -mode sync")
+	}
+	if overlaySpec != "" {
+		return fmt.Errorf("-mode async: the tree overlay relays round-batched traffic between " +
+			"eor barriers, which async mode does not have — drop -overlay or use -mode sync")
+	}
+	return chaos.RestrictAsync(plan)
+}
+
+// runAsyncSeat runs one honest party of an asynchronous deployment: no
+// rounds, no barriers — the seat dispatches whatever arrives, announces its
+// decision, and exits once every peer has announced too.
+func runAsyncSeat(ctx context.Context, id int, addrs []string, t int, tr *tree.Tree,
+	treeSpec, inputSpec string, inputs []tree.VertexID, seed int64,
+	plan *chaos.Plan, chaosSpec string, setupTO, roundTO time.Duration) error {
+	n := len(addrs)
+	m, err := async.NewPipeline(tr, n, t, async.PartyID(id), inputs[id])
+	if err != nil {
+		return err
+	}
+	stats := &metrics.WireStats{}
+	chaosStats := &metrics.ChaosStats{}
+	opts := transport.Options{Stats: stats, SetupTimeout: setupTO, RoundTimeout: roundTO}
+	opts = chaos.NewInjector(plan, seed, chaosStats).Apply(opts)
+	// The mode leads the session hash: a deployment mixing sync and async
+	// seats fails the handshake instead of wedging on missing barriers.
+	pcfg := transport.AsyncProcessConfig{
+		Ctx: ctx,
+		ID:  sim.PartyID(id), N: n, Addrs: addrs, Machine: m,
+		Session: transport.DeriveSession(append([]string{"async", treeSpec, inputSpec,
+			fmt.Sprint(n), fmt.Sprint(t), fmt.Sprint(seed),
+			chaosSpec, setupTO.String(), roundTO.String()}, addrs...)...),
+		Opts: opts,
+	}
+	fmt.Printf("node %d: party (async), n=%d t=%d tree=%s, listening on %s\n",
+		id, n, t, treeSpec, addrs[id])
+	res, err := transport.RunAsyncProcess(pcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d: execution %d deliveries, sent %d protocol msgs / %d bytes\n",
+		id, res.Deliveries, res.Messages, res.Bytes)
+	fmt.Printf("node %d: wire: %s\n", id, stats)
+	if !plan.Empty() {
+		fmt.Printf("node %d: chaos: %s\n", id, chaosStats)
+	}
+	v := res.Outputs[sim.PartyID(id)].(tree.VertexID)
+	fmt.Printf("node %d: output %s\n", id, tr.Label(v))
+	fmt.Printf("RESULT id=%d role=party output=%s deliveries=%d\n", id, tr.Label(v), res.Deliveries)
+	return nil
+}
+
 // runOverlaySeat runs one honest party over the tree overlay: interior
 // seats (root, sub-leaders) listen and relay, leaves only dial their
 // parent. The fleet is honest by construction — the overlay refuses
@@ -201,9 +282,10 @@ func runOverlaySeat(ctx context.Context, id int, addrs []string, t int, tr *tree
 		return fmt.Errorf("-overlay: the tree overlay runs honest fleets only; a rushing " +
 			"adversary needs the full mesh's global view — drop -adversary or drop -overlay")
 	}
-	if !plan.CrashOnly() {
-		return fmt.Errorf("-overlay: chaos plan %q injects link-level faults; the overlay's "+
-			"connections are internal relay hops — only crash:pP@rR clauses apply", chaosSpec)
+	if err := plan.Restrict("-overlay",
+		"the overlay's connections are internal relay hops, not the party-to-party links "+
+			"link-level clauses name — only crash:pP@rR applies", chaos.ClauseCrash); err != nil {
+		return err
 	}
 	branching, err := overlay.ParseSpec(overlaySpec)
 	if err != nil {
@@ -263,7 +345,7 @@ func runOverlaySeat(ctx context.Context, id int, addrs []string, t int, tr *tree
 
 // runCluster spawns a whole deployment of this binary on loopback ports and
 // checks the protocol's guarantees across the collected outputs.
-func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName string, seed int64,
+func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mode string, seed int64,
 	chaosSpec, overlaySpec string, setupTO, roundTO time.Duration) error {
 	if t < 0 || (t > 0 && n <= 3*t) {
 		return fmt.Errorf("need n > 3t, got n=%d t=%d", n, t)
@@ -295,9 +377,16 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName stri
 		return err
 	} else if err := plan.Validate(n); err != nil {
 		return err
-	} else if overlaySpec != "" && !plan.CrashOnly() {
-		return fmt.Errorf("-overlay: chaos plan %q injects link-level faults; the overlay's "+
-			"connections are internal relay hops — only crash:pP@rR clauses apply", chaosSpec)
+	} else if mode == "async" {
+		if err := checkAsyncFlags(advName, overlaySpec, plan); err != nil {
+			return err
+		}
+	} else if overlaySpec != "" {
+		if err := plan.Restrict("-overlay",
+			"the overlay's connections are internal relay hops, not the party-to-party links "+
+				"link-level clauses name — only crash:pP@rR applies", chaos.ClauseCrash); err != nil {
+			return err
+		}
 	}
 
 	// Reserve one loopback port per party, then release them for the
@@ -353,7 +442,7 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName stri
 			defer wg.Done()
 			cmd := exec.CommandContext(ctx, self, "-id", fmt.Sprint(seat), "-peers", peersFile,
 				"-t", fmt.Sprint(t), "-tree", treeSpec, "-inputs", inputSpec,
-				"-adversary", advName, "-seed", fmt.Sprint(seed),
+				"-adversary", advName, "-mode", mode, "-seed", fmt.Sprint(seed),
 				"-chaos", chaosSpec, "-overlay", overlaySpec,
 				"-setup-timeout", setupTO.String(), "-round-timeout", roundTO.String())
 			// On Ctrl-C, forward SIGTERM so each seat unwinds through its own
@@ -365,9 +454,11 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName stri
 			defer mu.Unlock()
 			for _, line := range strings.Split(strings.TrimRight(string(out), "\n"), "\n") {
 				fmt.Printf("  [%d] %s\n", seat, line)
-				var id, rounds int
+				var id, work int
 				var label string
-				if _, e := fmt.Sscanf(line, "RESULT id=%d role=party output=%s rounds=%d", &id, &label, &rounds); e == nil {
+				if _, e := fmt.Sscanf(line, "RESULT id=%d role=party output=%s rounds=%d", &id, &label, &work); e == nil {
+					outputs[id] = strings.Fields(label)[0]
+				} else if _, e := fmt.Sscanf(line, "RESULT id=%d role=party output=%s deliveries=%d", &id, &label, &work); e == nil {
 					outputs[id] = strings.Fields(label)[0]
 				}
 			}

@@ -1,0 +1,305 @@
+package async
+
+// Pipeline is the asynchronous TreeAA machine: the paper's synchronous
+// decomposition — PathsFinder on Euler-list indices, then RealAA(1) on
+// positions along the agreed root path (internal/core.Machine) — rebuilt on
+// the witness-based asynchronous RealAA of this package.
+//
+// Phase 1 runs AAMachine on the party's first Euler-list index,
+// HalvingIterations(2|V|, 1) iterations, so outputs land within 1/2 of each
+// other; ClampIndex rounds them to list indices that differ by at most one,
+// and consecutive list entries are adjacent vertices, so the decoded root
+// paths are equal up to one trailing edge — exactly PathsFinder's Lemma 4
+// guarantee, carried by AA validity + epsilon-agreement alone. Phase 2 runs
+// AAMachine on the 1-based projected position of the input onto the party's
+// own path; core.DecideVertex decodes, with its shorter-path fallback
+// covering the trailing-edge case (the paper's Figure 5).
+//
+// Unlike the synchronous machine there is no global round at which phase 2
+// begins: each party starts its projection phase the moment its own phase 1
+// decides, and buffers any projection-phase traffic that arrives earlier
+// (peers ahead of us). Every party always runs both phases — even when its
+// decoded path is a single vertex — because a party that skipped phase 2
+// would look crashed to the witness thresholds of those that did not.
+//
+// Trees of diameter <= 1 are trivial, mirroring core: any input is within
+// distance 1 of any other, so the machine decides its own input at Init
+// with no communication.
+
+import (
+	"fmt"
+
+	"treeaa/internal/core"
+	"treeaa/internal/pathsfinder"
+	"treeaa/internal/tree"
+)
+
+// Phase tags namespacing the two chained AAMachine instances' RBC traffic.
+const (
+	prefixPathsFinder = "pf."
+	prefixProjection  = "pj."
+)
+
+// Pipeline phase identifiers, aligned with wire.AsyncPhase*.
+const (
+	PhasePathsFinder byte = 1
+	PhaseProjection  byte = 2
+)
+
+// Pipeline is one party's asynchronous TreeAA execution.
+type Pipeline struct {
+	tr    *tree.Tree
+	n, t  int
+	me    PartyID
+	input tree.VertexID
+	list  *tree.EulerList
+
+	pfIters   int
+	projIters int
+
+	phase1 *AAMachine[float64]
+	path   []tree.VertexID
+	phase2 *AAMachine[float64]
+	// buf2 holds projection-phase messages that arrived before this party's
+	// own phase 1 decided; they replay into phase2 the moment it exists.
+	buf2 []Message
+
+	out  tree.VertexID
+	done bool
+}
+
+// NewPipeline validates the configuration and builds the machine. The
+// parameters mirror core.Config: n > 3t whenever t > 0, and the input must
+// be a vertex of tr.
+func NewPipeline(tr *tree.Tree, n, t int, me PartyID, input tree.VertexID) (*Pipeline, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("async: nil tree")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("async: n = %d, want >= 1", n)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("async: t = %d, want >= 0", t)
+	}
+	if t > 0 && n <= 3*t {
+		return nil, fmt.Errorf("async: n = %d does not satisfy n > 3t for t = %d", n, t)
+	}
+	if me < 0 || int(me) >= n {
+		return nil, fmt.Errorf("async: party id %d out of range [0, %d)", int(me), n)
+	}
+	if !tr.Valid(input) {
+		return nil, fmt.Errorf("async: invalid input vertex %d", int(input))
+	}
+	p := &Pipeline{tr: tr, n: n, t: t, me: me, input: input}
+	d, _, _ := tr.Diameter()
+	if d <= 1 {
+		p.out, p.done = input, true
+		return p, nil
+	}
+	list, err := tree.ListConstruction(tr, tr.Root())
+	if err != nil {
+		return nil, fmt.Errorf("async: %w", err)
+	}
+	p.list = list
+	// The same iteration budgets as the synchronous phases, in asynchronous
+	// halving iterations: indices span [1, |L|] with |L| <= 2|V|, positions
+	// span [1, d+1] with range d.
+	p.pfIters = HalvingIterations(float64(2*tr.NumVertices()), 1)
+	p.projIters = HalvingIterations(float64(d), 1)
+	p.phase1 = NewRealAA(n, t, me, float64(list.FirstIndex(input)), p.pfIters)
+	return p, nil
+}
+
+// Init implements Machine.
+func (p *Pipeline) Init() []Message {
+	if p.done {
+		return nil
+	}
+	return prefixTags(prefixPathsFinder, p.phase1.Init())
+}
+
+// Deliver implements Machine. Messages route to the phase their tag prefix
+// names; anything else (Byzantine garbage) is ignored.
+func (p *Pipeline) Deliver(m Message) []Message {
+	phase, inner, ok := stripTag(m)
+	if !ok || p.phase1 == nil {
+		return nil
+	}
+	var out []Message
+	switch phase {
+	case PhasePathsFinder:
+		// Phase 1 keeps echoing after it decides — peers may still need the
+		// amplification — so deliveries route unconditionally.
+		out = prefixTags(prefixPathsFinder, p.phase1.Deliver(inner))
+		if p.phase2 == nil {
+			if j, decided := p.phase1.Output(); decided {
+				out = append(out, p.startProjection(j.(float64))...)
+			}
+		}
+	case PhaseProjection:
+		if p.phase2 == nil {
+			p.buf2 = append(p.buf2, inner)
+			return out
+		}
+		out = append(out, prefixTags(prefixProjection, p.phase2.Deliver(inner))...)
+	}
+	if !p.done && p.phase2 != nil {
+		if j, decided := p.phase2.Output(); decided {
+			p.out, _ = core.DecideVertex(p.path, j.(float64))
+			p.done = true
+		}
+	}
+	return out
+}
+
+// startProjection decodes phase 1's index agreement into this party's root
+// path, builds phase 2 on the projected position, and replays any buffered
+// projection traffic through it.
+func (p *Pipeline) startProjection(j float64) []Message {
+	idx := pathsfinder.ClampIndex(p.list, j)
+	path, err := p.list.PathFromRoot(idx)
+	if err != nil {
+		// Unreachable after ClampIndex; decide defensively at the root
+		// rather than deadlock the other parties' witness thresholds.
+		path = []tree.VertexID{p.list.Root()}
+	}
+	p.path = path
+	pos, _ := p.tr.ProjectOntoPath(path, p.input)
+	p.phase2 = NewRealAA(p.n, p.t, p.me, float64(pos+1), p.projIters)
+	out := prefixTags(prefixProjection, p.phase2.Init())
+	buffered := p.buf2
+	p.buf2 = nil
+	for _, m := range buffered {
+		out = append(out, prefixTags(prefixProjection, p.phase2.Deliver(m))...)
+	}
+	return out
+}
+
+// Output implements Machine; the value is a tree.VertexID.
+func (p *Pipeline) Output() (any, bool) {
+	if !p.done {
+		return nil, false
+	}
+	return p.out, true
+}
+
+// Path returns the root path this party decoded from phase 1 (nil until
+// then); read-only, for tests and invariant probes.
+func (p *Pipeline) Path() []tree.VertexID { return p.path }
+
+// Histories returns each phase's per-iteration value history (copies; nil
+// for a phase that has not started, or on trivial trees where neither phase
+// runs). Read-only, for tests and invariant probes: the checker asserts
+// monotone non-expansion of the honest-value interval across iterations.
+func (p *Pipeline) Histories() (pathsFinder, projection []float64) {
+	if p.phase1 != nil {
+		pathsFinder = p.phase1.History()
+	}
+	if p.phase2 != nil {
+		projection = p.phase2.History()
+	}
+	return pathsFinder, projection
+}
+
+// Iterations returns the two phases' iteration budgets.
+func (p *Pipeline) Iterations() (pathsFinder, projection int) {
+	return p.pfIters, p.projIters
+}
+
+// DeliveryBudget bounds the deliveries an execution can consume across the
+// whole pipeline: per iteration there are 2n RBC instances (a value and a
+// report per broadcaster), each delivering at most 1 init + n echoes + n
+// readies = 2n+1 messages to each of the n parties — 2n²(2n+1) deliveries
+// per iteration exactly. The extra half absorbs duplicate-suppressed
+// traffic that still costs a delivery.
+func (p *Pipeline) DeliveryBudget() int {
+	iters := p.pfIters + p.projIters
+	if iters == 0 {
+		return 64
+	}
+	return 3*p.n*p.n*iters*(2*p.n+1) + 64
+}
+
+// EnvelopeRound maps a pipeline payload to a monotone progress index — the
+// AA iteration, with projection-phase iterations offset past the
+// PathsFinder budget — used as the transport envelope's round field so
+// round-windowed chaos clauses key onto asynchronous progress. Unknown
+// payloads map to 1.
+func (p *Pipeline) EnvelopeRound(payload any) int {
+	phase, tag := payloadTag(payload)
+	if phase == 0 {
+		return 1
+	}
+	k, ok := parseTag(tag, "v/")
+	if !ok {
+		if k, ok = parseTag(tag, "r/"); !ok {
+			return 1
+		}
+	}
+	if phase == PhaseProjection {
+		k += p.pfIters
+	}
+	return k
+}
+
+// ---- tag namespacing
+
+// prefixTags namespaces outgoing RBC payload tags with the phase prefix,
+// so the two AAMachine instances' concurrent broadcasts cannot collide.
+func prefixTags(prefix string, msgs []Message) []Message {
+	for i := range msgs {
+		switch q := msgs[i].Payload.(type) {
+		case RBCMsg[float64]:
+			q.Tag = prefix + q.Tag
+			msgs[i].Payload = q
+		case RBCMsg[string]:
+			q.Tag = prefix + q.Tag
+			msgs[i].Payload = q
+		}
+	}
+	return msgs
+}
+
+// stripTag classifies an incoming message by phase prefix and returns it
+// with the inner (unprefixed) tag restored.
+func stripTag(m Message) (phase byte, inner Message, ok bool) {
+	switch q := m.Payload.(type) {
+	case RBCMsg[float64]:
+		phase, q.Tag, ok = splitPhase(q.Tag)
+		m.Payload = q
+	case RBCMsg[string]:
+		phase, q.Tag, ok = splitPhase(q.Tag)
+		m.Payload = q
+	default:
+		return 0, m, false
+	}
+	return phase, m, ok
+}
+
+func splitPhase(tag string) (byte, string, bool) {
+	if len(tag) > len(prefixPathsFinder) && tag[:len(prefixPathsFinder)] == prefixPathsFinder {
+		return PhasePathsFinder, tag[len(prefixPathsFinder):], true
+	}
+	if len(tag) > len(prefixProjection) && tag[:len(prefixProjection)] == prefixProjection {
+		return PhaseProjection, tag[len(prefixProjection):], true
+	}
+	return 0, tag, false
+}
+
+// payloadTag extracts the phase and inner tag of a pipeline payload.
+func payloadTag(payload any) (byte, string) {
+	var tag string
+	switch q := payload.(type) {
+	case RBCMsg[float64]:
+		tag = q.Tag
+	case RBCMsg[string]:
+		tag = q.Tag
+	default:
+		return 0, ""
+	}
+	phase, inner, ok := splitPhase(tag)
+	if !ok {
+		return 0, ""
+	}
+	return phase, inner
+}

@@ -1,0 +1,168 @@
+package async
+
+import (
+	"math/rand"
+	"testing"
+
+	"treeaa/internal/cli"
+	"treeaa/internal/core"
+	"treeaa/internal/sim"
+	"treeaa/internal/tree"
+)
+
+func pipelineFleet(t *testing.T, tr *tree.Tree, n, tc int, inputs []tree.VertexID) ([]Machine, int) {
+	t.Helper()
+	ms := make([]Machine, n)
+	budget := 0
+	for i := 0; i < n; i++ {
+		p, err := NewPipeline(tr, n, tc, PartyID(i), inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = p
+		if b := p.DeliveryBudget(); b > budget {
+			budget = b
+		}
+	}
+	return ms, budget
+}
+
+// TestPipelineShapes: the full two-phase TreeAA pipeline (PathsFinder over
+// the Euler list, then projection onto the decided path) upholds validity
+// and 1-agreement on every tree shape under every scheduler.
+func TestPipelineShapes(t *testing.T) {
+	n, tc := 4, 1
+	for _, shape := range []string{"path:8", "star:6", "spider:3:3"} {
+		tr, err := cli.ParseTreeSpec(shape, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := cli.SpreadInputs(tr, n)
+		for name, sched := range map[string]Scheduler{
+			"fifo":   FIFO{},
+			"lifo":   LIFO{},
+			"random": Random{Rng: rand.New(rand.NewSource(7))},
+			"starve": Starve{Victims: map[PartyID]bool{1: true}},
+		} {
+			ms, budget := pipelineFleet(t, tr, n, tc, inputs)
+			res, err := Run(Config{N: n, MaxDeliveries: budget, Scheduler: sched}, ms)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", shape, name, err)
+			}
+			checkAsyncTreeAA(t, tr, inputs, []PartyID{0, 1, 2, 3}, res.Outputs, shape+"/"+name)
+			for i, m := range ms {
+				p := m.(*Pipeline)
+				if len(p.Path()) == 0 {
+					t.Errorf("%s/%s: party %d skipped the projection phase", shape, name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineTrivialTree: diameter <= 1 needs no protocol at all — every
+// party is decided on its own input at construction.
+func TestPipelineTrivialTree(t *testing.T) {
+	tr := tree.NewPath(2)
+	inputs := []tree.VertexID{0, 1, 0, 1}
+	ms, budget := pipelineFleet(t, tr, 4, 1, inputs)
+	for i, m := range ms {
+		if msgs := m.Init(); len(msgs) != 0 {
+			t.Errorf("party %d sent %d messages on a trivial tree", i, len(msgs))
+		}
+		raw, done := m.Output()
+		if !done || raw.(tree.VertexID) != inputs[i] {
+			t.Errorf("party %d: output %v, %v; want own input %v", i, raw, done, inputs[i])
+		}
+	}
+	if budget <= 0 {
+		t.Error("trivial pipeline has no delivery budget slack")
+	}
+}
+
+// TestAsyncMatchesSyncOnQuietNet is the differential anchor: with no
+// faults (t=0) and deterministic FIFO scheduling, every async report names
+// all n senders, so the decided values are delivery-order independent —
+// and they must land within the agreement tolerance (tree distance 1) of
+// what the synchronous protocol decides from the same inputs. Path input
+// spaces are excluded: there the synchronous machine runs the Section 4
+// single-phase shortcut, a different algorithm whose decision point inside
+// the hull need not coincide with the two-phase pipeline's (paths are
+// still covered property-wise by TestPipelineShapes).
+func TestAsyncMatchesSyncOnQuietNet(t *testing.T) {
+	n := 4
+	for _, shape := range []string{"star:6", "spider:3:3", "caterpillar:4:2"} {
+		for seed := int64(1); seed <= 5; seed++ {
+			tr, err := cli.ParseTreeSpec(shape, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := cli.SpreadInputs(tr, n)
+
+			syncMachines := make([]sim.Machine, n)
+			for i := range syncMachines {
+				m, err := core.NewMachine(core.Config{Tree: tr, N: n, T: 0,
+					ID: sim.PartyID(i), Input: inputs[i]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				syncMachines[i] = m
+			}
+			want, err := sim.Run(sim.Config{N: n, MaxRounds: core.Rounds(tr) + 2}, syncMachines)
+			if err != nil {
+				t.Fatalf("%s seed %d: sync oracle: %v", shape, seed, err)
+			}
+
+			ms, budget := pipelineFleet(t, tr, n, 0, inputs)
+			res, err := Run(Config{N: n, MaxDeliveries: budget}, ms)
+			if err != nil {
+				t.Fatalf("%s seed %d: async: %v", shape, seed, err)
+			}
+			checkAsyncTreeAA(t, tr, inputs, []PartyID{0, 1, 2, 3}, res.Outputs, shape)
+			for p, raw := range res.Outputs {
+				av := raw.(tree.VertexID)
+				for q, sraw := range want.Outputs {
+					sv := sraw.(tree.VertexID)
+					if d := tr.Dist(av, sv); d > 1 {
+						t.Errorf("%s seed %d: async party %d decided %s, sync party %d decided %s (dist %d > 1)",
+							shape, seed, p, tr.Label(av), q, tr.Label(sv), d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineWireRoundTrip: every payload the pipeline emits survives the
+// ToWire/FromWire conversion with its phase and tag intact, and foreign
+// payloads are refused.
+func TestPipelineWireRoundTrip(t *testing.T) {
+	payloads := []any{
+		RBCMsg[float64]{Tag: "pf.v/3", Kind: KindEcho, Src: 2, Val: 4.5},
+		RBCMsg[float64]{Tag: "pj.v/1", Kind: KindInit, Src: 0, Val: 1},
+		RBCMsg[string]{Tag: "pf.r/2", Kind: KindReady, Src: 3, Val: "0,1,3"},
+		RBCMsg[string]{Tag: "pj.r/7", Kind: KindInit, Src: 1, Val: ""},
+	}
+	for _, p := range payloads {
+		w, err := ToWire(p)
+		if err != nil {
+			t.Fatalf("ToWire(%+v): %v", p, err)
+		}
+		back, ok := FromWire(w)
+		if !ok {
+			t.Fatalf("FromWire rejected %+v", w)
+		}
+		if back != p {
+			t.Errorf("round trip: %+v -> %+v", p, back)
+		}
+	}
+	if _, err := ToWire(RBCMsg[float64]{Tag: "v/3", Kind: KindEcho, Src: 2, Val: 4.5}); err == nil {
+		t.Error("ToWire accepted a tag without a phase prefix")
+	}
+	if _, err := ToWire(RBCMsg[string]{Tag: "pf.r/2", Kind: KindInit, Src: 3, Val: "3,1"}); err == nil {
+		t.Error("ToWire accepted a non-canonical sender set")
+	}
+	if _, err := ToWire("stray"); err == nil {
+		t.Error("ToWire accepted a foreign payload")
+	}
+}

@@ -1,0 +1,99 @@
+package async
+
+import "testing"
+
+// The Bracha thresholds at their exact boundaries, n=4 t=1: echo→ready at
+// n-t, ready amplification at t+1, delivery at 2t+1. Each test feeds one
+// message fewer than the threshold first and asserts silence.
+
+func TestRBCEchoThresholdExact(t *testing.T) {
+	r := NewRBC[float64](4, 1, 0)
+	for _, from := range []PartyID{1, 2} { // n-t-1 = 2 echoes: below threshold
+		out, dels := r.Handle(Message{From: from, Payload: RBCMsg[float64]{Tag: "x", Kind: KindEcho, Src: 1, Val: 5}})
+		if len(out) != 0 || len(dels) != 0 {
+			t.Fatalf("ready sent after %d echoes, threshold is n-t=3", from)
+		}
+	}
+	out, dels := r.Handle(Message{From: 3, Payload: RBCMsg[float64]{Tag: "x", Kind: KindEcho, Src: 1, Val: 5}})
+	if len(dels) != 0 {
+		t.Fatal("echoes alone delivered")
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d messages at the n-t echo, want the ready broadcast", len(out))
+	}
+	p := out[0].Payload.(RBCMsg[float64])
+	if p.Kind != KindReady || out[0].To != Broadcast || p.Val != 5 {
+		t.Fatalf("n-t echoes produced %+v, want broadcast ready for 5", p)
+	}
+}
+
+func TestRBCReadyThresholdsExact(t *testing.T) {
+	r := NewRBC[float64](4, 1, 0)
+	// t readies: no amplification yet.
+	out, dels := r.Handle(Message{From: 1, Payload: RBCMsg[float64]{Tag: "x", Kind: KindReady, Src: 2, Val: 7}})
+	if len(out) != 0 || len(dels) != 0 {
+		t.Fatal("single ready amplified, threshold is t+1=2")
+	}
+	// t+1 readies: amplify, but 2t+1 not reached — no delivery.
+	out, dels = r.Handle(Message{From: 2, Payload: RBCMsg[float64]{Tag: "x", Kind: KindReady, Src: 2, Val: 7}})
+	if len(dels) != 0 {
+		t.Fatal("delivered at t+1 readies, threshold is 2t+1=3")
+	}
+	if len(out) != 1 || out[0].Payload.(RBCMsg[float64]).Kind != KindReady {
+		t.Fatalf("t+1 readies produced %v, want our own ready", out)
+	}
+	// 2t+1 readies: deliver exactly once, no further traffic.
+	out, dels = r.Handle(Message{From: 3, Payload: RBCMsg[float64]{Tag: "x", Kind: KindReady, Src: 2, Val: 7}})
+	if len(out) != 0 {
+		t.Fatalf("delivery round sent %v, want nothing", out)
+	}
+	if len(dels) != 1 || dels[0].Val != 7 || dels[0].Src != 2 {
+		t.Fatalf("deliveries = %v, want value 7 from src 2", dels)
+	}
+	// A fourth ready must not re-deliver.
+	if _, dels = r.Handle(Message{From: 0, Payload: RBCMsg[float64]{Tag: "x", Kind: KindReady, Src: 2, Val: 7}}); len(dels) != 0 {
+		t.Fatal("re-delivered past 2t+1")
+	}
+}
+
+// TestAADecidesWithMinimumMessages drives one AA iteration on the leanest
+// possible transcript: no INIT or ECHO ever arrives — every RBC delivery
+// rides pure ready quorums — and the party sees exactly n-t values and n-t
+// reports, (n-t)·(2t+1)·2 = 18 messages in all. One message short it must
+// still be undecided.
+func TestAADecidesWithMinimumMessages(t *testing.T) {
+	n, tc := 4, 1
+	m := NewRealAA(n, tc, 0, 1.0, 1)
+	m.Init()
+
+	type step struct {
+		msg Message
+	}
+	var script []step
+	for src, val := range map[PartyID]float64{0: 1, 1: 2, 2: 3} {
+		for _, from := range []PartyID{1, 2, 3} {
+			script = append(script, step{Message{From: from, Payload: RBCMsg[float64]{
+				Tag: valTag(1), Kind: KindReady, Src: src, Val: val}}})
+		}
+	}
+	for _, rep := range []PartyID{0, 1, 2} {
+		for _, from := range []PartyID{1, 2, 3} {
+			script = append(script, step{Message{From: from, Payload: RBCMsg[string]{
+				Tag: repTag(1), Kind: KindReady, Src: rep, Val: "0,1,2"}}})
+		}
+	}
+	for i, s := range script {
+		if _, done := m.Output(); done {
+			t.Fatalf("decided after %d messages, minimum is %d", i, len(script))
+		}
+		m.Deliver(s.msg)
+	}
+	raw, done := m.Output()
+	if !done {
+		t.Fatalf("undecided after the full %d-message minimum transcript", len(script))
+	}
+	// Trimmed midpoint of {1,2,3} with t=1: drop 1 and 3, midpoint of {2}.
+	if v := raw.(float64); v != 2 {
+		t.Errorf("decided %v, want 2", v)
+	}
+}

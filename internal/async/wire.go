@@ -1,0 +1,121 @@
+package async
+
+// Wire conversion for the networked asynchronous mode: the in-memory
+// pipeline payloads (RBCMsg[float64] value steps, RBCMsg[string] report
+// steps, tag-prefixed by phase) map 1:1 onto wire.AsyncValue and
+// wire.AsyncReport. The mapping is total in both directions for honest
+// traffic: every payload a Pipeline emits converts (ToWire), and every
+// frame the codec accepts converts back (FromWire) — the codec's
+// canonicality checks (phase/kind ranges, iter >= 1, strictly ascending
+// sender sets) mean a Byzantine peer cannot craft a decodable frame that
+// FromWire rejects, so the driver never needs a second validation pass.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"treeaa/internal/sim"
+	"treeaa/internal/wire"
+)
+
+func phasePrefix(phase byte) (string, bool) {
+	switch phase {
+	case PhasePathsFinder:
+		return prefixPathsFinder, true
+	case PhaseProjection:
+		return prefixProjection, true
+	}
+	return "", false
+}
+
+// ToWire converts a pipeline payload to its wire form. It reports an error
+// for payloads a Pipeline cannot emit (foreign tags, non-canonical report
+// sets) — hitting one is a bug, not a network condition.
+func ToWire(payload any) (any, error) {
+	switch q := payload.(type) {
+	case RBCMsg[float64]:
+		phase, tag, ok := splitPhase(q.Tag)
+		if !ok {
+			return nil, fmt.Errorf("async: payload tag %q has no phase prefix", q.Tag)
+		}
+		iter, ok := parseTag(tag, "v/")
+		if !ok {
+			return nil, fmt.Errorf("async: value payload tag %q is not v/<k>", q.Tag)
+		}
+		return wire.AsyncValue{Phase: phase, Kind: byte(q.Kind), Iter: iter,
+			Src: sim.PartyID(q.Src), Val: q.Val}, nil
+	case RBCMsg[string]:
+		phase, tag, ok := splitPhase(q.Tag)
+		if !ok {
+			return nil, fmt.Errorf("async: payload tag %q has no phase prefix", q.Tag)
+		}
+		iter, ok := parseTag(tag, "r/")
+		if !ok {
+			return nil, fmt.Errorf("async: report payload tag %q is not r/<k>", q.Tag)
+		}
+		senders, err := canonicalSenders(q.Val)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AsyncReport{Phase: phase, Kind: byte(q.Kind), Iter: iter,
+			Src: sim.PartyID(q.Src), Senders: senders}, nil
+	}
+	return nil, fmt.Errorf("async: payload %T has no wire form", payload)
+}
+
+// FromWire converts a decoded wire payload back to the pipeline payload.
+// The bool reports whether the payload was an async frame at all.
+func FromWire(payload any) (any, bool) {
+	switch q := payload.(type) {
+	case wire.AsyncValue:
+		prefix, ok := phasePrefix(q.Phase)
+		if !ok {
+			return nil, false
+		}
+		return RBCMsg[float64]{Tag: prefix + valTag(q.Iter), Kind: Kind(q.Kind),
+			Src: PartyID(q.Src), Val: q.Val}, true
+	case wire.AsyncReport:
+		prefix, ok := phasePrefix(q.Phase)
+		if !ok {
+			return nil, false
+		}
+		ids := make([]PartyID, len(q.Senders))
+		for i, p := range q.Senders {
+			ids[i] = PartyID(p)
+		}
+		return RBCMsg[string]{Tag: prefix + repTag(q.Iter), Kind: Kind(q.Kind),
+			Src: PartyID(q.Src), Val: encodeIDs(ids)}, true
+	}
+	return nil, false
+}
+
+// canonicalSenders parses an encoded report set and checks it is canonical
+// (strictly ascending), which the wire encoding requires.
+func canonicalSenders(enc string) ([]sim.PartyID, error) {
+	if enc == "" {
+		return nil, nil
+	}
+	parts := strings.Split(enc, ",")
+	out := make([]sim.PartyID, 0, len(parts))
+	prev := -1
+	for _, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil || id <= prev {
+			return nil, fmt.Errorf("async: report set %q not canonical", enc)
+		}
+		prev = id
+		out = append(out, sim.PartyID(id))
+	}
+	return out, nil
+}
+
+// encodeIDs renders an ascending id list in the report-set encoding
+// ("0,2,5") shared with encodeSet.
+func encodeIDs(ids []PartyID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(int(id))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"time"
+
+	"treeaa/internal/async"
+	"treeaa/internal/cli"
+	"treeaa/internal/experiments"
+	"treeaa/internal/metrics"
+	"treeaa/internal/sim"
+	"treeaa/internal/transport"
+	"treeaa/internal/tree"
+)
+
+// AsyncClauses is the fault surface of the event-driven driver: faults that
+// delay traffic without destroying it. Latency, stalls and partition holds
+// are sleeps on the write path — an asynchronous protocol must tolerate any
+// finite delay, so these are exactly the faults worth soaking it under.
+// Drops and crashes are excluded because their recovery paths (reconnect
+// with resume, crash-restart with history replay) are built on the
+// lock-step round structure async mode abolishes.
+var AsyncClauses = []ClauseKind{ClauseLatency, ClauseStall, ClausePartition}
+
+const asyncRestrictReason = "drop and crash recovery replay lock-step rounds, " +
+	"which the event-driven driver does not have — those clauses require -mode sync"
+
+// RestrictAsync gates a plan for -mode async, naming the offending clause
+// family when the plan reaches outside AsyncClauses.
+func RestrictAsync(plan *Plan) error {
+	return plan.Restrict("-mode async", asyncRestrictReason, AsyncClauses...)
+}
+
+// AsyncRunSpec is one asynchronous soak cell: a TreeAA configuration, a
+// delay-only chaos plan and a seed to materialize it with. Every seat runs
+// the honest async pipeline — Byzantine behaviour against the async
+// machines is exercised in-process by internal/check, where the scheduler
+// is the adversary.
+type AsyncRunSpec struct {
+	Tree string // cli tree spec, e.g. "path:16"
+	N, T int
+	Seed int64
+	Plan string // chaos spec (Parse, then RestrictAsync), "" = no chaos
+
+	SetupTimeout time.Duration
+	// IdleTimeout bounds the silence between consecutive arrivals at any
+	// seat (it rides transport.Options.RoundTimeout). It is a liveness
+	// watchdog for wedged runs, never a per-round barrier: chaos delays
+	// postpone single frames, so any cell whose longest single hold stays
+	// under it cannot trip the watchdog.
+	IdleTimeout time.Duration
+}
+
+// AsyncReport is one async soak cell's outcome. There is no oracle column:
+// the async protocol's decisions depend on delivery order, so the cell
+// asserts the paper's properties — validity and 1-agreement of the decoded
+// vertices — rather than byte-identity with a reference schedule.
+type AsyncReport struct {
+	Tree string `json:"tree"`
+	N    int    `json:"n"`
+	T    int    `json:"t"`
+	Seed int64  `json:"seed"`
+	Plan string `json:"plan"`
+
+	Deliveries int `json:"deliveries"`
+	Messages   int `json:"messages"`
+	Bytes      int `json:"bytes"`
+
+	// Safety: validity (outputs in the input hull) and 1-agreement
+	// (pairwise output distance ≤ 1).
+	Valid   bool `json:"valid"`
+	MaxDist int  `json:"max_dist"`
+
+	// Injected faults. Drops/crashes cannot appear: RestrictAsync refuses
+	// the plan before anything runs.
+	Delays     int64 `json:"delays"`
+	Stalls     int64 `json:"stalls"`
+	Partitions int64 `json:"partitions"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Passed reports whether the cell upheld every safety assertion.
+func (r *AsyncReport) Passed() bool {
+	return r.Err == "" && r.Valid && r.MaxDist <= 1
+}
+
+// RunAsync executes one async soak cell: parse and gate the plan, build one
+// honest pipeline per party, run them over real loopback TCP with the
+// injector on every link, then judge the decoded vertices. A configuration
+// error returns an error; a runtime failure (e.g. a plan that outlasts the
+// idle watchdog) lands in Report.Err so sweeps keep going.
+func RunAsync(spec AsyncRunSpec) (*AsyncReport, error) {
+	rep := &AsyncReport{Tree: spec.Tree, N: spec.N, T: spec.T, Seed: spec.Seed, Plan: spec.Plan}
+	plan, err := Parse(spec.Plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(spec.N); err != nil {
+		return nil, err
+	}
+	if err := RestrictAsync(plan); err != nil {
+		return nil, err
+	}
+	tr, err := cli.ParseTreeSpec(spec.Tree, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inputs := cli.SpreadInputs(tr, spec.N)
+
+	machines := make([]transport.AsyncMachine, spec.N)
+	for i := range machines {
+		p, err := async.NewPipeline(tr, spec.N, spec.T, async.PartyID(i), inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = p
+	}
+
+	stats := &metrics.ChaosStats{}
+	// Apply is safe here: RestrictAsync already refused every plan for which
+	// it would arm reconnects or a crash plan, both rejected by the async
+	// cluster's own option check.
+	opts := NewInjector(plan, spec.Seed, stats).Apply(transport.Options{
+		SetupTimeout: spec.SetupTimeout,
+		RoundTimeout: spec.IdleTimeout,
+	})
+	got, err := transport.AsyncLocalCluster(spec.N, machines, opts)
+
+	rep.Delays = stats.Delays.Load()
+	rep.Stalls = stats.Stalls.Load()
+	rep.Partitions = stats.Partitions.Load()
+	if err != nil {
+		rep.Err = err.Error()
+		return rep, nil
+	}
+	rep.Deliveries, rep.Messages, rep.Bytes = got.Deliveries, got.Messages, got.Bytes
+
+	outputs := make(map[sim.PartyID]tree.VertexID, len(got.Outputs))
+	for p, out := range got.Outputs {
+		v, ok := out.(tree.VertexID)
+		if !ok {
+			rep.Err = "party output is not a vertex"
+			return rep, nil
+		}
+		outputs[p] = v
+	}
+	rep.MaxDist, rep.Valid = experiments.Judge(tr, inputs, nil, outputs)
+	return rep, nil
+}

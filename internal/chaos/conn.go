@@ -122,8 +122,10 @@ func (c *chaosConn) Write(b []byte) (int, error) {
 
 	l.mu.Lock()
 	var delay time.Duration
-	if in.plan.Latency != nil {
-		delay = delayFor(in.plan.Latency, l.rng)
+	for i := range in.plan.Latencies {
+		if lat := &in.plan.Latencies[i]; lat.From == AllLinks || lat.From == l.from {
+			delay += delayFor(lat, l.rng)
+		}
 	}
 	drop := false
 	for i, d := range in.plan.Drops {

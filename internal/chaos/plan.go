@@ -35,10 +35,14 @@ const (
 	DefaultHeal  = 50 * time.Millisecond
 )
 
-// Latency delays every protocol frame on every link by Base ± Jitter, the
-// jitter drawn per frame from the link's seeded PRNG.
+// Latency delays every protocol frame on matching links by Base ± Jitter,
+// the jitter drawn per frame from the link's seeded PRNG. From scopes the
+// clause to the links *originating* at one party (AllLinks = every link) —
+// the lever for heterogeneous-network soaks, where some parties' outbound
+// links are slow and the rest of the mesh is quick.
 type Latency struct {
 	Base, Jitter time.Duration
+	From         sim.PartyID // AllLinks, or the party whose outbound links this scopes to
 }
 
 // Stall holds every outgoing frame of one party for Dur during a round
@@ -73,7 +77,7 @@ type Partition struct {
 // Plan is one parsed chaos specification.
 type Plan struct {
 	Spec       string
-	Latency    *Latency
+	Latencies  []Latency
 	Stalls     []Stall
 	Drops      []Drop
 	Crashes    map[sim.PartyID]int // party → crash round (honest crash-restart)
@@ -82,7 +86,8 @@ type Plan struct {
 
 // Parse decodes a compact chaos spec: comma-separated clauses
 //
-//	lat:BASE[±JIT]               per-link latency with jitter ("±" or "+-")
+//	lat:BASE[±JIT][@pP]          per-link latency with jitter ("±" or "+-"),
+//	                             optionally scoped to party P's outbound links
 //	stall:pP@rA[-B][:DUR]        party P's sends stall DUR in rounds A..B
 //	drop:pA-pB@rR                cut the A→B connection at round R
 //	drop:pA@rR                   cut every outgoing connection of A at round R
@@ -137,8 +142,18 @@ func MustParse(spec string) *Plan {
 }
 
 func (p *Plan) parseLatency(rest string) error {
-	if p.Latency != nil {
-		return fmt.Errorf("duplicate lat clause")
+	l := Latency{From: AllLinks}
+	if body, scope, scoped := strings.Cut(rest, "@"); scoped {
+		var err error
+		if l.From, err = parseParty(scope); err != nil {
+			return err
+		}
+		rest = body
+	}
+	for _, prev := range p.Latencies {
+		if prev.From == l.From {
+			return fmt.Errorf("duplicate lat clause for the same scope")
+		}
 	}
 	base := rest
 	jitter := ""
@@ -148,7 +163,6 @@ func (p *Plan) parseLatency(rest string) error {
 			break
 		}
 	}
-	l := &Latency{}
 	var err error
 	if l.Base, err = parseDur(base); err != nil {
 		return err
@@ -161,7 +175,7 @@ func (p *Plan) parseLatency(rest string) error {
 	if l.Jitter > l.Base {
 		return fmt.Errorf("jitter %v exceeds base %v (delays must stay non-negative)", l.Jitter, l.Base)
 	}
-	p.Latency = l
+	p.Latencies = append(p.Latencies, l)
 	return nil
 }
 
@@ -284,6 +298,13 @@ func (p *Plan) Validate(n int) error {
 		}
 		return nil
 	}
+	for _, l := range p.Latencies {
+		if l.From != AllLinks {
+			if err := check(l.From); err != nil {
+				return err
+			}
+		}
+	}
 	for _, s := range p.Stalls {
 		if err := check(s.Party); err != nil {
 			return err
@@ -321,8 +342,7 @@ func (p *Plan) Validate(n int) error {
 
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
-	return p.Latency == nil && len(p.Stalls) == 0 && len(p.Drops) == 0 &&
-		len(p.Crashes) == 0 && len(p.Partitions) == 0
+	return len(p.Kinds()) == 0
 }
 
 // NeedsReconnect reports whether the plan destroys connections, requiring
@@ -331,12 +351,88 @@ func (p *Plan) NeedsReconnect() bool {
 	return len(p.Drops) > 0 || len(p.Crashes) > 0
 }
 
-// CrashOnly reports whether crashes are the only faults in the plan. The
-// tree overlay injects crashes through its own seat supervisor but exposes
-// no seam for link-level faults: its connections are overlay-internal
-// relay hops, not the party-to-party links the injector's clauses name.
+// ClauseKind identifies one fault family of the plan language. Execution
+// modes differ in which families they can inject — see Restrict.
+type ClauseKind int
+
+// The five clause families, in plan-language order.
+const (
+	ClauseLatency ClauseKind = iota
+	ClauseStall
+	ClauseDrop
+	ClauseCrash
+	ClausePartition
+)
+
+// String returns the clause's plan-language name.
+func (k ClauseKind) String() string {
+	switch k {
+	case ClauseLatency:
+		return "lat"
+	case ClauseStall:
+		return "stall"
+	case ClauseDrop:
+		return "drop"
+	case ClauseCrash:
+		return "crash"
+	case ClausePartition:
+		return "partition"
+	}
+	return fmt.Sprintf("ClauseKind(%d)", int(k))
+}
+
+// Kinds returns the fault families present in the plan, in plan-language
+// order.
+func (p *Plan) Kinds() []ClauseKind {
+	var kinds []ClauseKind
+	if len(p.Latencies) > 0 {
+		kinds = append(kinds, ClauseLatency)
+	}
+	if len(p.Stalls) > 0 {
+		kinds = append(kinds, ClauseStall)
+	}
+	if len(p.Drops) > 0 {
+		kinds = append(kinds, ClauseDrop)
+	}
+	if len(p.Crashes) > 0 {
+		kinds = append(kinds, ClauseCrash)
+	}
+	if len(p.Partitions) > 0 {
+		kinds = append(kinds, ClausePartition)
+	}
+	return kinds
+}
+
+// Restrict checks the plan against one execution mode's injectable fault
+// surface: mode names the flag combination doing the rejecting ("-overlay",
+// "-mode async"), allowed lists the clause families it supports, and reason
+// says why the rest cannot be injected there. The returned error names the
+// mode, the offending clause family and the reason — a chaos spec that a
+// mode cannot honor must fail loudly, never silently inject less.
+func (p *Plan) Restrict(mode, reason string, allowed ...ClauseKind) error {
+	for _, k := range p.Kinds() {
+		ok := false
+		for _, a := range allowed {
+			if a == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("chaos: %s cannot inject the %s clauses of plan %q: %s", mode, k, p.Spec, reason)
+		}
+	}
+	return nil
+}
+
+// CrashOnly reports whether crashes are the only faults in the plan — the
+// predicate behind the tree overlay's Restrict gate, kept for callers that
+// only classify. The overlay injects crashes through its own seat
+// supervisor but exposes no seam for link-level faults: its connections are
+// overlay-internal relay hops, not the party-to-party links the injector's
+// clauses name.
 func (p *Plan) CrashOnly() bool {
-	return p.Latency == nil && len(p.Stalls) == 0 && len(p.Drops) == 0 && len(p.Partitions) == 0
+	return p.Restrict("", "", ClauseCrash) == nil
 }
 
 // parseParty decodes "p3" (the p is mandatory — it keeps parties and rounds

@@ -15,8 +15,8 @@ func TestParseFullSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := (&Latency{Base: 5 * time.Millisecond, Jitter: 3 * time.Millisecond}); !reflect.DeepEqual(p.Latency, want) {
-		t.Errorf("latency = %+v, want %+v", p.Latency, want)
+	if want := []Latency{{Base: 5 * time.Millisecond, Jitter: 3 * time.Millisecond, From: AllLinks}}; !reflect.DeepEqual(p.Latencies, want) {
+		t.Errorf("latencies = %+v, want %+v", p.Latencies, want)
 	}
 	if want := []Stall{{Party: 3, FromRound: 2, ToRound: 4, Dur: DefaultStall}}; !reflect.DeepEqual(p.Stalls, want) {
 		t.Errorf("stalls = %+v, want %+v", p.Stalls, want)
@@ -40,8 +40,18 @@ func TestParseClauseVariants(t *testing.T) {
 		check func(*Plan) bool
 	}{
 		{"", func(p *Plan) bool { return p.Empty() && !p.NeedsReconnect() }},
-		{"lat:2ms", func(p *Plan) bool { return p.Latency.Base == 2*time.Millisecond && p.Latency.Jitter == 0 }},
-		{"lat:5ms+-3ms", func(p *Plan) bool { return p.Latency.Jitter == 3*time.Millisecond }},
+		{"lat:2ms", func(p *Plan) bool {
+			l := p.Latencies[0]
+			return l.Base == 2*time.Millisecond && l.Jitter == 0 && l.From == AllLinks
+		}},
+		{"lat:5ms+-3ms", func(p *Plan) bool { return p.Latencies[0].Jitter == 3*time.Millisecond }},
+		{"lat:200ms±150ms@p2", func(p *Plan) bool {
+			l := p.Latencies[0]
+			return l.Base == 200*time.Millisecond && l.Jitter == 150*time.Millisecond && l.From == 2
+		}},
+		{"lat:50ms,lat:500ms@p0", func(p *Plan) bool {
+			return len(p.Latencies) == 2 && p.Latencies[0].From == AllLinks && p.Latencies[1].From == 0
+		}},
 		{"stall:p0@r3", func(p *Plan) bool {
 			s := p.Stalls[0]
 			return s.FromRound == 3 && s.ToRound == 3 && s.Dur == DefaultStall

@@ -51,9 +51,21 @@ func (p *Plan) Schedule(seed int64, n, framesPerLink int) string {
 		sb.WriteString("  (nothing injected)\n")
 		return sb.String()
 	}
-	if l := p.Latency; l != nil {
-		fmt.Fprintf(&sb, "  lat base %v jitter %v\n", l.Base, l.Jitter)
+	// Each lat clause previews against a fresh per-link PRNG. With several
+	// clauses matching one link the runtime interleaves their draws per
+	// frame, so the preview is exact for single-clause plans (what the
+	// golden pins) and per-clause indicative otherwise.
+	for ci := range p.Latencies {
+		l := &p.Latencies[ci]
+		if l.From == AllLinks {
+			fmt.Fprintf(&sb, "  lat base %v jitter %v\n", l.Base, l.Jitter)
+		} else {
+			fmt.Fprintf(&sb, "  lat base %v jitter %v from p%d\n", l.Base, l.Jitter, l.From)
+		}
 		for from := sim.PartyID(0); int(from) < n; from++ {
+			if l.From != AllLinks && from != l.From {
+				continue
+			}
 			for to := sim.PartyID(0); int(to) < n; to++ {
 				if from == to {
 					continue

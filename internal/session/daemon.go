@@ -72,8 +72,22 @@ type Options struct {
 	DefaultTTL time.Duration
 
 	SetupTimeout time.Duration // mux mesh establishment budget
-	RoundTimeout time.Duration // per-round barrier budget for every engine
+	// RoundTimeout is the per-round barrier budget for every engine. In async
+	// deployments there are no barriers; it is reused as the idle watchdog —
+	// the longest an undecided seat tolerates total silence before the run
+	// is declared wedged (the same reuse as transport's async driver).
+	RoundTimeout time.Duration
 	DrainTimeout time.Duration // graceful-shutdown wait for in-flight sessions
+
+	// Async switches every engine on this daemon to the event-driven
+	// asynchronous pipeline: messages are delivered to the protocol machine
+	// on arrival, with no end-of-round barriers and no round timeouts. The
+	// mode is a deployment property — it joins the cluster hash, so a sync
+	// and an async daemon refuse to pair. Async daemons host honest seats
+	// only and reject the journal and the overlay fabric (both are built on
+	// the lock-step round structure async mode abolishes); NewDaemon refuses
+	// those combinations up front.
+	Async bool
 
 	// JournalDir enables the write-ahead session journal: each daemon
 	// journals to <JournalDir>/daemon-<id> and replays it on startup,
@@ -210,6 +224,16 @@ func NewDaemon(id int, peerAddrs []string, clientAddr string, opts Options) (*Da
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("session: daemon id %d out of range [0, %d)", id, n)
 	}
+	if opts.Async {
+		if opts.JournalDir != "" {
+			return nil, fmt.Errorf("session: the journal's muted replay re-steps engines through " +
+				"lock-step rounds, which async mode does not have — drop -journal-dir or use -mode sync")
+		}
+		if opts.OverlaySpec != "" {
+			return nil, fmt.Errorf("session: the tree overlay relays round-batched traffic between " +
+				"eor barriers, which async mode does not have — drop -overlay or use -mode sync")
+		}
+	}
 	return &Daemon{
 		id:        sim.PartyID(id),
 		n:         n,
@@ -242,7 +266,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 	d.clientLn = clientLn
 
-	cluster := clusterHash(d.peerAddrs, d.opts.OverlaySpec)
+	cluster := clusterHash(d.peerAddrs, d.opts.OverlaySpec, d.opts.Async)
 	d.mgr = newManager(d)
 	// Journal recovery runs before the mux exists: the session table is
 	// rebuilt from disk in isolation, then the mesh comes up and the restored
@@ -351,9 +375,15 @@ func (d *Daemon) Manager() *Manager { return d.mgr }
 func (d *Daemon) Stats() *metrics.ServeStats { return d.opts.Stats }
 
 // clusterHash pins the deployment identity the mux hello checks: same
-// daemon set, same order, same overlay fabric — or the handshake fails.
-func clusterHash(addrs []string, overlaySpec string) uint64 {
-	parts := append([]string{"serve", overlaySpec, strconv.Itoa(len(addrs))}, addrs...)
+// daemon set, same order, same overlay fabric, same execution mode — or
+// the handshake fails. Folding the mode in means a sync and an async
+// daemon can never exchange a single session frame.
+func clusterHash(addrs []string, overlaySpec string, async bool) uint64 {
+	mode := "sync"
+	if async {
+		mode = "async"
+	}
+	parts := append([]string{"serve", mode, overlaySpec, strconv.Itoa(len(addrs))}, addrs...)
 	return transport.DeriveSession(parts...)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"treeaa/internal/async"
 	"treeaa/internal/core"
 	"treeaa/internal/sim"
 	"treeaa/internal/tree"
@@ -63,6 +64,19 @@ type engine struct {
 	slots           [4]mslot
 	inboxScratch    []sim.Message
 	frameScratch    []byte
+
+	// Async-mode state (Options.Async). The seat hosts an event-driven
+	// asyncSeat instead of a lock-step sim.Machine: every inbound SessionMsg
+	// is delivered to it on arrival, SessionEOR{Done: true} is a peer's
+	// one-shot decision announcement, and round stays pinned at 1 — it only
+	// arms the shard's watchdog, whose deadline is refreshed on every apply
+	// so it bounds total silence (an idle timeout), never a round.
+	aseat     asyncSeat
+	abudget   int             // delivery flood guard, aseat.DeliveryBudget()
+	adelivers int             // deliveries consumed so far
+	aself     []async.Message // self-addressed traffic, delivered FIFO
+	adoneSeen []bool
+	adones    int
 
 	// Replay state: journaled inbound frames a restarted daemon re-steps the
 	// engine from before any live traffic. While mute is set the engine's
@@ -139,6 +153,9 @@ func (e *engine) runEvents(evs []rawEvent) bool {
 			return false
 		}
 	}
+	if e.aseat != nil {
+		return e.asyncProgress()
+	}
 	return e.advance()
 }
 
@@ -148,6 +165,9 @@ func (e *engine) runEvents(evs []rawEvent) bool {
 func (e *engine) begin() bool {
 	e.started = true
 	d := e.m.d
+	if d.opts.Async {
+		return e.beginAsync()
+	}
 	machine, err := core.NewMachine(core.Config{Tree: e.s.ps.tree, N: d.n,
 		T: e.s.ps.spec.T, ID: d.id, Input: e.s.ps.inputs[d.id]})
 	if err != nil {
@@ -170,6 +190,9 @@ func (e *engine) apply(ev rawEvent) bool {
 		e.m.fail(e.s, StateFailed,
 			fmt.Sprintf("daemon %d: frame from daemon %d: %v", e.m.d.id, ev.from, err), true)
 		return false
+	}
+	if e.aseat != nil {
+		return e.applyAsync(ev.from, payload)
 	}
 	switch p := payload.(type) {
 	case wire.SessionMsg:
@@ -312,6 +335,200 @@ func (e *engine) stepRound(r int) bool {
 
 	e.round = r
 	e.barrierDeadline = time.Now().Add(d.opts.RoundTimeout)
+	return true
+}
+
+// asyncSeat is the event-driven machine an async-mode engine hosts;
+// *async.Pipeline satisfies it (the same contract as transport.AsyncMachine,
+// restated here so the session layer does not depend on the transport
+// driver for an interface).
+type asyncSeat interface {
+	Init() []async.Message
+	Deliver(m async.Message) []async.Message
+	Output() (any, bool)
+	EnvelopeRound(payload any) int
+	DeliveryBudget() int
+}
+
+// beginAsync creates the event-driven seat and ships its opening
+// broadcasts. There is no round 1 to step and round never advances: it is
+// pinned at 1 purely to arm the shard's watchdog, whose deadline every
+// apply pushes out — RoundTimeout bounds total silence, not a barrier.
+func (e *engine) beginAsync() bool {
+	d := e.m.d
+	seat, err := async.NewPipeline(e.s.ps.tree, d.n, e.s.ps.spec.T,
+		async.PartyID(d.id), e.s.ps.inputs[d.id])
+	if err != nil {
+		e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)
+		return false
+	}
+	if !e.m.setRunning(e.s) {
+		return false // evicted before the first step
+	}
+	e.aseat = seat
+	e.abudget = seat.DeliveryBudget()
+	e.adoneSeen = make([]bool, e.n)
+	e.round = 1
+	e.barrierDeadline = time.Now().Add(d.opts.RoundTimeout)
+	return e.shipAsync(seat.Init()) && e.drainSelf()
+}
+
+// applyAsync handles one decoded frame in async mode: protocol payloads are
+// delivered to the seat immediately — there is no round window, arbitrarily
+// old and new iterations are both legal — and a SessionEOR is a peer's
+// one-shot done announcement. Every arrival feeds the watchdog.
+func (e *engine) applyAsync(from sim.PartyID, payload any) bool {
+	e.barrierDeadline = time.Now().Add(e.m.d.opts.RoundTimeout)
+	switch p := payload.(type) {
+	case wire.SessionMsg:
+		q, ok := async.FromWire(p.Payload)
+		if !ok {
+			e.m.fail(e.s, StateFailed, fmt.Sprintf(
+				"daemon %d: non-async payload %T from daemon %d (peer running -mode sync?)",
+				e.m.d.id, p.Payload, from), true)
+			return false
+		}
+		return e.deliverAsync(async.Message{
+			From: async.PartyID(from), To: async.PartyID(e.m.d.id), Payload: q,
+		}) && e.drainSelf()
+	case wire.SessionEOR:
+		// Async seats send exactly one EOR, their decision announcement.
+		if !p.Done {
+			e.m.fail(e.s, StateFailed, fmt.Sprintf(
+				"daemon %d: non-done eor from daemon %d in async mode", e.m.d.id, from), true)
+			return false
+		}
+		if e.adoneSeen[from] {
+			e.m.fail(e.s, StateFailed,
+				fmt.Sprintf("daemon %d: duplicate done from party %d", e.m.d.id, from), true)
+			return false
+		}
+		e.adoneSeen[from] = true
+		e.adones++
+	default:
+		e.m.fail(e.s, StateFailed,
+			fmt.Sprintf("daemon %d: unexpected %T in session stream", e.m.d.id, payload), true)
+		return false
+	}
+	return true
+}
+
+// deliverAsync hands one message to the seat and ships whatever it emits.
+// The delivery budget is the flood guard the round cap can no longer be.
+func (e *engine) deliverAsync(msg async.Message) bool {
+	e.adelivers++
+	if e.adelivers > e.abudget {
+		e.m.fail(e.s, StateFailed, fmt.Sprintf(
+			"daemon %d: async delivery budget %d exceeded", e.m.d.id, e.abudget), true)
+		return false
+	}
+	return e.shipAsync(e.aseat.Deliver(msg))
+}
+
+// drainSelf delivers queued self-addressed traffic FIFO. Local causality
+// runs ahead of the network, exactly as in the transport driver: a
+// self-delivery may emit further self-sends, which join the back of the
+// queue rather than recursing.
+func (e *engine) drainSelf() bool {
+	for len(e.aself) > 0 {
+		msg := e.aself[0]
+		e.aself = e.aself[1:]
+		if !e.deliverAsync(msg) {
+			return false
+		}
+	}
+	return true
+}
+
+// shipAsync encodes and routes one batch of seat output: self-copies join
+// the local queue, remote copies ride SessionMsg frames on the mux.
+// Counting matches the transport driver — per recipient at send, self
+// included, sized as the leaf payload's canonical encoding. The frame's
+// round field carries the seat's EnvelopeRound, asynchronous progress for
+// observers, never waited on.
+func (e *engine) shipAsync(out []async.Message) bool {
+	d := e.m.d
+	for _, raw := range out {
+		if raw.To != async.Broadcast && (raw.To < 0 || int(raw.To) >= e.n) {
+			e.m.fail(e.s, StateFailed,
+				fmt.Sprintf("daemon %d: async recipient %d out of range", d.id, raw.To), true)
+			return false
+		}
+		wp, err := async.ToWire(raw.Payload)
+		if err != nil {
+			e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)
+			return false
+		}
+		frame, err := appendSessionFrame(e.frameScratch[:0], wire.SessionMsg{
+			SID: e.s.sid, Round: e.aseat.EnvelopeRound(raw.Payload), Payload: wp})
+		if err != nil {
+			e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)
+			return false
+		}
+		e.frameScratch = frame
+		size := sim.PayloadSize(wp)
+		first, last := raw.To, raw.To
+		if raw.To == async.Broadcast {
+			first, last = 0, async.PartyID(e.n-1)
+		}
+		for to := first; to <= last; to++ {
+			e.msgs++
+			e.bytes += size
+			if int(to) == int(d.id) {
+				e.aself = append(e.aself, async.Message{
+					From: async.PartyID(d.id), To: to, Payload: raw.Payload})
+			} else {
+				d.mux.enqueue(sim.PartyID(to), frame)
+			}
+		}
+	}
+	return true
+}
+
+// asyncProgress runs after every event batch: announce our decision the
+// moment the seat has one, then finish once we are decided and every peer
+// has announced. DoneRound and TermRound are the constant 1 — there is no
+// round to report, and the constant keeps the origin's uniform
+// termination-round check meaningful (a mixed-mode fleet cannot slip
+// through: the cluster hash already keeps it from pairing).
+func (e *engine) asyncProgress() bool {
+	if !e.done {
+		if v, ok := e.aseat.Output(); ok {
+			e.output, e.done, e.doneRound = v, true, 1
+			if !e.announceAsync() {
+				return false
+			}
+		}
+	}
+	if e.done && e.adones == e.n-1 {
+		v, ok := e.output.(tree.VertexID)
+		if !ok {
+			e.m.fail(e.s, StateFailed,
+				fmt.Sprintf("daemon %d: non-vertex output %T", e.m.d.id, e.output), true)
+			return false
+		}
+		e.m.finishSeat(e.s, wire.SessionDecide{
+			SID: e.s.sid, Party: e.m.d.id, V: v,
+			DoneRound: 1, TermRound: 1, Msgs: e.msgs, Bytes: e.bytes,
+		}, e.mute)
+		return false // seat complete; engine retires
+	}
+	return true
+}
+
+// announceAsync broadcasts this seat's one-and-only SessionEOR, the done
+// announcement. Decided peers keep amplifying RBC traffic for the rest, so
+// unlike the sync engine there is nothing to purge — the mux flusher ships
+// frames in enqueue order regardless.
+func (e *engine) announceAsync() bool {
+	eor, err := appendSessionFrame(e.frameScratch[:0],
+		wire.SessionEOR{SID: e.s.sid, Round: 1, Done: true})
+	if err != nil {
+		e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d: %v", e.m.d.id, err), true)
+		return false
+	}
+	e.frameScratch = eor
+	e.m.d.mux.broadcast(eor)
 	return true
 }
 

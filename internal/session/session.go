@@ -34,6 +34,15 @@
 // so each session's Result is byte-identical to sim.Run on the same spec.
 // The origin daemon (where the session was submitted) assembles that Result
 // from its own record plus each peer's SessionDecide.
+//
+// With Options.Async the engines instead replicate transport's event-driven
+// async driver: every inbound SessionMsg is delivered to an async.Pipeline
+// on arrival, a seat broadcasts one SessionEOR{Done} as its decision
+// announcement, and the seat finishes once it has decided and heard done
+// from every peer. There are no barriers and no round timeouts (RoundTimeout
+// becomes an idle watchdog), and decided Results are judged by the paper's
+// properties — validity and 1-agreement — rather than oracle byte-identity,
+// because an asynchronous decision legitimately depends on delivery order.
 package session
 
 import (
@@ -92,10 +101,14 @@ func (s State) String() string {
 
 // Outcome is a session's terminal report on its origin daemon.
 type Outcome struct {
-	SID    uint64
-	State  State
-	Err    string      // failure / expiry reason
-	Result *sim.Result // decided sessions only; DeepEqual to sim.Run
+	SID   uint64
+	State State
+	Err   string // failure / expiry reason
+	// Result is set for decided sessions only. On sync deployments it is
+	// DeepEqual to sim.Run on the same spec; on async deployments Rounds is
+	// the constant 1 and Outputs satisfy validity and 1-agreement, but are
+	// not pinned to any reference schedule.
+	Result *sim.Result
 	// Latency is admission → terminal, the closed-loop service time the
 	// bench reports percentiles of.
 	Latency time.Duration

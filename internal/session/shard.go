@@ -268,9 +268,13 @@ func (sh *shard) sweep(now time.Time) {
 	sh.mu.Unlock()
 	for _, eng := range victims {
 		if !eng.s.terminal.Load() {
-			sh.m.fail(eng.s, StateFailed, fmt.Sprintf(
-				"daemon %d: round %d barrier timed out after %v",
-				sh.m.d.id, eng.round, sh.m.d.opts.RoundTimeout), true)
+			reason := fmt.Sprintf("daemon %d: round %d barrier timed out after %v",
+				sh.m.d.id, eng.round, sh.m.d.opts.RoundTimeout)
+			if sh.m.d.opts.Async {
+				reason = fmt.Sprintf("daemon %d: async seat idle for %v while undecided (wedged run)",
+					sh.m.d.id, sh.m.d.opts.RoundTimeout)
+			}
+			sh.m.fail(eng.s, StateFailed, reason, true)
 		}
 		sh.remove(eng)
 	}

@@ -1,0 +1,402 @@
+package transport
+
+// Asynchronous mode: an event-driven driver over the same TCP substrate.
+//
+// Where runNode steps a sim.Machine in lock-step rounds fenced by eor
+// barriers, runAsyncNode dispatches an async.Machine on every message
+// *arrival*: there are no rounds, no barriers and no round timeouts. Frames
+// still ride the frameMsg envelope — its round field carries the machine's
+// EnvelopeRound (the AA iteration the payload belongs to), which is what
+// round-windowed chaos clauses key on — but nothing ever waits for a
+// round's mailbox to be complete. The only timeout is an *idle* timeout
+// (Options.RoundTimeout reused): a party that hears nothing at all for
+// that long while undecided concludes the run is wedged, which the
+// asynchronous model says cannot happen on a live network, however slow.
+//
+// Termination has no shared round either. Each party announces its own
+// decision with a frameAsyncDone control frame and keeps serving RBC
+// echo/ready amplification for its still-undecided peers; it exits once it
+// has decided *and* heard done from every peer. Because async-done is a
+// control frame, chaos latency lets it pass — and since a decided peer
+// discards protocol traffic anyway, the driver purges the send queue of any
+// peer that has announced done, so a latency-chaos soak drains in one
+// frame's delay instead of replaying the whole delayed backlog.
+//
+// The driver runs honest parties only. The model's rushing adversary is a
+// synchronous-round concept (it needs a global view between send and
+// delivery); asynchronous Byzantine behavior — equivocation, silence,
+// flooding, adversarial scheduling — is exercised in-process by
+// internal/check's async cells, where the scheduler itself is the
+// adversary.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"treeaa/internal/async"
+	"treeaa/internal/sim"
+	"treeaa/internal/wire"
+)
+
+// AsyncMachine is the event-driven protocol machine the async driver runs;
+// *async.Pipeline satisfies it. Beyond the async.Machine triple it must
+// price its own flood budget and map payloads to envelope rounds.
+type AsyncMachine interface {
+	Init() []async.Message
+	Deliver(m async.Message) []async.Message
+	Output() (any, bool)
+	// EnvelopeRound maps an outgoing payload to the frame envelope's round
+	// field (≥ 1) — asynchronous progress for chaos windows, never waited on.
+	EnvelopeRound(payload any) int
+	// DeliveryBudget bounds the deliveries this party will consume; the
+	// driver fails the run when it is exceeded (flood guard).
+	DeliveryBudget() int
+}
+
+// AsyncResult is one async execution's summary.
+type AsyncResult struct {
+	Outputs    map[sim.PartyID]any
+	Deliveries int // messages delivered to machines (self-deliveries included)
+	Messages   int // point-to-point protocol sends, counted at send
+	Bytes      int
+}
+
+// asyncNodeConfig drives one party of an asynchronous deployment.
+type asyncNodeConfig struct {
+	id      sim.PartyID
+	n       int
+	machine AsyncMachine
+	ep      *endpoint
+}
+
+// asyncNodeResult is one party's share of an AsyncResult.
+type asyncNodeResult struct {
+	id         sim.PartyID
+	output     any
+	deliveries int
+	msgs       int
+	bytes      int
+}
+
+// runAsyncNode executes one party event-wise: deliver whatever arrives,
+// send whatever the machine emits, announce the decision, keep amplifying
+// until every peer has announced too.
+func runAsyncNode(cfg asyncNodeConfig) (*asyncNodeResult, error) {
+	e := cfg.ep
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	defer e.shutdown(false)
+
+	m := cfg.machine
+	res := &asyncNodeResult{id: cfg.id}
+	budget := m.DeliveryBudget()
+	var selfq []async.Message // self-addressed traffic, delivered FIFO
+	peersDone := make(map[sim.PartyID]bool, cfg.n-1)
+	announced := false
+	decided := false
+
+	// dispatch encodes and routes one batch of machine output: self-sends
+	// join the local queue, remote sends get one shared wire body per
+	// payload and an envelope per recipient, exactly like the sync path.
+	dispatch := func(out []async.Message) error {
+		for _, raw := range out {
+			if raw.To != async.Broadcast && (raw.To < 0 || int(raw.To) >= cfg.n) {
+				return fmt.Errorf("transport: party %d: async recipient %d out of range [0, %d)", cfg.id, raw.To, cfg.n)
+			}
+			wp, err := async.ToWire(raw.Payload)
+			if err != nil {
+				return fmt.Errorf("transport: party %d: %w", cfg.id, err)
+			}
+			body, err := wire.Encode(wp)
+			if err != nil {
+				return fmt.Errorf("transport: party %d: %w", cfg.id, err)
+			}
+			round := m.EnvelopeRound(raw.Payload)
+			first, last := raw.To, raw.To
+			if raw.To == async.Broadcast {
+				first, last = 0, async.PartyID(cfg.n-1)
+			}
+			for to := first; to <= last; to++ {
+				res.msgs++
+				res.bytes += len(body)
+				if sim.PartyID(to) == cfg.id {
+					selfq = append(selfq, async.Message{From: async.PartyID(cfg.id), To: to, Payload: raw.Payload})
+					continue
+				}
+				if !peersDone[sim.PartyID(to)] {
+					e.send(cfg.id, sim.PartyID(to), round, encodeMsg(frameMsg, round, sim.PartyID(to), body))
+				}
+			}
+		}
+		return nil
+	}
+	// announce broadcasts this party's decision. Peers that already
+	// announced discard protocol traffic, so their queues are purged first —
+	// the done frame must not wait out a chaos-delayed backlog they will
+	// throw away.
+	announce := func() {
+		announced = true
+		done := encodeAsyncDone()
+		for p := sim.PartyID(0); int(p) < cfg.n; p++ {
+			if p == cfg.id {
+				continue
+			}
+			if peersDone[p] {
+				e.purgeSender(cfg.id, p)
+			}
+			e.send(cfg.id, p, 1, done)
+		}
+	}
+
+	if err := dispatch(m.Init()); err != nil {
+		return nil, err
+	}
+	idle := time.NewTimer(e.opts.RoundTimeout)
+	defer idle.Stop()
+	for {
+		// Local causality first: self-deliveries cost no network and may
+		// decide the machine before any remote frame arrives.
+		for len(selfq) > 0 {
+			msg := selfq[0]
+			selfq = selfq[1:]
+			res.deliveries++
+			if res.deliveries > budget {
+				return nil, fmt.Errorf("transport: party %d: async delivery budget %d exceeded", cfg.id, budget)
+			}
+			if err := dispatch(m.Deliver(msg)); err != nil {
+				return nil, err
+			}
+		}
+		if !decided {
+			if v, ok := m.Output(); ok {
+				res.output, decided = v, true
+				announce()
+			}
+		}
+		if decided && len(peersDone) == cfg.n-1 {
+			e.shutdown(true) // flush the queued done frames before the FIN
+			return res, nil
+		}
+
+		select {
+		case ev := <-e.events:
+			if ev.err != nil {
+				if peersDone[ev.from] {
+					continue // teardown: a decided peer exited and cut the link
+				}
+				return nil, fmt.Errorf("transport: party %d: %w", cfg.id, ev.err)
+			}
+			switch ev.f.typ {
+			case frameMsg:
+				payload, ok := async.FromWire(ev.f.payload)
+				if !ok {
+					return nil, fmt.Errorf("transport: party %d: non-async payload %T from party %d "+
+						"(peer running -mode sync?)", cfg.id, ev.f.payload, ev.from)
+				}
+				res.deliveries++
+				if res.deliveries > budget {
+					return nil, fmt.Errorf("transport: party %d: async delivery budget %d exceeded", cfg.id, budget)
+				}
+				if err := dispatch(m.Deliver(async.Message{
+					From: async.PartyID(ev.from), To: async.PartyID(cfg.id), Payload: payload,
+				})); err != nil {
+					return nil, err
+				}
+			case frameAsyncDone:
+				if !peersDone[ev.from] {
+					peersDone[ev.from] = true
+					// Everything queued to a decided peer is discard-bound —
+					// except our own pending done announcement, so re-enqueue
+					// it after the purge (duplicates are idempotent).
+					e.purgeSender(cfg.id, ev.from)
+					if announced {
+						e.send(cfg.id, ev.from, 1, encodeAsyncDone())
+					}
+				}
+			default:
+				return nil, fmt.Errorf("transport: party %d: unexpected frame type 0x%02x from party %d in async mode",
+					cfg.id, ev.f.typ, ev.from)
+			}
+			if !idle.Stop() {
+				<-idle.C
+			}
+			idle.Reset(e.opts.RoundTimeout)
+		case <-idle.C:
+			return nil, fmt.Errorf("transport: party %d: async mode idle for %v with %d/%d peers done "+
+				"(wedged run: a peer died or the network stopped delivering)",
+				cfg.id, e.opts.RoundTimeout, len(peersDone), cfg.n-1)
+		case <-e.quit:
+			return nil, fmt.Errorf("transport: party %d: endpoint closed while undecided", cfg.id)
+		}
+	}
+}
+
+// purgeSender drains every frame queued on the (from → to) link that the
+// write loop has not yet picked up. Only safe when the peer provably
+// discards them (it announced done); at most one already-dequeued frame can
+// still suffer its chaos delay ahead of whatever is enqueued next.
+func (e *endpoint) purgeSender(from, to sim.PartyID) int {
+	s := e.senders[from][to]
+	if s == nil {
+		return 0
+	}
+	purged := 0
+	for {
+		select {
+		case _, ok := <-s.ch:
+			if !ok {
+				return purged
+			}
+			purged++
+		default:
+			return purged
+		}
+	}
+}
+
+// AsyncLocalCluster executes one async machine per party as a real
+// networked system on loopback TCP — the asynchronous counterpart of
+// LocalCluster. All parties are honest (see the package comment on why the
+// driver hosts no adversary); faults come from the chaos injector in opts
+// and from real scheduling nondeterminism.
+func AsyncLocalCluster(n int, machines []AsyncMachine, opts Options) (*AsyncResult, error) {
+	if n <= 0 || len(machines) != n {
+		return nil, fmt.Errorf("transport: %d async machines for n = %d", len(machines), n)
+	}
+	for i, m := range machines {
+		if m == nil {
+			return nil, fmt.Errorf("transport: nil async machine for party %d", i)
+		}
+	}
+	if err := checkAsyncOptions(opts); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for p := 0; p < n; p++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:p] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("transport: binding party %d: %w", p, err)
+		}
+		listeners[p] = ln
+		addrs[p] = ln.Addr().String()
+	}
+	session := newSession()
+
+	endpoints := make([]*endpoint, n)
+	outcomes := make(chan asyncOutcome, n)
+	for p := sim.PartyID(0); int(p) < n; p++ {
+		ep := newEndpoint([]sim.PartyID{p}, n, addrs, session,
+			map[sim.PartyID]net.Listener{p: listeners[p]}, opts)
+		endpoints[p] = ep
+		cfg := asyncNodeConfig{id: p, n: n, machine: machines[p], ep: ep}
+		go func() {
+			res, err := runAsyncNode(cfg)
+			outcomes <- asyncOutcome{id: cfg.id, res: res, err: err}
+		}()
+	}
+	defer func() {
+		for _, ep := range endpoints {
+			ep.shutdown(false)
+		}
+	}()
+
+	out := &AsyncResult{Outputs: make(map[sim.PartyID]any, n)}
+	var errs []error
+	for i := 0; i < n; i++ {
+		o := <-outcomes
+		if o.err != nil {
+			errs = append(errs, o.err)
+			abort(endpoints)
+			continue
+		}
+		out.Outputs[o.id] = o.res.output
+		out.Deliveries += o.res.deliveries
+		out.Messages += o.res.msgs
+		out.Bytes += o.res.bytes
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return out, nil
+}
+
+type asyncOutcome struct {
+	id  sim.PartyID
+	res *asyncNodeResult
+	err error
+}
+
+// AsyncProcessConfig describes one process's seat of a multi-process
+// asynchronous deployment (cmd/node -mode async). All seats are honest.
+type AsyncProcessConfig struct {
+	ID      sim.PartyID
+	N       int
+	Addrs   []string
+	Machine AsyncMachine
+	// Session must be identical across all processes; DeriveSession folds
+	// the mode string in so a sync and an async fleet can never mix.
+	Session uint64
+	Opts    Options
+	// Ctx, when non-nil, cancels the seat as in ProcessConfig.
+	Ctx context.Context
+}
+
+// RunAsyncProcess executes one asynchronous seat and blocks until the
+// deployment terminates or fails.
+func RunAsyncProcess(cfg AsyncProcessConfig) (*AsyncResult, error) {
+	if cfg.N <= 0 || len(cfg.Addrs) != cfg.N {
+		return nil, fmt.Errorf("transport: %d addresses for n = %d", len(cfg.Addrs), cfg.N)
+	}
+	if cfg.ID < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("transport: party id %d out of range [0, %d)", cfg.ID, cfg.N)
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("transport: async party %d needs a machine", cfg.ID)
+	}
+	if err := checkAsyncOptions(cfg.Opts); err != nil {
+		return nil, err
+	}
+	opts := cfg.Opts.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
+	if err != nil {
+		return nil, fmt.Errorf("transport: party %d listening on %s: %w", cfg.ID, cfg.Addrs[cfg.ID], err)
+	}
+	ep := newEndpoint([]sim.PartyID{cfg.ID}, cfg.N, cfg.Addrs, cfg.Session,
+		map[sim.PartyID]net.Listener{cfg.ID: ln}, opts)
+	defer ep.shutdown(false)
+	defer watchCancel(cfg.Ctx, func() { ep.shutdown(false) })()
+	res, err := runAsyncNode(asyncNodeConfig{id: cfg.ID, n: cfg.N, machine: cfg.Machine, ep: ep})
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncResult{
+		Outputs:    map[sim.PartyID]any{cfg.ID: res.output},
+		Deliveries: res.deliveries,
+		Messages:   res.msgs,
+		Bytes:      res.bytes,
+	}, nil
+}
+
+// checkAsyncOptions rejects option combinations that only make sense for
+// the lock-step round structure.
+func checkAsyncOptions(opts Options) error {
+	if len(opts.CrashPlan) > 0 || opts.Restart != nil {
+		return fmt.Errorf("transport: crash-restart recovery replays rounds, which async mode does not have; " +
+			"crash clauses require -mode sync")
+	}
+	if opts.Reconnect || opts.RetainAll {
+		return fmt.Errorf("transport: the reconnect/resume path prunes its resend buffers at eor barriers, " +
+			"which async mode does not have; drop clauses require -mode sync")
+	}
+	return nil
+}

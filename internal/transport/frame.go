@@ -58,6 +58,14 @@ const (
 	FrameMuxSession byte = 0x06
 	FrameMuxHello   byte = 0x07
 
+	// frameAsyncDone is the asynchronous mode's termination announcement: the
+	// sender's machine has decided. It replaces the eor barrier's done flag —
+	// async mode has no rounds to end — and it is a *control* frame for
+	// FrameInfo, so chaos latency windows (which key on rounds) let it pass:
+	// a decided party's announcement must not queue behind delayed protocol
+	// backlog that its already-decided peers will discard anyway.
+	frameAsyncDone byte = 0x08
+
 	// transportVersion is independent of wire.Version: framing and payload
 	// codec can evolve separately. Version 2 added the hello flags byte and
 	// the hello-ack frame for the reconnect path.
@@ -207,6 +215,12 @@ func encodeMsg(typ byte, round int, to sim.PartyID, body []byte) []byte {
 	return appendFrame(nil, env)
 }
 
+// encodeAsyncDone builds the async termination announcement; it has no body
+// beyond its type tag.
+func encodeAsyncDone() []byte {
+	return appendFrame(nil, []byte{frameAsyncDone})
+}
+
 func encodeEOR(round int, done bool) []byte {
 	env := make([]byte, 0, 8)
 	env = append(env, frameEOR)
@@ -304,6 +318,12 @@ func parseFrame(body []byte) (frame, error) {
 		}
 		f.round, f.done = round, rest[0]&eorDoneFlag != 0
 		return f, nil
+	case frameAsyncDone:
+		if len(b) != 0 {
+			return f, fmt.Errorf("transport: malformed async-done frame")
+		}
+		f.done = true
+		return f, nil
 	case frameHello:
 		return f, fmt.Errorf("transport: unexpected second hello")
 	case frameHelloAck:
@@ -314,8 +334,8 @@ func parseFrame(body []byte) (frame, error) {
 }
 
 // FrameInfo peeks at an encoded frame buffer as the transport hands it to
-// conn.Write: the round it belongs to, and whether it is a handshake
-// control frame (hello / hello-ack / session open-abort-decide) that
+// conn.Write: the round it belongs to, and whether it is a control frame
+// (hello / hello-ack / async-done / session open-abort-decide) that
 // carries no round. It exists for the chaos injector, which wraps
 // connections at the net.Conn boundary and keys its fault windows on rounds
 // without re-implementing the framing.
@@ -333,7 +353,7 @@ func FrameInfo(b []byte) (round int, control bool, ok bool) {
 	}
 	body := rest[:n]
 	switch body[0] {
-	case frameHello, frameHelloAck, FrameMuxHello:
+	case frameHello, frameHelloAck, FrameMuxHello, frameAsyncDone:
 		return 0, true, true
 	case frameMsg, frameMirror, frameEOR:
 		r, _, err := consumeRound(body[1:])

@@ -86,6 +86,10 @@ func goldenPayloads() map[string]any {
 			Body: mustEncode(gradecast.SendMsg{Tag: "treeaa/pf", Iter: 3, Val: 17.5})},
 		"overlay_eor": OverlayEOR{Round: 7, Down: false,
 			Arrived: []byte{0xFF, 0x03}, Done: []byte{0x01}},
+		"async_value": AsyncValue{Phase: AsyncPhasePathsFinder, Kind: AsyncKindEcho,
+			Iter: 3, Src: 5, Val: 17.5},
+		"async_report": AsyncReport{Phase: AsyncPhaseProjection, Kind: AsyncKindInit,
+			Iter: 200, Src: 2, Senders: []sim.PartyID{0, 2, 3, 6}},
 	}
 }
 

@@ -33,8 +33,9 @@
 // message's size is arithmetic on len(Tag) and len(Vals), never a map walk,
 // so exact byte accounting costs the hot simulation path nothing.
 //
-// The async package's substrate has its own Message type and stays
-// in-process; it is out of this codec's scope until it grows a transport.
+// The asynchronous mode's RBC and witness-report payloads (async.go in this
+// package, types 0x16–0x17) ride the same codec: internal/async's in-process
+// Message values convert to and from them at the transport boundary.
 package wire
 
 import (
@@ -146,6 +147,10 @@ func Append(dst []byte, payload any) ([]byte, error) {
 		return appendRelay(dst, m)
 	case OverlayEOR:
 		return appendOverlayEOR(dst, m)
+	case AsyncValue:
+		return appendAsyncValue(dst, m)
+	case AsyncReport:
+		return appendAsyncReport(dst, m)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
 	}
@@ -164,7 +169,8 @@ func EncodedSize(payload any) (int, error) {
 		realaa.DLPSWMsg, crashaa.ValueMsg, baseline.VertexMsg, exactaa.ChainMsg,
 		SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide,
 		ClientSubmit, ClientWait, ClientStatus, ClientOutcome,
-		JournalOpen, JournalFrame, JournalSeal, RelayMsg, OverlayEOR:
+		JournalOpen, JournalFrame, JournalSeal, RelayMsg, OverlayEOR,
+		AsyncValue, AsyncReport:
 		return s.Size(), nil
 	}
 	return 0, fmt.Errorf("%w: %T", ErrUnknownPayload, payload)
@@ -226,6 +232,10 @@ func Decode(b []byte) (any, error) {
 		payload, rest, err = decodeRelay(rest)
 	case TypeOverlayEOR:
 		payload, rest, err = decodeOverlayEOR(rest)
+	case TypeAsyncValue:
+		payload, rest, err = decodeAsyncValue(rest)
+	case TypeAsyncReport:
+		payload, rest, err = decodeAsyncReport(rest)
 	default:
 		return nil, malformed("unknown type 0x%02x", typ)
 	}
