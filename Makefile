@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-sim node-smoke overlay-smoke serve-smoke rolling-restart chaos-soak async-soak cover bench bench-sim bench-serve bench-compare scale-bench fuzz fuzz-short prop check examples experiments clean
+.PHONY: all build test race race-sim node-smoke overlay-smoke serve-smoke rolling-restart chaos-soak async-soak cover bench bench-sim bench-serve bench-compare scale-bench fuzz fuzz-short prop graph-prop check examples experiments clean
 
 all: build test race-sim node-smoke overlay-smoke serve-smoke chaos-soak rolling-restart
 
@@ -27,10 +27,12 @@ race-sim:
 
 # Multi-process smoke: spawn real cmd/node processes on loopback ports (an
 # honest 3-node path cluster, then a 7-party splitvote deployment with the
-# adversary host seat) and assert validity + 1-agreement of the outputs.
+# adversary host seat, then a block-graph deployment running TreeAA on the
+# block-cut tree) and assert validity + agreement of the outputs.
 node-smoke:
 	$(GO) run ./cmd/node -cluster 3 -tree path:16
 	$(GO) run ./cmd/node -cluster 7 -t 2 -tree path:40 -adversary splitvote
+	$(GO) run ./cmd/node -cluster 4 -t 1 -space graph:cliquechain:3:4 -adversary splitvote
 
 # Tree-overlay smoke: the same multi-process cmd/node deployments routed
 # over a communication tree instead of the full mesh (leaves hold one
@@ -162,10 +164,22 @@ prop:
 	$(GO) test -race -count=1 -run 'Differential|Async' ./internal/check/
 	$(GO) run ./cmd/check -budget 100 -seeds 1-3 -async-every 4
 
+# Block-graph property gate: the graph machine/decomposition suites under the
+# race detector (including the driver-equivalence and TCP differentials),
+# then 525 generated graph-only cells — cycles, cliques, clique chains,
+# cacti, random block graphs × the full clause pool — each checked for
+# geodesic-hull validity, the graph agreement guarantee, per-block hull
+# non-expansion and block-cut-tree prefix agreement. Violations shrink to a
+# one-line repro (block pruning, cycle shortening) replayable with -repro.
+graph-prop:
+	$(GO) test -race -count=1 ./internal/graph/
+	$(GO) test -race -count=1 -run Graph ./internal/check/ ./internal/session/
+	$(GO) run ./cmd/check -budget 175 -seeds 1-3 -space graph
+
 # Tier-1-adjacent gate: build + vet + tests, a quick serve-bench cell (the
 # serving layer under real closed-loop load, oracle-checked), then the
-# property, short fuzz and async-soak passes.
-check: build test bench-serve-smoke prop fuzz-short async-soak
+# property (tree and graph), short fuzz and async-soak passes.
+check: build test bench-serve-smoke prop graph-prop fuzz-short async-soak
 
 # One fast serve-bench cell as a smoke: small cluster, short window; fails
 # on any oracle mismatch or client error.

@@ -7,7 +7,9 @@
 //
 //	check                                  # default budget over seeds 1-3
 //	check -seeds 1-5 -budget 200           # 200 cells per seed
+//	check -space graph -budget 175         # block-graph cells only
 //	check -repro 's=1;tree=star:6;n=9;t=2;in=spread;adv=splitvote(per=1)'
+//	check -repro 's=1;space=graph:cliquechain:3:4;n=7;t=2;in=spread;adv=splitvote(per=1)'
 //	check -inject-bad                      # demo: catch + shrink a known-bad adversary
 //	check -json -budget 50                 # one JSON object per cell
 //	check -async-every 1 -async-budget 0   # async battery on every compatible cell
@@ -47,9 +49,14 @@ func main() {
 		asyncEvery  = flag.Int("async-every", 4, "run the async-mode battery on every Nth compatible cell (0 = never)")
 		asyncBudget = flag.Int("async-budget", 0, "delivery budget per async execution (0 = derive from the pipelines)")
 		jsonOut     = flag.Bool("json", false, "emit one JSON object per cell instead of text")
+		spaceKind   = flag.String("space", "", `restrict generated cells to one input-space kind: "tree" or "graph" ("" mixes both)`)
 	)
 	flag.Parse()
-	code, err := run(*seeds, *budget, *cells, *repro, *injectBad, *shrinkB, *tcpEvery, *asyncEvery, *asyncBudget, *jsonOut)
+	if *spaceKind != "" && *spaceKind != "tree" && *spaceKind != "graph" {
+		fmt.Fprintf(os.Stderr, "check: -space %q: want \"\", \"tree\" or \"graph\"\n", *spaceKind)
+		os.Exit(2)
+	}
+	code, err := run(*seeds, *budget, *cells, *repro, *spaceKind, *injectBad, *shrinkB, *tcpEvery, *asyncEvery, *asyncBudget, *jsonOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "check:", err)
 		os.Exit(2)
@@ -64,7 +71,7 @@ func main() {
 // hull.
 const knownBad = "s=1;tree=star:6;n=9;t=2;in=1.1.1.1.1.1.1.1.1;adv=splitvote(per=1)+evil(val=1000000)"
 
-func run(seeds string, budget int, cells, repro string, injectBad bool, shrinkB, tcpEvery, asyncEvery, asyncBudget int, jsonOut bool) (int, error) {
+func run(seeds string, budget int, cells, repro, spaceKind string, injectBad bool, shrinkB, tcpEvery, asyncEvery, asyncBudget int, jsonOut bool) (int, error) {
 	enc := json.NewEncoder(os.Stdout)
 	explored, violated, asyncRan := 0, 0, 0
 
@@ -177,7 +184,7 @@ func run(seeds string, budget int, cells, repro string, injectBad bool, shrinkB,
 		for _, seed := range seedList {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < budget; i++ {
-				c := check.Generate(rng)
+				c := check.GenerateIn(rng, spaceKind)
 				opt := check.Options{TCP: tcpEvery > 0 && explored%tcpEvery == 0}
 				if err := runOne(c, opt, true); err != nil {
 					return 0, err

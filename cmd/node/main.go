@@ -33,6 +33,13 @@
 // partition); drop and crash clauses are refused with an explanation.
 //
 //	node -cluster 4 -tree star:6 -mode async -chaos 'lat:200ms±150ms@p2'
+//
+// -space graph:<spec> swaps the input space for a block graph (see
+// internal/graph): the seats run TreeAA on the graph's block-cut tree and
+// decode locally, and the cluster checks geodesic-hull validity plus the
+// graph's agreement guarantee. Graph spaces run sync full-mesh only.
+//
+//	node -cluster 4 -t 1 -space graph:cliquechain:3:4 -adversary splitvote
 package main
 
 import (
@@ -68,6 +75,7 @@ func main() {
 		peersFile   = flag.String("peers", "", "peers file: one host:port per line, line i = party i")
 		tFlag       = flag.Int("t", 0, "Byzantine budget (corrupted set is the highest t ids)")
 		treeSpec    = flag.String("tree", "path:40", "input space tree spec (as in cmd/treeaa)")
+		spaceSpec   = flag.String("space", "", `input space override: "graph:"-prefixed graph spec (wins over -tree); sync full-mesh only`)
 		inputSpec   = flag.String("inputs", "", "comma-separated input vertex labels (default: spread)")
 		advName     = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
 		mode        = flag.String("mode", "sync", "execution mode: sync (lock-step rounds) or async (event-driven, honest fleets only)")
@@ -88,9 +96,9 @@ func main() {
 	if *mode != "sync" && *mode != "async" {
 		err = fmt.Errorf("-mode %q: want sync or async", *mode)
 	} else if *cluster > 0 {
-		err = runCluster(ctx, *cluster, *tFlag, *treeSpec, *inputSpec, *advName, *mode, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
+		err = runCluster(ctx, *cluster, *tFlag, *spaceSpec, *treeSpec, *inputSpec, *advName, *mode, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
 	} else {
-		err = runSeat(ctx, *id, *peersFile, *tFlag, *treeSpec, *inputSpec, *advName, *mode, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
+		err = runSeat(ctx, *id, *peersFile, *tFlag, *spaceSpec, *treeSpec, *inputSpec, *advName, *mode, *seed, *chaosSpec, *overlaySpec, *setupTO, *roundTO)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "node:", err)
@@ -99,7 +107,7 @@ func main() {
 }
 
 // runSeat runs one party (or the adversary host seat) of a deployment.
-func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inputSpec, advName, mode string, seed int64,
+func runSeat(ctx context.Context, id int, peersFile string, t int, spaceSpec, treeSpec, inputSpec, advName, mode string, seed int64,
 	chaosSpec, overlaySpec string, setupTO, roundTO time.Duration) error {
 	if peersFile == "" {
 		return fmt.Errorf("-peers is required (or use -cluster)")
@@ -116,15 +124,15 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 		return fmt.Errorf("the crash adversary corrupts adaptively; messages on the wire cannot " +
 			"be retracted — use cmd/treeaa's in-process transport for it")
 	}
-	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	sp, err := cli.ParseSpace(spaceSpec, treeSpec, seed)
 	if err != nil {
 		return err
 	}
-	inputs, err := cli.ParseInputs(tr, inputSpec, n)
+	inputs, err := sp.ParseInputs(inputSpec, n)
 	if err != nil {
 		return err
 	}
-	adv, corruptSet, err := cli.BuildAdversary(advName, tr, n, t, seed)
+	adv, corruptSet, err := sp.BuildAdversary(advName, n, t, seed)
 	if err != nil {
 		return err
 	}
@@ -145,14 +153,18 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 		}
 	}
 	if mode == "async" {
-		if err := checkAsyncFlags(advName, overlaySpec, plan); err != nil {
+		if err := checkAsyncFlags(sp, advName, overlaySpec, plan); err != nil {
 			return err
 		}
-		return runAsyncSeat(ctx, id, addrs, t, tr, treeSpec, inputSpec, inputs, seed,
+		return runAsyncSeat(ctx, id, addrs, t, sp.Tree, treeSpec, inputSpec, inputs, seed,
 			plan, chaosSpec, setupTO, roundTO)
 	}
 	if overlaySpec != "" {
-		return runOverlaySeat(ctx, id, addrs, t, tr, treeSpec, inputSpec, advName, inputs, seed,
+		if sp.IsGraph() {
+			return fmt.Errorf("-overlay: the tree overlay relays TreeAA rounds only; graph " +
+				"spaces run on the full mesh — drop -overlay or drop -space")
+		}
+		return runOverlaySeat(ctx, id, addrs, t, sp.Tree, treeSpec, inputSpec, advName, inputs, seed,
 			plan, chaosSpec, overlaySpec, setupTO, roundTO)
 	}
 
@@ -163,11 +175,14 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 	// The chaos spec and timeouts join the session hash: a deployment where
 	// seats disagree on the fault plan fails the handshake instead of
 	// producing a half-faulted mesh.
+	// The canonical space spec (sp.Spec equals treeSpec for tree spaces, so
+	// tree deployments keep their session identity) leads the hash: a fleet
+	// mixing tree and graph seats fails the handshake.
 	pcfg := transport.ProcessConfig{
 		Ctx: ctx,
 		ID:  sim.PartyID(id), N: n, Addrs: addrs,
-		Corrupted: corrupted, MaxRounds: core.Rounds(tr) + 2,
-		Session: transport.DeriveSession(append([]string{treeSpec, inputSpec, advName,
+		Corrupted: corrupted, MaxRounds: sp.Rounds() + 2,
+		Session: transport.DeriveSession(append([]string{sp.Spec, inputSpec, advName,
 			fmt.Sprint(n), fmt.Sprint(t), fmt.Sprint(seed),
 			chaosSpec, setupTO.String(), roundTO.String()}, addrs...)...),
 		Opts: opts,
@@ -177,18 +192,19 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 		role = "adversary-host"
 		pcfg.Adversary = adv
 	} else {
-		m, err := core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: sim.PartyID(id), Input: inputs[id]})
+		m, _, err := sp.NewMachine(n, t, sim.PartyID(id), inputs[id])
 		if err != nil {
 			return err
 		}
 		pcfg.Machine = m
 		pcfg.Opts.Restart = func(p sim.PartyID) (sim.Machine, error) {
-			return core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: p, Input: inputs[p]})
+			m, _, err := sp.NewMachine(n, t, p, inputs[p])
+			return m, err
 		}
 	}
 
-	fmt.Printf("node %d: %s, n=%d t=%d tree=%s adversary=%s, listening on %s\n",
-		id, role, n, t, treeSpec, advName, addrs[id])
+	fmt.Printf("node %d: %s, n=%d t=%d space=%s adversary=%s, listening on %s\n",
+		id, role, n, t, sp.Spec, advName, addrs[id])
 	res, err := transport.RunProcess(pcfg)
 	if err != nil {
 		return err
@@ -201,8 +217,8 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 	}
 	if role == "party" {
 		v := res.Output.(tree.VertexID)
-		fmt.Printf("node %d: output %s (done round %d)\n", id, tr.Label(v), res.DoneRound)
-		fmt.Printf("RESULT id=%d role=party output=%s rounds=%d\n", id, tr.Label(v), res.Rounds)
+		fmt.Printf("node %d: output %s (done round %d)\n", id, sp.Label(v), res.DoneRound)
+		fmt.Printf("RESULT id=%d role=party output=%s rounds=%d\n", id, sp.Label(v), res.Rounds)
 	} else {
 		fmt.Printf("RESULT id=%d role=adversary rounds=%d\n", id, res.Rounds)
 	}
@@ -213,8 +229,14 @@ func runSeat(ctx context.Context, id int, peersFile string, t int, treeSpec, inp
 // each with the reason: adversary hosting needs the rushing adversary's
 // round-global view, the overlay relays round-batched traffic, and drop or
 // crash chaos requires the round-indexed recovery paths — all three are
-// artifacts of the lock-step schedule async mode abolishes.
-func checkAsyncFlags(advName, overlaySpec string, plan *chaos.Plan) error {
+// artifacts of the lock-step schedule async mode abolishes. Graph spaces
+// are refused too: the async pipeline runs TreeAA directly on a tree and
+// has no seam for the block-cut decode.
+func checkAsyncFlags(sp *cli.Space, advName, overlaySpec string, plan *chaos.Plan) error {
+	if sp.IsGraph() {
+		return fmt.Errorf("-mode async: async mode does not support graph spaces — " +
+			"drop -space or use -mode sync")
+	}
 	if advName != "none" {
 		return fmt.Errorf("-mode async: async fleets are honest-only (the rushing adversary " +
 			"is defined against lock-step rounds); Byzantine async behaviour is exercised " +
@@ -345,10 +367,14 @@ func runOverlaySeat(ctx context.Context, id int, addrs []string, t int, tr *tree
 
 // runCluster spawns a whole deployment of this binary on loopback ports and
 // checks the protocol's guarantees across the collected outputs.
-func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mode string, seed int64,
+func runCluster(ctx context.Context, n, t int, spaceSpec, treeSpec, inputSpec, advName, mode string, seed int64,
 	chaosSpec, overlaySpec string, setupTO, roundTO time.Duration) error {
 	if t < 0 || (t > 0 && n <= 3*t) {
 		return fmt.Errorf("need n > 3t, got n=%d t=%d", n, t)
+	}
+	sp, err := cli.ParseSpace(spaceSpec, treeSpec, seed)
+	if err != nil {
+		return err
 	}
 	if overlaySpec != "" {
 		// Fail fast before spawning children; each seat re-validates.
@@ -358,16 +384,16 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mod
 		if advName != "none" {
 			return fmt.Errorf("-overlay: the tree overlay runs honest fleets only — drop -adversary or drop -overlay")
 		}
+		if sp.IsGraph() {
+			return fmt.Errorf("-overlay: the tree overlay relays TreeAA rounds only; graph " +
+				"spaces run on the full mesh — drop -overlay or drop -space")
+		}
 	}
-	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	inputs, err := sp.ParseInputs(inputSpec, n)
 	if err != nil {
 		return err
 	}
-	inputs, err := cli.ParseInputs(tr, inputSpec, n)
-	if err != nil {
-		return err
-	}
-	_, corruptSet, err := cli.BuildAdversary(advName, tr, n, t, seed)
+	_, corruptSet, err := sp.BuildAdversary(advName, n, t, seed)
 	if err != nil {
 		return err
 	}
@@ -378,7 +404,7 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mod
 	} else if err := plan.Validate(n); err != nil {
 		return err
 	} else if mode == "async" {
-		if err := checkAsyncFlags(advName, overlaySpec, plan); err != nil {
+		if err := checkAsyncFlags(sp, advName, overlaySpec, plan); err != nil {
 			return err
 		}
 	} else if overlaySpec != "" {
@@ -441,7 +467,7 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mod
 		go func(seat int) {
 			defer wg.Done()
 			cmd := exec.CommandContext(ctx, self, "-id", fmt.Sprint(seat), "-peers", peersFile,
-				"-t", fmt.Sprint(t), "-tree", treeSpec, "-inputs", inputSpec,
+				"-t", fmt.Sprint(t), "-space", spaceSpec, "-tree", treeSpec, "-inputs", inputSpec,
 				"-adversary", advName, "-mode", mode, "-seed", fmt.Sprint(seed),
 				"-chaos", chaosSpec, "-overlay", overlaySpec,
 				"-setup-timeout", setupTO.String(), "-round-timeout", roundTO.String())
@@ -472,8 +498,9 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mod
 		return fmt.Errorf("cluster children failed: %v", errs)
 	}
 
-	// Validity: outputs lie in the hull of honest inputs. 1-agreement: all
-	// outputs within distance 1.
+	// Validity: outputs lie in the input-space hull of honest inputs.
+	// Agreement: distance <= 1 on trees and block graphs, a shared block on
+	// graphs with cycle blocks.
 	var honestIn []tree.VertexID
 	for i := 0; i < n; i++ {
 		if !corruptSet[sim.PartyID(i)] {
@@ -481,7 +508,7 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mod
 		}
 	}
 	hull := make(map[tree.VertexID]bool)
-	for _, v := range tr.ConvexHull(honestIn) {
+	for _, v := range sp.ConvexHull(honestIn) {
 		hull[v] = true
 	}
 	var outs []tree.VertexID
@@ -496,7 +523,7 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mod
 			ok = false
 			continue
 		}
-		v, err := tr.VertexByLabel(label)
+		v, err := sp.VertexByLabel(label)
 		if err != nil {
 			return fmt.Errorf("party %d reported unknown vertex %q", i, label)
 		}
@@ -506,17 +533,26 @@ func runCluster(ctx context.Context, n, t int, treeSpec, inputSpec, advName, mod
 		}
 		outs = append(outs, v)
 	}
-	maxDist := 0
+	maxDist, agree := 0, true
 	for i := range outs {
 		for j := i + 1; j < len(outs); j++ {
-			if d := tr.Dist(outs[i], outs[j]); d > maxDist {
+			if d := sp.Dist(outs[i], outs[j]); d > maxDist {
 				maxDist = d
+			}
+			if !sp.AgreementOK(outs[i], outs[j]) {
+				agree = false
 			}
 		}
 	}
-	fmt.Printf("cluster: n=%d t=%d adversary=%s, max pairwise output distance %d (1-agreement: %v)\n",
-		n, t, advName, maxDist, maxDist <= 1)
-	if !ok || maxDist > 1 {
+	if sp.IsGraph() && !sp.Graph.IsBlockGraph() {
+		fmt.Printf("cluster: n=%d t=%d adversary=%s, max pairwise output distance %d (per-block agreement: %v)\n",
+			n, t, advName, maxDist, agree)
+	} else {
+		agree = agree && maxDist <= 1
+		fmt.Printf("cluster: n=%d t=%d adversary=%s, max pairwise output distance %d (1-agreement: %v)\n",
+			n, t, advName, maxDist, maxDist <= 1)
+	}
+	if !ok || !agree {
 		return fmt.Errorf("AA properties violated")
 	}
 	return nil

@@ -93,6 +93,7 @@ func main() {
 		cluster    = flag.Int("cluster", 0, "run an n-daemon loopback deployment in-process (smoke mode)")
 		sessions   = flag.Int("sessions", 100, "cluster mode: concurrent sessions to drive")
 		treeSpec   = flag.String("tree", "spider:3:3", "cluster mode: tree spec for the driven sessions")
+		spaceSpec  = flag.String("space", "", `cluster mode: "graph:"-prefixed graph spec for the driven sessions (wins over -tree)`)
 		tFlag      = flag.Int("t", 0, "cluster mode: corruption budget of the driven sessions")
 		seed       = flag.Int64("seed", 1, "cluster mode: tree-spec seed")
 		maxSess    = flag.Int("max-sessions", 1024, "admission control: max in-flight sessions per daemon")
@@ -158,9 +159,9 @@ func main() {
 	if err == nil {
 		switch {
 		case *rolling:
-			err = runRolling(ctx, *cluster, *sessions, *treeSpec, *tFlag, *seed, *metricsAt, opts)
+			err = runRolling(ctx, *cluster, *sessions, *spaceSpec, *treeSpec, *tFlag, *seed, *metricsAt, opts)
 		case *cluster > 0:
-			err = runSmoke(ctx, *cluster, *sessions, *treeSpec, *tFlag, *seed, *metricsAt, *linger, opts)
+			err = runSmoke(ctx, *cluster, *sessions, *spaceSpec, *treeSpec, *tFlag, *seed, *metricsAt, *linger, opts)
 		default:
 			err = runSeat(ctx, *id, *peersFile, *clientAddr, *metricsAt, opts)
 		}
@@ -300,18 +301,21 @@ func clusterHealth(c *session.Cluster, n int) func() error {
 // runSmoke starts n daemons in-process, drives sessions concurrent sessions
 // through their client APIs, and verifies every Result against the
 // sequential oracle. Any mismatch or failed session exits nonzero.
-func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed int64,
+func runSmoke(ctx context.Context, n, sessions int, spaceSpec, treeSpec string, t int, seed int64,
 	metricsAt string, linger time.Duration, opts session.Options) error {
 	if sessions < 1 {
 		return fmt.Errorf("-sessions must be ≥ 1")
 	}
-	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	sp, err := cli.ParseSpace(spaceSpec, treeSpec, seed)
 	if err != nil {
 		return err
 	}
+	if opts.Async && sp.IsGraph() {
+		return fmt.Errorf("-mode async does not support graph spaces — drop -space or use -mode sync")
+	}
 	specFor := func(i int) session.Spec {
-		return session.Spec{Tree: treeSpec, Seed: seed, T: t,
-			Inputs: cli.RotateInputs(tr, n, i), TTL: 2 * time.Minute}
+		return session.Spec{Tree: sp.Spec, Seed: seed, T: t,
+			Inputs: sp.RotateInputs(n, i), TTL: 2 * time.Minute}
 	}
 	// Sync sessions are pinned to the sequential oracle byte for byte. Async
 	// decisions depend on delivery order, so there is no reference schedule:
@@ -319,7 +323,7 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 	// (outputs inside the input hull) and 1-agreement.
 	oracles := make(map[string]*sim.Result)
 	if !opts.Async {
-		for i := 0; i < tr.NumVertices() && i < sessions; i++ {
+		for i := 0; i < sp.NumVertices() && i < sessions; i++ {
 			s := specFor(i)
 			want, err := session.Oracle(n, s)
 			if err != nil {
@@ -335,6 +339,7 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 			}
 			return ""
 		}
+		tr := sp.Tree // async is tree-only, rejected above for graphs
 		inputs, err := cli.ParseInputs(tr, s.Inputs, n)
 		if err != nil {
 			return err.Error()
@@ -371,7 +376,7 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 		clusterMode, check = "async", "valid and 1-agreeing"
 	}
 	fmt.Printf("serve: %d-daemon %s loopback cluster up, driving %d concurrent sessions of %s\n",
-		n, clusterMode, sessions, treeSpec)
+		n, clusterMode, sessions, sp.Spec)
 
 	start := time.Now()
 	var (
@@ -456,7 +461,7 @@ func runSmoke(ctx context.Context, n, sessions int, treeSpec string, t int, seed
 // rejections while a seat is down or the mesh degraded); the hard failures
 // are an oracle mismatch on any decided session or a cluster that stops
 // making progress.
-func runRolling(ctx context.Context, n, workers int, treeSpec string, t int, seed int64,
+func runRolling(ctx context.Context, n, workers int, spaceSpec, treeSpec string, t int, seed int64,
 	metricsAt string, opts session.Options) error {
 	if n < 2 {
 		return fmt.Errorf("-rolling needs -cluster ≥ 2, got %d", n)
@@ -475,16 +480,16 @@ func runRolling(ctx context.Context, n, workers int, treeSpec string, t int, see
 		defer os.RemoveAll(dir)
 		opts.JournalDir = dir
 	}
-	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+	sp, err := cli.ParseSpace(spaceSpec, treeSpec, seed)
 	if err != nil {
 		return err
 	}
 	specFor := func(i int) session.Spec {
-		return session.Spec{Tree: treeSpec, Seed: seed, T: t,
-			Inputs: cli.RotateInputs(tr, n, i), TTL: 2 * time.Minute}
+		return session.Spec{Tree: sp.Spec, Seed: seed, T: t,
+			Inputs: sp.RotateInputs(n, i), TTL: 2 * time.Minute}
 	}
 	oracles := make(map[string]*sim.Result)
-	for i := 0; i < tr.NumVertices(); i++ {
+	for i := 0; i < sp.NumVertices(); i++ {
 		s := specFor(i)
 		want, err := session.Oracle(n, s)
 		if err != nil {

@@ -1,24 +1,28 @@
-// Command treeaa runs the TreeAA protocol on a tree with a chosen adversary
-// and prints the execution: the tree, the party inputs, a per-round trace
-// and the honest outputs with their hull/agreement check.
+// Command treeaa runs approximate agreement on a tree or block graph with a
+// chosen adversary and prints the execution: the input space, the party
+// inputs, a per-round trace and the honest outputs with their
+// hull/agreement check.
 //
 // Usage:
 //
 //	treeaa -n 7 -t 2 -tree path:40 -adversary splitvote -seed 1
 //	treeaa -tree @map.txt -inputs v3,v6,v5,v8 -n 4 -t 1
+//	treeaa -n 4 -t 1 -space graph:cliquechain:3:4
 //
 // Tree specs: path:K, star:K, spider:LEGS:LEN, caterpillar:SPINE:LEGS,
 // kary:K:DEPTH, random:K, figure3, or @FILE with "a - b" edge lines.
+// Graph specs (-space): graph:cycle:K, graph:clique:K, graph:cliquechain:B:S,
+// graph:cactus:B:L, graph:randomblock:K, graph:@FILE.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"treeaa/internal/cli"
-	"treeaa/internal/core"
 	"treeaa/internal/sim"
 	"treeaa/internal/transport"
 	"treeaa/internal/tree"
@@ -29,10 +33,11 @@ func main() {
 		nFlag      = flag.Int("n", 7, "number of parties")
 		tFlag      = flag.Int("t", 2, "Byzantine budget (t < n/3)")
 		treeSpec   = flag.String("tree", "path:40", "input space tree spec (see -help)")
-		inputSpec  = flag.String("inputs", "", "comma-separated input vertex labels (default: spread across the tree)")
+		spaceSpec  = flag.String("space", "", `input space override: "graph:"-prefixed graph spec (wins over -tree)`)
+		inputSpec  = flag.String("inputs", "", "comma-separated input vertex labels (default: spread across the space)")
 		advName    = flag.String("adversary", "none", strings.Join(cli.AdversaryNames(), "|"))
-		seed       = flag.Int64("seed", 1, "seed for random trees / noise adversaries")
-		quiet      = flag.Bool("q", false, "suppress the tree drawing and round trace")
+		seed       = flag.Int64("seed", 1, "seed for random trees/graphs / noise adversaries")
+		quiet      = flag.Bool("q", false, "suppress the space drawing and round trace")
 		transName  = flag.String("transport", "mem", strings.Join(transport.Names(), "|"))
 		concurrent = flag.Bool("concurrent", false, "alias for -transport mem-concurrent")
 		dotFile    = flag.String("dot", "", "write a Graphviz DOT visualization of the execution to this file")
@@ -42,22 +47,22 @@ func main() {
 	if *concurrent && name == "mem" {
 		name = "mem-concurrent"
 	}
-	if err := run(*nFlag, *tFlag, *treeSpec, *inputSpec, *advName, *seed, *quiet, name, *dotFile); err != nil {
+	if err := run(*nFlag, *tFlag, *spaceSpec, *treeSpec, *inputSpec, *advName, *seed, *quiet, name, *dotFile); err != nil {
 		fmt.Fprintln(os.Stderr, "treeaa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet bool, transName, dotFile string) error {
-	tr, err := cli.ParseTreeSpec(treeSpec, seed)
+func run(n, t int, spaceSpec, treeSpec, inputSpec, advName string, seed int64, quiet bool, transName, dotFile string) error {
+	sp, err := cli.ParseSpace(spaceSpec, treeSpec, seed)
 	if err != nil {
 		return err
 	}
-	inputs, err := cli.ParseInputs(tr, inputSpec, n)
+	inputs, err := sp.ParseInputs(inputSpec, n)
 	if err != nil {
 		return err
 	}
-	adv, corrupt, err := cli.BuildAdversary(advName, tr, n, t, seed)
+	adv, corrupt, err := sp.BuildAdversary(advName, n, t, seed)
 	if err != nil {
 		return err
 	}
@@ -66,29 +71,50 @@ func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet bool, 
 		return err
 	}
 
-	d, _, _ := tr.Diameter()
-	fmt.Printf("TreeAA: n=%d t=%d |V|=%d D=%d budget=%d rounds\n",
-		n, t, tr.NumVertices(), d, core.Rounds(tr))
+	if sp.IsGraph() {
+		g := sp.Graph
+		fmt.Printf("GraphAA: n=%d t=%d |V|=%d |E|=%d blocks=%d D=%d blockcut=%d nodes budget=%d rounds blockgraph=%v\n",
+			n, t, g.NumVertices(), g.NumEdges(), len(g.Blocks()), g.Diameter(),
+			g.BlockCutTree().NumVertices(), sp.Rounds(), g.IsBlockGraph())
+	} else {
+		d, _, _ := sp.Tree.Diameter()
+		fmt.Printf("TreeAA: n=%d t=%d |V|=%d D=%d budget=%d rounds\n",
+			n, t, sp.NumVertices(), d, sp.Rounds())
+	}
 	if !quiet {
-		marks := map[tree.VertexID]string{}
-		for i, v := range inputs {
-			tag := fmt.Sprintf("input p%d", i)
-			if corrupt[sim.PartyID(i)] {
-				tag += " (byz)"
-			}
-			if prev, ok := marks[v]; ok {
-				tag = prev + "; " + tag
-			}
-			marks[v] = tag
-		}
 		fmt.Println()
-		fmt.Print(tr.Render(tr.Root(), marks))
+		if sp.IsGraph() {
+			for i, b := range sp.Graph.Blocks() {
+				fmt.Printf("  block %d (%s): {%s}\n", i, b.Kind,
+					strings.Join(sp.Graph.Labels(b.Vertices), ", "))
+			}
+			for i, v := range inputs {
+				tag := ""
+				if corrupt[sim.PartyID(i)] {
+					tag = " (byz)"
+				}
+				fmt.Printf("  input p%d: %s%s\n", i, sp.Label(v), tag)
+			}
+		} else {
+			marks := map[tree.VertexID]string{}
+			for i, v := range inputs {
+				tag := fmt.Sprintf("input p%d", i)
+				if corrupt[sim.PartyID(i)] {
+					tag += " (byz)"
+				}
+				if prev, ok := marks[v]; ok {
+					tag = prev + "; " + tag
+				}
+				marks[v] = tag
+			}
+			fmt.Print(sp.Tree.Render(sp.Tree.Root(), marks))
+		}
 		fmt.Println()
 	}
 
 	machines := make([]sim.Machine, n)
 	for i := 0; i < n; i++ {
-		m, err := core.NewMachine(core.Config{Tree: tr, N: n, T: t, ID: sim.PartyID(i), Input: inputs[i]})
+		m, _, err := sp.NewMachine(n, t, sim.PartyID(i), inputs[i])
 		if err != nil {
 			return err
 		}
@@ -96,7 +122,7 @@ func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet bool, 
 	}
 	var trace sim.Trace
 	simCfg := sim.Config{
-		N: n, MaxCorrupt: t, MaxRounds: core.Rounds(tr) + 2,
+		N: n, MaxCorrupt: t, MaxRounds: sp.Rounds() + 2,
 		Adversary: adv, Trace: &trace,
 	}
 	res, err := driver.Run(simCfg, machines)
@@ -123,12 +149,12 @@ func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet bool, 
 			honestIn = append(honestIn, v)
 		}
 	}
-	hull := tr.ConvexHull(honestIn)
+	hull := sp.ConvexHull(honestIn)
 	hullSet := make(map[tree.VertexID]bool, len(hull))
 	for _, v := range hull {
 		hullSet[v] = true
 	}
-	fmt.Printf("honest hull: {%s}\n", strings.Join(tr.Labels(hull), ", "))
+	fmt.Printf("honest hull: {%s}\n", strings.Join(sp.Labels(hull), ", "))
 	ok := true
 	var outs []tree.VertexID
 	for p := sim.PartyID(0); int(p) < n; p++ {
@@ -142,37 +168,50 @@ func run(n, t int, treeSpec, inputSpec, advName string, seed int64, quiet bool, 
 			if !valid {
 				ok = false
 			}
-			fmt.Printf("  p%-2d output %-8s valid=%v\n", p, tr.Label(v), valid)
+			fmt.Printf("  p%-2d output %-8s valid=%v\n", p, sp.Label(v), valid)
 			outs = append(outs, v)
 		default:
 			ok = false
 			fmt.Printf("  p%-2d NO OUTPUT\n", p)
 		}
 	}
-	maxDist := 0
+	maxDist, agree := 0, true
 	for i := range outs {
 		for j := i + 1; j < len(outs); j++ {
-			if dd := tr.Dist(outs[i], outs[j]); dd > maxDist {
+			if dd := sp.Dist(outs[i], outs[j]); dd > maxDist {
 				maxDist = dd
+			}
+			if !sp.AgreementOK(outs[i], outs[j]) {
+				agree = false
 			}
 		}
 	}
-	fmt.Printf("max pairwise output distance: %d (1-agreement: %v)\n", maxDist, maxDist <= 1)
+	if sp.IsGraph() && !sp.Graph.IsBlockGraph() {
+		fmt.Printf("max pairwise output distance: %d (per-block agreement: %v)\n", maxDist, agree)
+	} else {
+		fmt.Printf("max pairwise output distance: %d (1-agreement: %v)\n", maxDist, maxDist <= 1)
+		agree = agree && maxDist <= 1
+	}
 	if dotFile != "" {
-		if err := writeDOT(dotFile, tr, inputs, corrupt, hullSet, outs); err != nil {
+		if err := writeDOT(dotFile, sp, inputs, corrupt, hullSet, outs); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (render with: dot -Tsvg %s -o out.svg)\n", dotFile, dotFile)
 	}
-	if !ok || maxDist > 1 {
+	if !ok || !agree {
 		return fmt.Errorf("AA properties violated")
 	}
 	return nil
 }
 
+// dotWriter is the shared DOT surface of trees and graphs.
+type dotWriter interface {
+	WriteDOT(w io.Writer, name string, attrs map[tree.VertexID]string) error
+}
+
 // writeDOT colors the execution: hull vertices light green, inputs outlined,
 // outputs gold.
-func writeDOT(path string, tr *tree.Tree, inputs []tree.VertexID, corrupt map[sim.PartyID]bool, hull map[tree.VertexID]bool, outs []tree.VertexID) error {
+func writeDOT(path string, sp *cli.Space, inputs []tree.VertexID, corrupt map[sim.PartyID]bool, hull map[tree.VertexID]bool, outs []tree.VertexID) error {
 	attrs := map[tree.VertexID]string{}
 	for v := range hull {
 		attrs[v] = `fillcolor="palegreen", style=filled`
@@ -195,5 +234,10 @@ func writeDOT(path string, tr *tree.Tree, inputs []tree.VertexID, corrupt map[si
 		return err
 	}
 	defer f.Close()
-	return tr.WriteDOT(f, "treeaa", attrs)
+	var dw dotWriter = sp.Tree
+	name := "treeaa"
+	if sp.IsGraph() {
+		dw, name = sp.Graph, "graphaa"
+	}
+	return dw.WriteDOT(f, name, attrs)
 }

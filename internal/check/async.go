@@ -45,11 +45,15 @@ type AsyncCellResult struct {
 }
 
 // AsyncCompatible reports whether the cell translates to the asynchronous
-// model. Omission filtering and the delivery-seam tamperers (mutate, evil)
+// model. Graph cells do not (the async pipeline has no block-cut decode
+// seam); omission filtering and the delivery-seam tamperers (mutate, evil)
 // are round-seam constructions with no async counterpart; every Byzantine
 // clause maps — silent and crash to machines that stop participating,
 // everything else to a well-formed RBC flood.
 func AsyncCompatible(c *Cell) bool {
+	if c.Space != "" {
+		return false // the async pipeline runs TreeAA directly on a tree
+	}
 	for _, cl := range c.Clauses {
 		switch cl.Name {
 		case "omit", "mutate", "evil":

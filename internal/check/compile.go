@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 
 	"treeaa/internal/adversary"
 	"treeaa/internal/cli"
@@ -22,9 +23,15 @@ func isTamperClause(name string) bool { return name == "mutate" || name == "evil
 // compiled is a cell materialized against concrete protocol objects. The
 // adversary, tamper hook and machines are built fresh per run (strategies
 // and machines hold state), so compiled only fixes the static facts: the
-// tree, the inputs and the corrupted-set partition.
+// input space, the inputs and the corrupted-set partition.
 type compiled struct {
-	cell   *Cell
+	cell  *Cell
+	space *cli.Space
+	// tr is the protocol tree: the input space itself for tree cells, the
+	// graph's block-cut tree for graph cells. Round budgets, adversary phase
+	// schedules, PathsFinder paths and every core probe surface live here;
+	// input-space semantics (validity hulls, agreement distance) go through
+	// space instead.
 	tr     *tree.Tree
 	inputs []tree.VertexID
 
@@ -45,7 +52,17 @@ type compiled struct {
 // present — the lower t/2 ids become omission-faulty and the rest Byzantine
 // (requiring t >= 2).
 func compile(c *Cell) (*compiled, error) {
-	tr, err := cli.ParseTreeSpec(c.TreeSpec, c.Seed)
+	spec := c.TreeSpec
+	if c.Space != "" {
+		if c.TreeSpec != "" {
+			return nil, fmt.Errorf("check: cell sets both tree=%q and space=%q", c.TreeSpec, c.Space)
+		}
+		if !strings.HasPrefix(c.Space, cli.GraphPrefix) {
+			return nil, fmt.Errorf("check: space=%q: want %q prefix (trees go in tree=)", c.Space, cli.GraphPrefix)
+		}
+		spec = c.Space
+	}
+	space, err := cli.ParseSpaceSpec(spec, c.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
 	}
@@ -55,16 +72,16 @@ func compile(c *Cell) (*compiled, error) {
 	if c.T < 0 || 3*c.T >= c.N {
 		return nil, fmt.Errorf("check: t = %d, want 0 <= 3t < n = %d", c.T, c.N)
 	}
-	cr := &compiled{cell: c, tr: tr, corrupt: map[sim.PartyID]bool{}}
+	cr := &compiled{cell: c, space: space, tr: space.ProtocolTree(), corrupt: map[sim.PartyID]bool{}}
 	if c.Inputs == nil {
-		cr.inputs = cli.SpreadInputs(tr, c.N)
+		cr.inputs = space.SpreadInputs(c.N)
 	} else {
 		if len(c.Inputs) != c.N {
 			return nil, fmt.Errorf("check: %d inputs for n = %d", len(c.Inputs), c.N)
 		}
 		for _, v := range c.Inputs {
-			if !tr.Valid(v) {
-				return nil, fmt.Errorf("check: input vertex %d outside tree %s", int(v), c.TreeSpec)
+			if !space.Valid(v) {
+				return nil, fmt.Errorf("check: input vertex %d outside space %s", int(v), spec)
 			}
 		}
 		cr.inputs = c.Inputs
@@ -296,23 +313,21 @@ func isSuspicionTag(tag string) bool {
 	return i >= 3 && tag[i-3:i+1] == "/acc"
 }
 
-// machines builds fresh TreeAA machines for one run; when probe is set they
-// are wrapped in per-round invariant probes. cores always holds the
-// underlying machines for post-run inspection.
+// machines builds fresh machines for one run (TreeAA machines for tree
+// cells, graph machines delegating to their inner TreeAA instance for graph
+// cells); when probe is set they are wrapped in per-round invariant probes.
+// cores always holds the underlying core machines for post-run inspection.
 func (cr *compiled) machines(probe bool) (ms []sim.Machine, cores []*core.Machine, probes []*probeMachine, err error) {
 	ms = make([]sim.Machine, cr.cell.N)
 	cores = make([]*core.Machine, cr.cell.N)
 	for i := 0; i < cr.cell.N; i++ {
-		m, err := core.NewMachine(core.Config{
-			Tree: cr.tr, N: cr.cell.N, T: cr.cell.T,
-			ID: sim.PartyID(i), Input: cr.inputs[i],
-		})
+		m, cm, err := cr.space.NewMachine(cr.cell.N, cr.cell.T, sim.PartyID(i), cr.inputs[i])
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("check: %w", err)
 		}
-		cores[i] = m
+		cores[i] = cm
 		if probe {
-			p := &probeMachine{inner: m}
+			p := &probeMachine{m: m, inner: cm}
 			probes = append(probes, p)
 			ms[i] = p
 		} else {

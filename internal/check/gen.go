@@ -17,31 +17,52 @@ import (
 // injection (cmd/check -inject-bad).
 var byzPool = []string{"silent", "crash", "equivocator", "splitvote", "halfburn", "noise", "replay", "frame"}
 
-// Generate draws one random cell: a small tree, party parameters, an input
-// placement and a composed adversary. Everything derives from rng, and the
-// produced cell always compiles.
+// Generate draws one random cell: a small input space (a tree, or — one in
+// four — a block graph), party parameters, an input placement and a composed
+// adversary. Everything derives from rng, and the produced cell always
+// compiles.
 func Generate(rng *rand.Rand) *Cell {
+	return GenerateIn(rng, "")
+}
+
+// GenerateIn is Generate restricted to one kind of input space: "tree"
+// draws only tree cells, "graph" only graph cells, "" mixes both (trees
+// three to one).
+func GenerateIn(rng *rand.Rand, space string) *Cell {
 	for {
-		c := generate(rng)
+		c := generate(rng, space)
 		if _, err := compile(c); err == nil {
 			return c
 		}
 	}
 }
 
-func generate(rng *rand.Rand) *Cell {
+func generate(rng *rand.Rand, space string) *Cell {
 	c := &Cell{Seed: rng.Int63n(1 << 31)}
-	c.TreeSpec = genTreeSpec(rng)
-	tr, err := cli.ParseTreeSpec(c.TreeSpec, c.Seed)
-	if err != nil {
-		panic(fmt.Sprintf("check: generator produced bad tree spec %q: %v", c.TreeSpec, err))
+	if space == "graph" || (space == "" && rng.Intn(4) == 0) {
+		c.Space = cli.GraphPrefix + genGraphSpec(rng)
+	} else {
+		c.TreeSpec = genTreeSpec(rng)
 	}
-	c.N = 4 + rng.Intn(6)           // 4..9
-	c.T = rng.Intn((c.N-1)/3 + 1)   // 0..floor((n-1)/3)
-	if rng.Intn(2) == 0 {           // half spread, half random placement
+	spec := c.TreeSpec
+	if c.Space != "" {
+		spec = c.Space
+	}
+	sp, err := cli.ParseSpaceSpec(spec, c.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("check: generator produced bad space spec %q: %v", spec, err))
+	}
+	// Clause arguments (crash schedules, noise/frame value ranges) are drawn
+	// against the protocol tree — the input space itself for trees, the
+	// block-cut tree for graphs — because that is the tree the protocol's
+	// values and rounds live on.
+	tr := sp.ProtocolTree()
+	c.N = 4 + rng.Intn(6)         // 4..9
+	c.T = rng.Intn((c.N-1)/3 + 1) // 0..floor((n-1)/3)
+	if rng.Intn(2) == 0 {         // half spread, half random placement
 		c.Inputs = make([]tree.VertexID, c.N)
 		for i := range c.Inputs {
-			c.Inputs[i] = tree.VertexID(rng.Intn(tr.NumVertices()))
+			c.Inputs[i] = tree.VertexID(rng.Intn(sp.NumVertices()))
 		}
 	}
 	if c.T == 0 {
@@ -91,6 +112,25 @@ func genTreeSpec(rng *rand.Rand) string {
 		return fmt.Sprintf("random:%d", 4+rng.Intn(6))
 	default:
 		return "figure3"
+	}
+}
+
+// genGraphSpec draws a small graph input space (internal/graph grammar,
+// without the "graph:" prefix): cycles and cliques (single-block extremes),
+// clique chains and cacti (multi-block shapes with cut vertices) and seeded
+// random block graphs.
+func genGraphSpec(rng *rand.Rand) string {
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("cycle:%d", 4+rng.Intn(6))
+	case 1:
+		return fmt.Sprintf("clique:%d", 4+rng.Intn(5))
+	case 2:
+		return fmt.Sprintf("cliquechain:%d:%d", 2+rng.Intn(2), 2+rng.Intn(3))
+	case 3:
+		return fmt.Sprintf("cactus:%d:%d", 2+rng.Intn(2), 3+rng.Intn(3))
+	default:
+		return fmt.Sprintf("randomblock:%d", 8+rng.Intn(7))
 	}
 }
 

@@ -76,13 +76,14 @@ func (cr *compiled) evaluate(res *sim.Result, runErr error, cores []*core.Machin
 		add("rounds", "execution used %d rounds, budget %d", res.Rounds, budget)
 	}
 
-	// Validity: honest outputs lie in the honest inputs' convex hull.
+	// Validity: honest outputs lie in the honest inputs' convex hull — the
+	// tree hull for tree cells, the geodesic hull for graph cells.
 	honestIn := make([]tree.VertexID, 0, len(honest))
 	for _, p := range honest {
 		honestIn = append(honestIn, cr.inputs[p])
 	}
 	hull := make(map[tree.VertexID]bool)
-	for _, v := range cr.tr.ConvexHull(honestIn) {
+	for _, v := range cr.space.ConvexHull(honestIn) {
 		hull[v] = true
 	}
 	outputs := make(map[sim.PartyID]tree.VertexID)
@@ -94,20 +95,29 @@ func (cr *compiled) evaluate(res *sim.Result, runErr error, cores []*core.Machin
 		outputs[p] = v.(tree.VertexID)
 		if !hull[outputs[p]] {
 			add("validity", "party %d output %s outside honest hull %v",
-				p, cr.tr.Label(outputs[p]), cr.tr.Labels(cr.tr.ConvexHull(honestIn)))
+				p, cr.space.Label(outputs[p]), cr.space.Labels(cr.space.ConvexHull(honestIn)))
 		}
 	}
 
-	// 1-Agreement: honest outputs pairwise within distance 1.
+	// Agreement: honest outputs pairwise within geodesic distance 1 on trees
+	// and block graphs; graphs with cycle blocks relax to a shared block
+	// (adjacent block-cut-tree decisions decode into one biconnected
+	// component), per the Alistarh–Ellen–Rybicki cycle impossibility.
+	strict := !cr.space.IsGraph() || cr.space.Graph.IsBlockGraph()
 	for i, p := range honest {
 		for _, q := range honest[i+1:] {
 			vp, okP := outputs[p]
 			vq, okQ := outputs[q]
-			if okP && okQ {
-				if d := cr.tr.Dist(vp, vq); d > 1 {
-					add("agreement", "parties %d and %d output %s and %s at distance %d",
-						p, q, cr.tr.Label(vp), cr.tr.Label(vq), d)
-				}
+			if !okP || !okQ {
+				continue
+			}
+			switch {
+			case !cr.space.AgreementOK(vp, vq):
+				add("agreement", "parties %d and %d output %s and %s (distance %d, no shared block)",
+					p, q, cr.space.Label(vp), cr.space.Label(vq), cr.space.Dist(vp, vq))
+			case strict && cr.space.Dist(vp, vq) > 1:
+				add("agreement", "parties %d and %d output %s and %s at distance %d",
+					p, q, cr.space.Label(vp), cr.space.Label(vq), cr.space.Dist(vp, vq))
 			}
 		}
 	}

@@ -26,13 +26,18 @@ type probeRec struct {
 	sets  map[string]probeSets // phase key → detection state
 }
 
-// probeMachine wraps a TreeAA machine and snapshots the suspicion and
-// exclusion sets of every active RealAA sub-execution after each round, so
-// the checker can evaluate per-round monotonicity ("once burned, always
-// burned") without changing the machine's behavior. It is driven only by the
-// sequential oracle run — the concurrent and TCP differential runs use bare
-// machines, keeping the probes free of cross-goroutine access.
+// probeMachine wraps a machine and snapshots the suspicion and exclusion
+// sets of every active RealAA sub-execution after each round, so the checker
+// can evaluate per-round monotonicity ("once burned, always burned") without
+// changing the machine's behavior. m is the machine actually driven (the
+// TreeAA machine for tree cells, the graph machine for graph cells) and
+// inner is the core machine whose probe surface is read — the same object
+// for tree cells, the graph machine's inner TreeAA instance otherwise. It is
+// driven only by the sequential oracle run — the concurrent and TCP
+// differential runs use bare machines, keeping the probes free of
+// cross-goroutine access.
 type probeMachine struct {
+	m     sim.Machine
 	inner *core.Machine
 	recs  []probeRec
 }
@@ -41,7 +46,7 @@ var _ sim.Machine = (*probeMachine)(nil)
 
 // Step implements sim.Machine: advance the wrapped machine, then snapshot.
 func (p *probeMachine) Step(r int, inbox []sim.Message) []sim.Message {
-	out := p.inner.Step(r, inbox)
+	out := p.m.Step(r, inbox)
 	rec := probeRec{round: r, sets: map[string]probeSets{}}
 	snapshot := func(key string, m *realaa.Machine) {
 		if m == nil {
@@ -61,4 +66,4 @@ func (p *probeMachine) Step(r int, inbox []sim.Message) []sim.Message {
 }
 
 // Output implements sim.Machine.
-func (p *probeMachine) Output() (any, bool) { return p.inner.Output() }
+func (p *probeMachine) Output() (any, bool) { return p.m.Output() }

@@ -38,7 +38,7 @@ func Shrink(c *Cell, opt Options, budget int) (*Cell, int) {
 }
 
 func (c *Cell) clone() *Cell {
-	out := &Cell{Seed: c.Seed, TreeSpec: c.TreeSpec, N: c.N, T: c.T}
+	out := &Cell{Seed: c.Seed, TreeSpec: c.TreeSpec, Space: c.Space, N: c.N, T: c.T}
 	if c.Inputs != nil {
 		out.Inputs = append([]tree.VertexID(nil), c.Inputs...)
 	}
@@ -118,8 +118,14 @@ func candidates(c *Cell) []*Cell {
 		}
 		out = append(out, cand)
 	}
-	// Shrink tree-spec numbers (halve, then decrement).
-	parts := strings.Split(c.TreeSpec, ":")
+	// Shrink spec numbers (halve, then decrement) — tree-spec sizes for tree
+	// cells, block counts / block sizes / cycle lengths for graph cells
+	// (cliquechain:3:4 prunes blocks, cycle:9 shortens the cycle).
+	spec, isGraph := c.TreeSpec, false
+	if c.Space != "" {
+		spec, isGraph = c.Space, true
+	}
+	parts := strings.Split(spec, ":")
 	for i := 1; i < len(parts); i++ {
 		v, err := strconv.Atoi(parts[i])
 		if err != nil {
@@ -132,17 +138,21 @@ func candidates(c *Cell) []*Cell {
 			np := append([]string(nil), parts...)
 			np[i] = strconv.Itoa(nv)
 			cand := c.clone()
-			cand.TreeSpec = strings.Join(np, ":")
-			// Clamp explicit inputs into the smaller tree so a violation
+			if isGraph {
+				cand.Space = strings.Join(np, ":")
+			} else {
+				cand.TreeSpec = strings.Join(np, ":")
+			}
+			// Clamp explicit inputs into the smaller space so a violation
 			// that depends on the placement survives the shrink.
 			if cand.Inputs != nil {
-				tr, err := cli.ParseTreeSpec(cand.TreeSpec, cand.Seed)
+				sp, err := cli.ParseSpaceSpec(strings.Join(np, ":"), cand.Seed)
 				if err != nil {
 					continue
 				}
 				for j, in := range cand.Inputs {
-					if int(in) >= tr.NumVertices() {
-						cand.Inputs[j] = tree.VertexID(tr.NumVertices() - 1)
+					if int(in) >= sp.NumVertices() {
+						cand.Inputs[j] = tree.VertexID(sp.NumVertices() - 1)
 					}
 				}
 			}

@@ -7,13 +7,17 @@
 // A cell spec is a single line in the spirit of the chaos plan language:
 //
 //	s=3;tree=caterpillar:4:2;n=7;t=2;in=spread;adv=splitvote(per=1)+noise(maxval=24)
+//	s=5;space=graph:cliquechain:3:4;n=7;t=2;in=spread;adv=equivocator(hi=1000,lo=-100)
 //
-// Fields are semicolon-separated: the seed, the tree spec (cli.ParseTreeSpec
-// syntax), the party count n, the fault budget t, the input placement
-// ("spread" or dot-separated vertex ids, one per party) and the adversary as
-// +-joined clauses name(key=value,...). Integer lists inside clause args are
-// dot-separated (crash rounds: rounds=2.5.9). Everything randomized in a
-// cell derives from the seed, so a spec reproduces its execution exactly.
+// Fields are semicolon-separated: the seed, the input space — exactly one of
+// tree= (cli.ParseTreeSpec syntax) or space= (a "graph:"-prefixed
+// internal/graph spec; the machines then run TreeAA on the block-cut tree
+// and decode locally) — the party count n, the fault budget t, the input
+// placement ("spread" or dot-separated vertex ids, one per party) and the
+// adversary as +-joined clauses name(key=value,...). Integer lists inside
+// clause args are dot-separated (crash rounds: rounds=2.5.9). Everything
+// randomized in a cell derives from the seed, so a spec reproduces its
+// execution exactly.
 package check
 
 import (
@@ -97,8 +101,12 @@ type Cell struct {
 	// Seed drives every randomized component (tree generation for
 	// random:K specs, input placement, noise and mutation PRNGs).
 	Seed int64
-	// TreeSpec is the input space in cli.ParseTreeSpec syntax.
+	// TreeSpec is the input space in cli.ParseTreeSpec syntax. Exactly one
+	// of TreeSpec and Space is set.
 	TreeSpec string
+	// Space is a "graph:"-prefixed graph input space (cli.ParseSpaceSpec
+	// syntax); the protocol then runs on the graph's block-cut tree.
+	Space string
 	// N is the party count, T the fault budget (3T < N).
 	N, T int
 	// Inputs is the explicit input placement (one vertex per party);
@@ -111,7 +119,11 @@ type Cell struct {
 // String renders the cell as its canonical one-line spec.
 func (c *Cell) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "s=%d;tree=%s;n=%d;t=%d;in=", c.Seed, c.TreeSpec, c.N, c.T)
+	if c.Space != "" {
+		fmt.Fprintf(&b, "s=%d;space=%s;n=%d;t=%d;in=", c.Seed, c.Space, c.N, c.T)
+	} else {
+		fmt.Fprintf(&b, "s=%d;tree=%s;n=%d;t=%d;in=", c.Seed, c.TreeSpec, c.N, c.T)
+	}
 	if c.Inputs == nil {
 		b.WriteString("spread")
 	} else {
@@ -149,6 +161,8 @@ func Parse(spec string) (*Cell, error) {
 			c.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "tree":
 			c.TreeSpec = val
+		case "space":
+			c.Space = val
 		case "n":
 			c.N, err = strconv.Atoi(val)
 		case "t":
@@ -182,8 +196,8 @@ func Parse(spec string) (*Cell, error) {
 			return nil, fmt.Errorf("check: field %q: %v", field, err)
 		}
 	}
-	if c.Seed < 0 || c.TreeSpec == "" || c.N < 0 || c.T < 0 || !sawIn {
-		return nil, fmt.Errorf("check: spec %q: want all of s, tree, n, t, in", spec)
+	if c.Seed < 0 || (c.TreeSpec == "") == (c.Space == "") || c.N < 0 || c.T < 0 || !sawIn {
+		return nil, fmt.Errorf("check: spec %q: want all of s, exactly one of tree/space, n, t, in", spec)
 	}
 	return c, nil
 }

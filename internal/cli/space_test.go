@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+
+	"treeaa/internal/tree"
+)
+
+func TestParseSpaceSpec(t *testing.T) {
+	sp, err := ParseSpaceSpec("path:8", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.IsGraph() || sp.Tree == nil || sp.NumVertices() != 8 {
+		t.Fatalf("tree space = %+v", sp)
+	}
+	if sp.ProtocolTree() != sp.Tree {
+		t.Fatal("tree space protocol tree is not the tree itself")
+	}
+
+	gp, err := ParseSpaceSpec("graph:cliquechain:3:3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gp.IsGraph() || gp.NumVertices() != 7 {
+		t.Fatalf("graph space = %+v", gp)
+	}
+	// 3 blocks + 2 cut vertices.
+	if got := gp.ProtocolTree().NumVertices(); got != 5 {
+		t.Fatalf("block-cut tree has %d nodes, want 5", got)
+	}
+	if _, err := ParseSpaceSpec("graph:nope:3", 1); err == nil {
+		t.Fatal("bad graph spec accepted")
+	}
+	if _, err := ParseSpaceSpec("nope:3", 1); err == nil {
+		t.Fatal("bad tree spec accepted")
+	}
+}
+
+func TestParseSpaceFlagPair(t *testing.T) {
+	sp, err := ParseSpace("", "star:5", 1)
+	if err != nil || sp.IsGraph() {
+		t.Fatalf("empty -space: %+v, %v", sp, err)
+	}
+	gp, err := ParseSpace("graph:cycle:6", "star:5", 1)
+	if err != nil || !gp.IsGraph() {
+		t.Fatalf("-space graph: %+v, %v", gp, err)
+	}
+	if _, err := ParseSpace("cycle:6", "star:5", 1); err == nil {
+		t.Fatal("-space without graph: prefix accepted")
+	}
+}
+
+func TestSpaceInputsMatchTreeHelpers(t *testing.T) {
+	sp, err := ParseSpaceSpec("caterpillar:4:2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 7} {
+		if got, want := sp.SpreadInputs(n), SpreadInputs(sp.Tree, n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: SpreadInputs %v vs tree helper %v", n, got, want)
+		}
+		if got, want := sp.RotateInputs(n, 3), RotateInputs(sp.Tree, n, 3); got != want {
+			t.Fatalf("n=%d: RotateInputs %q vs tree helper %q", n, got, want)
+		}
+	}
+	in, err := sp.ParseInputs("", 5)
+	if err != nil || len(in) != 5 {
+		t.Fatalf("ParseInputs spread: %v, %v", in, err)
+	}
+}
+
+func TestSpaceGraphSemantics(t *testing.T) {
+	gp, err := ParseSpaceSpec("graph:cycle:4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Antipodal hull on C4 is the whole cycle (graph semantics, not tree).
+	if got := gp.ConvexHull([]tree.VertexID{0, 2}); len(got) != 4 {
+		t.Fatalf("C4 hull = %v", got)
+	}
+	if gp.AgreementOK(0, 2) != true { // same (only) block
+		t.Fatal("cycle block pair rejected")
+	}
+	bp, err := ParseSpaceSpec("graph:cliquechain:3:3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.AgreementOK(0, 6) {
+		t.Fatal("chain endpoints accepted as agreeing")
+	}
+	// Round trip labels.
+	v, err := bp.VertexByLabel(bp.Label(3))
+	if err != nil || v != 3 {
+		t.Fatalf("label round trip: %v, %v", v, err)
+	}
+	// Machines: sim machine and core machine are distinct for graphs.
+	m, cm, err := bp.NewMachine(4, 1, 0, 0)
+	if err != nil || m == nil || cm == nil {
+		t.Fatalf("graph NewMachine: %v", err)
+	}
+	if any(m) == any(cm) {
+		t.Fatal("graph space returned the core machine as the sim machine")
+	}
+	tp, err := ParseSpaceSpec("path:4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, tcm, err := tp.NewMachine(4, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if any(tm) != any(tcm) {
+		t.Fatal("tree space sim machine is not the core machine")
+	}
+}

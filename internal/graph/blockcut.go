@@ -1,0 +1,304 @@
+package graph
+
+// Block-cut tree decomposition. The blocks (biconnected components) of a
+// connected graph, together with its cut vertices, form a tree: one node
+// per block, one node per cut vertex, and an edge whenever a cut vertex
+// belongs to a block. The journal algorithm runs TreeAA on exactly this
+// tree — every party maps its input vertex v to η(v) (v's cut node if v is
+// a cut vertex, else the node of the unique block containing v), agrees on
+// a block-cut tree node within distance 1, and decodes locally back into
+// the graph (machine.go).
+//
+// All protocol-visible determinism matches the repo convention: blocks are
+// found by a DFS that visits neighbors in ascending VertexID order, then
+// canonically reordered by their sorted vertex lists, and the block-cut
+// tree's labels ("b<idx>", "c<vertex>", zero-padded) sort deterministically
+// — so independent parties build byte-identical trees and the whole TreeAA
+// stack (Euler lists, PathsFinder, adversary phase tags) applies verbatim.
+
+import (
+	"fmt"
+	"sort"
+
+	"treeaa/internal/tree"
+)
+
+// decomposition is the precomputed block-cut structure of a Graph.
+type decomposition struct {
+	blocks       []Block
+	vertexBlocks [][]int // graph vertex -> indices of blocks containing it
+	isCut        []bool  // graph vertex -> is a cut vertex
+
+	bc        *tree.Tree      // the block-cut tree
+	eta       []tree.VertexID // graph vertex -> its block-cut tree node
+	nodeBlock []int           // bc node -> block index, or -1 for cut nodes
+	nodeCut   []tree.VertexID // bc node -> cut vertex, or tree.None for block nodes
+	blockNode []tree.VertexID // block index -> bc node
+}
+
+// decompose fills g.dc. The graph is already validated as connected and
+// non-empty.
+func (g *Graph) decompose() error {
+	raw := g.biconnected()
+	// Canonical order: sort each block's vertices, then the blocks by their
+	// vertex lists (blocks are distinct as sets, so the order is total).
+	blocks := make([]Block, len(raw))
+	for i, vs := range raw {
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		blocks[i] = Block{Vertices: vs, Kind: g.classify(vs)}
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		a, b := blocks[i].Vertices, blocks[j].Vertices
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+
+	n := g.NumVertices()
+	vertexBlocks := make([][]int, n)
+	for i, b := range blocks {
+		for _, v := range b.Vertices {
+			vertexBlocks[v] = append(vertexBlocks[v], i)
+		}
+	}
+	isCut := make([]bool, n)
+	for v := 0; v < n; v++ {
+		isCut[v] = len(vertexBlocks[v]) >= 2
+	}
+
+	bLabel := func(i int) string { return fmt.Sprintf("b%0*d", digits(len(blocks)), i) }
+	cLabel := func(v tree.VertexID) string { return fmt.Sprintf("c%0*d", digits(n), int(v)) }
+
+	var tb tree.Builder
+	if len(blocks) == 1 {
+		tb.AddVertex(bLabel(0))
+	}
+	for i, b := range blocks {
+		for _, v := range b.Vertices {
+			if isCut[v] {
+				tb.AddEdge(bLabel(i), cLabel(v))
+			}
+		}
+	}
+	bc, err := tb.Build()
+	if err != nil {
+		return fmt.Errorf("graph: block-cut tree: %w", err)
+	}
+
+	dc := decomposition{
+		blocks:       blocks,
+		vertexBlocks: vertexBlocks,
+		isCut:        isCut,
+		bc:           bc,
+		eta:          make([]tree.VertexID, n),
+		nodeBlock:    make([]int, bc.NumVertices()),
+		nodeCut:      make([]tree.VertexID, bc.NumVertices()),
+		blockNode:    make([]tree.VertexID, len(blocks)),
+	}
+	for i := range dc.nodeBlock {
+		dc.nodeBlock[i] = -1
+		dc.nodeCut[i] = tree.None
+	}
+	for i := range blocks {
+		node, err := bc.VertexByLabel(bLabel(i))
+		if err != nil {
+			return fmt.Errorf("graph: block-cut tree: %w", err)
+		}
+		dc.blockNode[i] = node
+		dc.nodeBlock[node] = i
+	}
+	for v := tree.VertexID(0); int(v) < n; v++ {
+		if isCut[v] {
+			node, err := bc.VertexByLabel(cLabel(v))
+			if err != nil {
+				return fmt.Errorf("graph: block-cut tree: %w", err)
+			}
+			dc.eta[v] = node
+			dc.nodeCut[node] = v
+		} else {
+			dc.eta[v] = dc.blockNode[vertexBlocks[v][0]]
+		}
+	}
+	g.dc = dc
+	return nil
+}
+
+// digits returns the zero-pad width for count distinct indices.
+func digits(count int) int {
+	w := 1
+	for count > 10 {
+		count = (count + 9) / 10
+		w++
+	}
+	return w
+}
+
+// biconnected returns the vertex sets of g's biconnected components via the
+// classic lowpoint DFS with an edge stack. A single-vertex graph is one
+// block. Deterministic: DFS from vertex 0, neighbors ascending.
+func (g *Graph) biconnected() [][]tree.VertexID {
+	n := g.NumVertices()
+	if n == 1 {
+		return [][]tree.VertexID{{0}}
+	}
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]tree.VertexID, n)
+	for i := range parent {
+		parent[i] = tree.None
+	}
+	timer := 0
+	type edge struct{ u, v tree.VertexID }
+	var stack []edge
+	var out [][]tree.VertexID
+
+	pop := func(u, v tree.VertexID) {
+		seen := map[tree.VertexID]bool{}
+		var vs []tree.VertexID
+		for len(stack) > 0 {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range []tree.VertexID{e.u, e.v} {
+				if !seen[w] {
+					seen[w] = true
+					vs = append(vs, w)
+				}
+			}
+			if e.u == u && e.v == v {
+				break
+			}
+		}
+		out = append(out, vs)
+	}
+
+	var dfs func(u tree.VertexID)
+	dfs = func(u tree.VertexID) {
+		timer++
+		disc[u] = timer
+		low[u] = timer
+		for _, v := range g.adj[u] {
+			switch {
+			case disc[v] == 0:
+				parent[v] = u
+				stack = append(stack, edge{u, v})
+				dfs(v)
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+				if low[v] >= disc[u] {
+					pop(u, v)
+				}
+			case v != parent[u] && disc[v] < disc[u]:
+				stack = append(stack, edge{u, v})
+				if disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+			}
+		}
+	}
+	dfs(0)
+	return out
+}
+
+// classify determines a block's kind from its induced subgraph.
+func (g *Graph) classify(vs []tree.VertexID) BlockKind {
+	k := len(vs)
+	if k == 2 {
+		return BlockEdge
+	}
+	in := make(map[tree.VertexID]bool, k)
+	for _, v := range vs {
+		in[v] = true
+	}
+	edges := 0
+	allDegree2 := true
+	for _, v := range vs {
+		deg := 0
+		for _, w := range g.adj[v] {
+			if in[w] {
+				deg++
+			}
+		}
+		edges += deg
+		if deg != 2 {
+			allDegree2 = false
+		}
+	}
+	edges /= 2
+	switch {
+	case edges == k*(k-1)/2:
+		return BlockClique // includes K1 and K3
+	case allDegree2 && edges == k:
+		return BlockCycle
+	default:
+		return BlockOther
+	}
+}
+
+// ---- decomposition accessors
+
+// Blocks returns the biconnected components in canonical order. The slice
+// and its contents are shared; callers must not mutate them.
+func (g *Graph) Blocks() []Block { return g.dc.blocks }
+
+// IsCut reports whether v is a cut (articulation) vertex.
+func (g *Graph) IsCut(v tree.VertexID) bool { return g.dc.isCut[v] }
+
+// IsBlockGraph reports whether every block is an edge or a clique — the
+// class the journal algorithm achieves exact validity and 1-agreement on.
+func (g *Graph) IsBlockGraph() bool {
+	for _, b := range g.dc.blocks {
+		if b.Kind != BlockEdge && b.Kind != BlockClique {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockCutTree returns the block-cut tree: one node per block ("b<idx>"),
+// one per cut vertex ("c<vertex>"), edges for containment. It is a regular
+// *tree.Tree, so the entire TreeAA machinery runs on it unchanged.
+func (g *Graph) BlockCutTree() *tree.Tree { return g.dc.bc }
+
+// Eta maps a graph vertex to its block-cut tree node: its cut node if v is
+// a cut vertex, else the node of the unique block containing v.
+func (g *Graph) Eta(v tree.VertexID) tree.VertexID { return g.dc.eta[v] }
+
+// NodeBlock resolves a block-cut tree node to its block index; ok is false
+// for cut nodes.
+func (g *Graph) NodeBlock(node tree.VertexID) (int, bool) {
+	i := g.dc.nodeBlock[node]
+	return i, i >= 0
+}
+
+// NodeCut resolves a block-cut tree node to its cut vertex; ok is false for
+// block nodes.
+func (g *Graph) NodeCut(node tree.VertexID) (tree.VertexID, bool) {
+	v := g.dc.nodeCut[node]
+	return v, v != tree.None
+}
+
+// BlockNode returns the block-cut tree node of block index i.
+func (g *Graph) BlockNode(i int) tree.VertexID { return g.dc.blockNode[i] }
+
+// BlocksOf returns the indices of the blocks containing v (two or more
+// exactly when v is a cut vertex). The slice is shared; do not mutate.
+func (g *Graph) BlocksOf(v tree.VertexID) []int { return g.dc.vertexBlocks[v] }
+
+// InSameBlock reports whether u and v belong to a common block. Vertices of
+// a common block are at geodesic distance at most the block diameter, and
+// at most 1 when the block is an edge or a clique.
+func (g *Graph) InSameBlock(u, v tree.VertexID) bool {
+	a, b := g.dc.vertexBlocks[u], g.dc.vertexBlocks[v]
+	for _, i := range a {
+		for _, j := range b {
+			if i == j {
+				return true
+			}
+		}
+	}
+	return false
+}

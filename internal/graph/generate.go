@@ -1,0 +1,142 @@
+package graph
+
+// Generators for the graph-space spec mini-language. Labels follow the
+// repo-wide zero-padded convention ("v007") so lexicographic label order
+// equals construction order and every generated graph is deterministic for
+// a given spec and seed.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// numLabel formats i zero-padded to width ("v007").
+func numLabel(i, width int) string { return fmt.Sprintf("v%0*d", width, i) }
+
+// labelWidth is the pad width for n vertices numbered from 1.
+func labelWidth(n int) int { return len(fmt.Sprint(n)) }
+
+// NewCycle returns the cycle C_n (n >= 3): the canonical non-block-graph
+// space, where 1-agreement is impossible (Alistarh–Ellen–Rybicki) and the
+// machine's guarantee is the relaxed per-block step.
+func NewCycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle of %d vertices", n))
+	}
+	w := labelWidth(n)
+	var b Builder
+	for i := 2; i <= n; i++ {
+		b.AddEdge(numLabel(i-1, w), numLabel(i, w))
+	}
+	b.AddEdge(numLabel(n, w), numLabel(1, w))
+	return mustBuild(&b)
+}
+
+// NewClique returns the complete graph K_n (n >= 1): a single clique block.
+func NewClique(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: clique of %d vertices", n))
+	}
+	w := labelWidth(n)
+	var b Builder
+	b.AddVertex(numLabel(1, w))
+	for i := 2; i <= n; i++ {
+		for j := 1; j < i; j++ {
+			b.AddEdge(numLabel(j, w), numLabel(i, w))
+		}
+	}
+	return mustBuild(&b)
+}
+
+// NewCliqueChain returns a chain of `blocks` cliques of `size` vertices
+// each, consecutive cliques sharing one cut vertex — the canonical block
+// graph whose block-cut tree is a path.
+func NewCliqueChain(blocks, size int) *Graph {
+	if blocks < 1 || size < 2 {
+		panic(fmt.Sprintf("graph: clique chain %d x %d", blocks, size))
+	}
+	n := blocks*(size-1) + 1
+	w := labelWidth(n)
+	var b Builder
+	next := 1
+	b.AddVertex(numLabel(next, w))
+	for bl := 0; bl < blocks; bl++ {
+		start := next // shared cut vertex with the previous block
+		members := []int{start}
+		for k := 1; k < size; k++ {
+			next++
+			members = append(members, next)
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b.AddEdge(numLabel(members[i], w), numLabel(members[j], w))
+			}
+		}
+	}
+	return mustBuild(&b)
+}
+
+// NewCactusChain returns a cactus-like chain of `blocks` cycles of length
+// `cycleLen`, consecutive cycles sharing one cut vertex. With cycleLen 3
+// the blocks are triangles (cliques) and the result is a block graph; with
+// cycleLen 4 or 5 each block's diameter is 2, the relaxed
+// 2-approximation regime.
+func NewCactusChain(blocks, cycleLen int) *Graph {
+	if blocks < 1 || cycleLen < 3 {
+		panic(fmt.Sprintf("graph: cactus chain %d x %d", blocks, cycleLen))
+	}
+	n := blocks*(cycleLen-1) + 1
+	w := labelWidth(n)
+	var b Builder
+	next := 1
+	b.AddVertex(numLabel(next, w))
+	for bl := 0; bl < blocks; bl++ {
+		start := next
+		prev := start
+		for k := 1; k < cycleLen; k++ {
+			next++
+			b.AddEdge(numLabel(prev, w), numLabel(next, w))
+			prev = next
+		}
+		b.AddEdge(numLabel(prev, w), numLabel(start, w))
+	}
+	return mustBuild(&b)
+}
+
+// NewRandomBlock returns a random block graph on at least n vertices: a
+// random block-cut skeleton grown by repeatedly attaching a clique block
+// (2–4 vertices) at a uniformly chosen existing vertex. Every block is a
+// clique, so the result is always a true block graph.
+func NewRandomBlock(n int, rng *rand.Rand) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: random block graph of %d vertices", n))
+	}
+	// Upper-bound the label width: each attachment adds at most 3 vertices.
+	w := labelWidth(n + 3)
+	var b Builder
+	b.AddVertex(numLabel(1, w))
+	count := 1
+	for count < n {
+		at := 1 + rng.Intn(count)
+		size := 2 + rng.Intn(3)
+		members := []int{at}
+		for k := 1; k < size; k++ {
+			count++
+			members = append(members, count)
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b.AddEdge(numLabel(members[i], w), numLabel(members[j], w))
+			}
+		}
+	}
+	return mustBuild(&b)
+}
+
+func mustBuild(b *Builder) *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

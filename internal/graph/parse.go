@@ -1,0 +1,127 @@
+package graph
+
+// The graph-space spec mini-language and the textual edge-list format. The
+// spec grammar mirrors the tree specs in internal/cli:
+//
+//	cycle:K            cycle C_K (K >= 3)
+//	clique:K           complete graph K_K
+//	cliquechain:B:S    chain of B cliques of S vertices sharing cut vertices
+//	cactus:B:L         chain of B cycles of length L sharing cut vertices
+//	randomblock:K      random block graph on >= K vertices (uses seed)
+//	@FILE              edge-list file ("a - b" per line, '#' comments)
+//
+// The edge-list format is the same as internal/tree's: one "a - b" line per
+// edge, so a tree's edge list parses as a graph (all edge blocks) and the
+// shared duplicate/self-loop validation applies on both paths.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a graph from a compact spec (see the package comment of
+// this file for the grammar).
+func ParseSpec(spec string, seed int64) (*Graph, error) {
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return Parse(f)
+	}
+	parts := strings.Split(spec, ":")
+	argInt := func(i, minVal int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("graph spec %q: missing argument %d", spec, i)
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil || v < minVal {
+			return 0, fmt.Errorf("graph spec %q: bad argument %q", spec, parts[i])
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "cycle":
+		k, err := argInt(1, 3)
+		if err != nil {
+			return nil, err
+		}
+		return NewCycle(k), nil
+	case "clique":
+		k, err := argInt(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewClique(k), nil
+	case "cliquechain":
+		b, err := argInt(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		s, err := argInt(2, 2)
+		if err != nil {
+			return nil, err
+		}
+		return NewCliqueChain(b, s), nil
+	case "cactus":
+		b, err := argInt(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		l, err := argInt(2, 3)
+		if err != nil {
+			return nil, err
+		}
+		return NewCactusChain(b, l), nil
+	case "randomblock":
+		k, err := argInt(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewRandomBlock(k, rand.New(rand.NewSource(seed))), nil
+	default:
+		return nil, fmt.Errorf("unknown graph spec %q", spec)
+	}
+}
+
+// Parse reads the textual edge-list format: one "a - b" line per edge,
+// blank lines and '#' comments ignored, a single non-edge line declaring an
+// isolated vertex (only valid alone, as a one-vertex graph).
+func Parse(r io.Reader) (*Graph, error) {
+	var b Builder
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "-")
+		switch len(fields) {
+		case 1:
+			b.AddVertex(strings.TrimSpace(fields[0]))
+		case 2:
+			u, v := strings.TrimSpace(fields[0]), strings.TrimSpace(fields[1])
+			if u == "" || v == "" {
+				return nil, fmt.Errorf("graph: line %d: empty endpoint in %q", lineNo, line)
+			}
+			b.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("graph: line %d: want \"a - b\", got %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }

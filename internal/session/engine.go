@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"treeaa/internal/async"
-	"treeaa/internal/core"
 	"treeaa/internal/sim"
 	"treeaa/internal/tree"
 	"treeaa/internal/wire"
@@ -168,8 +167,7 @@ func (e *engine) begin() bool {
 	if d.opts.Async {
 		return e.beginAsync()
 	}
-	machine, err := core.NewMachine(core.Config{Tree: e.s.ps.tree, N: d.n,
-		T: e.s.ps.spec.T, ID: d.id, Input: e.s.ps.inputs[d.id]})
+	machine, _, err := e.s.ps.space.NewMachine(d.n, e.s.ps.spec.T, d.id, e.s.ps.inputs[d.id])
 	if err != nil {
 		e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)
 		return false
@@ -356,7 +354,7 @@ type asyncSeat interface {
 // apply pushes out — RoundTimeout bounds total silence, not a barrier.
 func (e *engine) beginAsync() bool {
 	d := e.m.d
-	seat, err := async.NewPipeline(e.s.ps.tree, d.n, e.s.ps.spec.T,
+	seat, err := async.NewPipeline(e.s.ps.space.Tree, d.n, e.s.ps.spec.T,
 		async.PartyID(d.id), e.s.ps.inputs[d.id])
 	if err != nil {
 		e.m.fail(e.s, StateFailed, fmt.Sprintf("daemon %d: %v", d.id, err), true)

@@ -9,6 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strings"
+
+	"treeaa/internal/cli"
 	"treeaa/internal/journal"
 	"treeaa/internal/metrics"
 	"treeaa/internal/sim"
@@ -148,10 +151,21 @@ func (m *Manager) Submit(spec Spec, sid uint64) (uint64, error) {
 	}
 	m.mu.Unlock()
 
-	open, ferr := sessionFrame(wire.SessionOpen{
+	// Graph-space sessions announce over their own wire payload; the graph
+	// spec travels without the "graph:" routing prefix (the tag is the
+	// routing) and is re-prefixed on receipt.
+	var openPayload any = wire.SessionOpen{
 		SID: sid, Tree: spec.Tree, Seed: spec.Seed, T: spec.T, Inputs: spec.Inputs,
 		TTLMillis: uint64(ps.deadline / time.Millisecond),
-	})
+	}
+	if ps.space.IsGraph() {
+		openPayload = wire.SessionOpenGraph{
+			SID: sid, Graph: strings.TrimPrefix(spec.Tree, cli.GraphPrefix),
+			Seed: spec.Seed, T: spec.T, Inputs: spec.Inputs,
+			TTLMillis: uint64(ps.deadline / time.Millisecond),
+		}
+	}
+	open, ferr := sessionFrame(openPayload)
 	if ferr != nil {
 		m.fail(s, StateFailed, fmt.Sprintf("encoding open: %v", ferr), false)
 		return 0, ferr
@@ -170,6 +184,9 @@ func (m *Manager) admitLocked(sid uint64, origin sim.PartyID, ps parsedSpec) (*s
 	if m.inflight >= m.d.opts.MaxSessions {
 		m.stats().RejectedCapacity.Add(1)
 		return nil, fmt.Errorf("session: daemon %d at capacity (%d in flight)", m.d.id, m.inflight)
+	}
+	if m.d.opts.Async && ps.space.IsGraph() {
+		return nil, fmt.Errorf("session: async mode does not support graph spaces")
 	}
 	now := time.Now()
 	s := &session{
@@ -236,6 +253,12 @@ func (m *Manager) handleRaw(from sim.PartyID, body []byte) error {
 		// Not journaled as a frame: admission writes a JournalOpen carrying
 		// the resolved absolute deadline, which replay re-admits from.
 		m.openRemote(from, p)
+	case wire.SessionOpenGraph:
+		// Re-prefix the graph spec into the canonical Spec form and reuse
+		// the tree open path — journaling, replay, and the engine all key
+		// off the prefixed spec string.
+		m.openRemote(from, wire.SessionOpen{SID: p.SID, Tree: cli.GraphPrefix + p.Graph,
+			Seed: p.Seed, T: p.T, Inputs: p.Inputs, TTLMillis: p.TTLMillis})
 	case wire.SessionAbort:
 		m.journalFrame(from, body)
 		m.handleAbort(p)

@@ -51,7 +51,6 @@ import (
 	"time"
 
 	"treeaa/internal/cli"
-	"treeaa/internal/core"
 	"treeaa/internal/sim"
 	"treeaa/internal/tree"
 )
@@ -60,8 +59,8 @@ import (
 // deterministically. It is what a client submits and what SessionOpen
 // carries to the peers.
 type Spec struct {
-	Tree   string        // cli.ParseTreeSpec spec, e.g. "path:16"
-	Seed   int64         // tree-spec seed (random shapes)
+	Tree   string        // cli.ParseSpaceSpec spec: a tree spec ("path:16") or "graph:"-prefixed graph spec
+	Seed   int64         // tree/graph-spec seed (random shapes)
 	T      int           // corruption budget the machines tolerate
 	Inputs string        // cli.ParseInputs spec; "" spreads inputs
 	TTL    time.Duration // deadline from admission; 0 means server default
@@ -117,7 +116,7 @@ type Outcome struct {
 // parsedSpec is a validated Spec, resolved against the daemon's n.
 type parsedSpec struct {
 	spec      Spec
-	tree      *tree.Tree
+	space     *cli.Space // tree, or block graph ("graph:"-prefixed Spec.Tree)
 	inputs    []tree.VertexID
 	maxRounds int
 	deadline  time.Duration // resolved TTL
@@ -129,11 +128,11 @@ func parseSpec(spec Spec, n int, defaultTTL time.Duration) (parsedSpec, error) {
 	if spec.TTL < 0 {
 		return parsedSpec{}, fmt.Errorf("session: negative ttl %v", spec.TTL)
 	}
-	tr, err := cli.ParseTreeSpec(spec.Tree, spec.Seed)
+	space, err := cli.ParseSpaceSpec(spec.Tree, spec.Seed)
 	if err != nil {
-		return parsedSpec{}, fmt.Errorf("session: tree spec: %w", err)
+		return parsedSpec{}, fmt.Errorf("session: space spec: %w", err)
 	}
-	inputs, err := cli.ParseInputs(tr, spec.Inputs, n)
+	inputs, err := space.ParseInputs(spec.Inputs, n)
 	if err != nil {
 		return parsedSpec{}, fmt.Errorf("session: inputs: %w", err)
 	}
@@ -149,9 +148,9 @@ func parseSpec(spec Spec, n int, defaultTTL time.Duration) (parsedSpec, error) {
 	}
 	return parsedSpec{
 		spec:      spec,
-		tree:      tr,
+		space:     space,
 		inputs:    inputs,
-		maxRounds: core.Rounds(tr) + 2, // the repo-wide honest round budget
+		maxRounds: space.Rounds() + 2, // the repo-wide honest round budget
 		deadline:  ttl,
 	}, nil
 }
@@ -166,8 +165,7 @@ func Oracle(n int, spec Spec) (*sim.Result, error) {
 	}
 	machines := make([]sim.Machine, n)
 	for i := 0; i < n; i++ {
-		m, err := core.NewMachine(core.Config{Tree: ps.tree, N: n, T: spec.T,
-			ID: sim.PartyID(i), Input: ps.inputs[i]})
+		m, _, err := ps.space.NewMachine(n, spec.T, sim.PartyID(i), ps.inputs[i])
 		if err != nil {
 			return nil, err
 		}

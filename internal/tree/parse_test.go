@@ -2,6 +2,7 @@ package tree
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,9 @@ func TestParseErrors(t *testing.T) {
 		{"cycle", "a - b\nb - c\nc - a\n"},
 		{"disconnected", "a - b\nc - d\n"},
 		{"empty input", "# nothing\n"},
+		{"duplicate edge", "a - b\nb - c\na - b\n"},
+		{"reversed duplicate edge", "a - b\nb - c\nb - a\n"},
+		{"self-loop", "a - a\na - b\n"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -56,6 +60,18 @@ func TestParseErrors(t *testing.T) {
 				t.Errorf("ParseString(%q) succeeded, want error", tc.in)
 			}
 		})
+	}
+}
+
+// TestParseDuplicateEdgeMessage pins that a duplicated edge in the textual
+// format reports ErrDuplicate naming the edge, not a misleading cycle error.
+func TestParseDuplicateEdgeMessage(t *testing.T) {
+	_, err := ParseString("a - b\nb - c\na - b\n")
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("error = %v, want ErrDuplicate", err)
+	}
+	if want := `tree: duplicate: edge "a"-"b"`; err.Error() != want {
+		t.Fatalf("error message = %q, want %q", err.Error(), want)
 	}
 }
 

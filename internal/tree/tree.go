@@ -48,9 +48,14 @@ var (
 	ErrBadLabel = errors.New("tree: invalid label")
 )
 
-// validLabel reports whether a label survives the edge-list serialization:
+// ValidLabel reports whether a label survives the edge-list serialization:
 // non-empty, no '-' (the edge separator), no whitespace (trimmed by the
-// parser), and not starting with '#' (comment marker).
+// parser), and not starting with '#' (comment marker). It is the label rule
+// shared by every labeled input space (trees here, block graphs in
+// internal/graph).
+func ValidLabel(l string) bool { return validLabel(l) }
+
+// validLabel is the internal form of ValidLabel.
 func validLabel(l string) bool {
 	if l == "" || l[0] == '#' {
 		return false
@@ -62,6 +67,32 @@ func validLabel(l string) bool {
 		}
 	}
 	return true
+}
+
+// ValidateEdges rejects self-loops and duplicate undirected edges in a
+// label-pair edge list — the input validation shared by the tree Builder and
+// the block-graph builder in internal/graph. Edge direction is ignored:
+// "a-b" and "b-a" are the same edge. Errors wrap ErrDuplicate and name the
+// offending edge, so a bad edge list fails with the real cause instead of
+// surfacing later as a misleading cycle or connectivity error.
+func ValidateEdges(edges [][2]string) error {
+	type edgeKey struct{ a, b string }
+	seen := make(map[edgeKey]bool, len(edges))
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a == b {
+			return fmt.Errorf("%w: self-loop or duplicate vertex %q", ErrDuplicate, a)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		k := edgeKey{a, b}
+		if seen[k] {
+			return fmt.Errorf("%w: edge %q-%q", ErrDuplicate, e[0], e[1])
+		}
+		seen[k] = true
+	}
+	return nil
 }
 
 // Builder accumulates vertices and edges and validates them into a Tree.
@@ -122,6 +153,13 @@ func (b *Builder) Build() (*Tree, error) {
 	for i, l := range labels {
 		index[l] = VertexID(i)
 	}
+	// Self-loops and duplicate edges are diagnosed before the |E| = |V|-1
+	// count check: a duplicated edge would otherwise surface as a bogus
+	// "contains a cycle" (and a duplicate plus a missing edge as "not
+	// connected"), hiding the actual input mistake.
+	if err := ValidateEdges(b.edges); err != nil {
+		return nil, err
+	}
 	if len(b.edges) != n-1 {
 		if len(b.edges) > n-1 {
 			return nil, fmt.Errorf("%w: %d vertices but %d edges", ErrCycle, n, len(b.edges))
@@ -129,18 +167,8 @@ func (b *Builder) Build() (*Tree, error) {
 		return nil, fmt.Errorf("%w: %d vertices but %d edges", ErrNotConnected, n, len(b.edges))
 	}
 	adj := make([][]VertexID, n)
-	type edgeKey struct{ a, b VertexID }
-	edgeSeen := make(map[edgeKey]bool, len(b.edges))
 	for _, e := range b.edges {
 		u, v := index[e[0]], index[e[1]]
-		if u == v {
-			return nil, fmt.Errorf("%w: self-loop or duplicate vertex %q", ErrDuplicate, e[0])
-		}
-		k := edgeKey{min(u, v), max(u, v)}
-		if edgeSeen[k] {
-			return nil, fmt.Errorf("%w: edge %q-%q", ErrDuplicate, e[0], e[1])
-		}
-		edgeSeen[k] = true
 		adj[u] = append(adj[u], v)
 		adj[v] = append(adj[v], u)
 	}

@@ -103,6 +103,93 @@ func TestBuilderErrors(t *testing.T) {
 	}
 }
 
+// TestBuilderDuplicateEdgeDiagnosis pins the error *identity and message*
+// for inputs that used to be misreported: a duplicated edge satisfies
+// |E| > |V|-1 and formerly surfaced as "contains a cycle", and a self-loop
+// plus a missing edge as "not connected". Both must now name the real
+// mistake via ErrDuplicate before any count check runs.
+func TestBuilderDuplicateEdgeDiagnosis(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() *Builder
+		wantErr error
+		wantMsg string
+	}{
+		{
+			name: "duplicate edge over full tree", // |E| = |V|, was ErrCycle
+			build: func() *Builder {
+				var b Builder
+				b.AddEdge("a", "b")
+				b.AddEdge("b", "c")
+				b.AddEdge("a", "b")
+				return &b
+			},
+			wantErr: ErrDuplicate,
+			wantMsg: `tree: duplicate: edge "a"-"b"`,
+		},
+		{
+			name: "reversed duplicate edge", // undirected: b-a duplicates a-b
+			build: func() *Builder {
+				var b Builder
+				b.AddEdge("a", "b")
+				b.AddEdge("b", "c")
+				b.AddEdge("b", "a")
+				return &b
+			},
+			wantErr: ErrDuplicate,
+			wantMsg: `tree: duplicate: edge "b"-"a"`,
+		},
+		{
+			name: "self-loop under edge count", // |E| < |V|-1, was ErrNotConnected
+			build: func() *Builder {
+				var b Builder
+				b.AddEdge("a", "a")
+				b.AddVertex("b")
+				b.AddVertex("c")
+				return &b
+			},
+			wantErr: ErrDuplicate,
+			wantMsg: `tree: duplicate: self-loop or duplicate vertex "a"`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build().Build()
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Build() error = %v, want %v", err, tc.wantErr)
+			}
+			if err.Error() != tc.wantMsg {
+				t.Fatalf("Build() error message = %q, want %q", err.Error(), tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestValidateEdges(t *testing.T) {
+	tests := []struct {
+		name  string
+		edges [][2]string
+		ok    bool
+	}{
+		{"empty", nil, true},
+		{"distinct", [][2]string{{"a", "b"}, {"b", "c"}}, true},
+		{"self-loop", [][2]string{{"x", "x"}}, false},
+		{"duplicate", [][2]string{{"a", "b"}, {"a", "b"}}, false},
+		{"reversed duplicate", [][2]string{{"a", "b"}, {"b", "a"}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateEdges(tc.edges)
+			if tc.ok && err != nil {
+				t.Fatalf("ValidateEdges(%v) = %v, want nil", tc.edges, err)
+			}
+			if !tc.ok && !errors.Is(err, ErrDuplicate) {
+				t.Fatalf("ValidateEdges(%v) = %v, want ErrDuplicate", tc.edges, err)
+			}
+		})
+	}
+}
+
 func TestSingleVertexTree(t *testing.T) {
 	var b Builder
 	b.AddVertex("only")

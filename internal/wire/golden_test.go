@@ -64,6 +64,8 @@ func goldenPayloads() map[string]any {
 		"session_eor": SessionEOR{SID: 1<<48 | 42, Round: 7, Done: true},
 		"session_open": SessionOpen{SID: 2<<48 | 1, Tree: "path:16", Seed: -7,
 			T: 2, Inputs: "0,5,10,15", TTLMillis: 30_000},
+		"session_open_graph": SessionOpenGraph{SID: 2<<48 | 2, Graph: "cliquechain:3:4",
+			Seed: -7, T: 2, Inputs: "v01,v04,v07,v10", TTLMillis: 30_000},
 		"session_abort": SessionAbort{SID: 2<<48 | 1, Reason: "deadline exceeded"},
 		"session_decide": SessionDecide{SID: 1<<48 | 42, Party: 3, V: 12,
 			DoneRound: 5, TermRound: 6, Msgs: 1234, Bytes: 1 << 17},

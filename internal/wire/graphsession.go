@@ -1,0 +1,94 @@
+package wire
+
+// Graph-space session control. A graph session announces the input graph
+// instead of a tree:
+//
+//	SessionOpenGraph 0x18  origin announces a new graph-space session:
+//	                       uvarint(sid) | graph spec | seed(8, big-endian
+//	                       two's complement) | uvarint(t) | input spec |
+//	                       uvarint(ttl ms)
+//
+// The field layout is byte-for-byte that of SessionOpen with the tree spec
+// replaced by a graph spec (the internal/graph grammar, WITHOUT the
+// "graph:" routing prefix — the tag itself is the routing). Receivers
+// convert it to the prefixed Spec form ("graph:" + Graph), which is what
+// flows into journals, the cluster session hash, and replay.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"treeaa/internal/sim"
+)
+
+// TypeSessionOpenGraph is the graph-space session announcement tag.
+const TypeSessionOpenGraph byte = 0x18
+
+// SessionOpenGraph announces a new graph-space session from its origin
+// daemon to every peer: the full spec a seat needs to build its graph
+// machine deterministically.
+type SessionOpenGraph struct {
+	SID       uint64
+	Graph     string // internal/graph spec, e.g. "cliquechain:3:4" (no "graph:" prefix)
+	Seed      int64  // graph-spec seed (randomblock); fixed 8-byte encoding
+	T         int    // corruption budget the machines are built with
+	Inputs    string // graph-label input spec; "" means spread placement
+	TTLMillis uint64 // session deadline; 0 means the server default
+}
+
+func (m SessionOpenGraph) Size() int {
+	return 2 + sim.UvarintLen(m.SID) +
+		sim.UvarintLen(uint64(len(m.Graph))) + len(m.Graph) + 8 +
+		sim.UvarintLen(uint64(m.T)) +
+		sim.UvarintLen(uint64(len(m.Inputs))) + len(m.Inputs) +
+		sim.UvarintLen(m.TTLMillis)
+}
+
+func appendSessionOpenGraph(dst []byte, m SessionOpenGraph) ([]byte, error) {
+	if m.T < 0 || m.T > math.MaxInt32 {
+		return nil, fmt.Errorf("wire: session t %d out of range", m.T)
+	}
+	dst = append(dst, Version, TypeSessionOpenGraph)
+	dst = AppendUvarint(dst, m.SID)
+	dst, err := appendString(dst, m.Graph)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Seed))
+	dst = AppendUvarint(dst, uint64(m.T))
+	if dst, err = appendString(dst, m.Inputs); err != nil {
+		return nil, err
+	}
+	return AppendUvarint(dst, m.TTLMillis), nil
+}
+
+func decodeSessionOpenGraph(b []byte) (any, []byte, error) {
+	sid, b, err := ConsumeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	graphSpec, b, err := consumeString(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b) < 8 {
+		return nil, nil, malformed("truncated session seed")
+	}
+	seed := int64(binary.BigEndian.Uint64(b))
+	b = b[8:]
+	t, b, err := consumeIter(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	inputs, b, err := consumeString(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	ttl, b, err := ConsumeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SessionOpenGraph{SID: sid, Graph: graphSpec, Seed: seed, T: t,
+		Inputs: inputs, TTLMillis: ttl}, b, nil
+}

@@ -135,6 +135,7 @@ func appendSessionHeader(dst []byte, typ byte, sid uint64, round int) ([]byte, e
 func appendSessionMsg(dst []byte, m SessionMsg) ([]byte, error) {
 	switch m.Payload.(type) {
 	case SessionMsg, SessionEOR, SessionOpen, SessionAbort, SessionDecide,
+		SessionOpenGraph,
 		ClientSubmit, ClientWait, ClientStatus, ClientOutcome,
 		JournalOpen, JournalFrame, JournalSeal, RelayMsg, OverlayEOR:
 		return nil, fmt.Errorf("wire: session payloads do not nest (%T)", m.Payload)
@@ -231,8 +232,9 @@ func decodeSessionMsg(b []byte) (any, []byte, error) {
 	// whole remaining buffer and rejects nested session types itself (they
 	// would re-enter this switch; the explicit check keeps the error crisp).
 	// Client-plane frames (0x0D–0x10), journal records (0x11–0x13) and
-	// overlay envelopes (0x14–0x15) are likewise barred from peer links.
-	if len(b) >= 2 && b[1] >= TypeSessionMsg && b[1] <= TypeOverlayEOR {
+	// overlay envelopes (0x14–0x15) and the graph session open (0x18) are
+	// likewise barred from peer links (async leaves 0x16–0x17 may nest).
+	if len(b) >= 2 && (b[1] >= TypeSessionMsg && b[1] <= TypeOverlayEOR || b[1] == TypeSessionOpenGraph) {
 		return nil, nil, malformed("session payloads do not nest")
 	}
 	payload, err := Decode(b)
